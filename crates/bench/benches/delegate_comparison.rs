@@ -1,0 +1,33 @@
+//! Criterion bench: compile + estimate through the NNAPI and Neuron code
+//! paths on the Dimensity 1100 — the machinery behind Table 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mobile_backend::backend::Backend;
+use mobile_backend::backends::{Neuron, Nnapi};
+use nn_graph::models::ModelId;
+use soc_sim::catalog::ChipId;
+use std::hint::black_box;
+
+fn bench_delegates(c: &mut Criterion) {
+    let soc = ChipId::Dimensity1100.build();
+    let mut group = c.benchmark_group("delegate_compile");
+    for model in [ModelId::MobileNetEdgeTpu, ModelId::MobileDetSsd, ModelId::DeepLabV3Plus] {
+        let reference = model.build();
+        group.bench_function(BenchmarkId::new("nnapi", model.name()), |b| {
+            b.iter(|| {
+                let dep = Nnapi::default().compile(&reference, &soc).unwrap();
+                black_box(dep.estimate_ms(&soc))
+            });
+        });
+        group.bench_function(BenchmarkId::new("neuron", model.name()), |b| {
+            b.iter(|| {
+                let dep = Neuron.compile(&reference, &soc).unwrap();
+                black_box(dep.estimate_ms(&soc))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delegates);
+criterion_main!(benches);

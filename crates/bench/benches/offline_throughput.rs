@@ -1,0 +1,30 @@
+//! Criterion bench: offline (accelerator-level-parallel) runs — the
+//! machinery behind the Section 7.2 throughput figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mobile_backend::registry::{create, vendor_backend};
+use nn_graph::models::ModelId;
+use soc_sim::catalog::ChipId;
+use soc_sim::executor::run_offline;
+use std::hint::black_box;
+
+fn bench_offline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_run");
+    group.sample_size(20);
+    for chip in [ChipId::Exynos990, ChipId::Snapdragon865Plus, ChipId::CoreI7_1165G7] {
+        let soc = chip.build();
+        let backend = create(vendor_backend(&soc).unwrap());
+        let dep = backend.compile(&ModelId::MobileNetEdgeTpu.build(), &soc).unwrap();
+        group.bench_function(BenchmarkId::new("24576_samples", chip.to_string()), |b| {
+            b.iter(|| {
+                let mut state = soc.new_state(22.0);
+                let r = run_offline(&soc, &dep.graph, &dep.offline_streams, &mut state, 24_576, 32);
+                black_box(r.throughput_fps)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline);
+criterion_main!(benches);

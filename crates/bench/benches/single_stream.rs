@@ -1,0 +1,38 @@
+//! Criterion bench: single-stream query simulation across the v0.7
+//! chipsets and tasks (the machinery behind Figure 7).
+//!
+//! Measures host-side simulator throughput; the *simulated* latencies are
+//! printed by the `reproduce` binary / `reproduce_tables` bench target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mobile_backend::registry::{create, vendor_backend};
+use nn_graph::models::ModelId;
+use soc_sim::catalog::ChipId;
+use soc_sim::executor::run_query;
+use std::hint::black_box;
+
+fn bench_single_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_stream_query");
+    for chip in [ChipId::Dimensity820, ChipId::Exynos990, ChipId::Snapdragon865Plus] {
+        for model in [
+            ModelId::MobileNetEdgeTpu,
+            ModelId::SsdMobileNetV2,
+            ModelId::DeepLabV3Plus,
+        ] {
+            let soc = chip.build();
+            let backend = create(vendor_backend(&soc).unwrap());
+            let dep = backend.compile(&model.build(), &soc).unwrap();
+            let mut state = soc.new_state(22.0);
+            group.bench_function(BenchmarkId::new(chip.to_string(), model.name()), |b| {
+                b.iter(|| {
+                    let r = run_query(&soc, &dep.graph, &dep.schedule, &mut state);
+                    black_box(r.latency)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_stream);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench: the substrates themselves — graph construction,
+//! partitioning, metric computation, quantization, preprocessing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mobile_data::datasets::{SyntheticCoco, SyntheticImageNet};
+use mobile_data::image::Image;
+use mobile_data::preprocess::Pipeline;
+use nn_graph::models::ModelId;
+use quant::{CalibrationMethod, Calibrator};
+use soc_sim::catalog::ChipId;
+use std::hint::black_box;
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    for model in ModelId::ALL {
+        group.bench_function(BenchmarkId::from_parameter(model.name()), |b| {
+            b.iter(|| black_box(model.build().len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    use mobile_backend::backend::Backend;
+    use mobile_backend::backends::Snpe;
+    let soc = ChipId::Snapdragon888.build();
+    let reference = ModelId::DeepLabV3Plus.build();
+    c.bench_function("partition_deeplab_snpe", |b| {
+        b.iter(|| black_box(Snpe.compile(&reference, &soc).unwrap().schedule.num_stages()));
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let coco = SyntheticCoco::with_len(1, 200);
+    let gts: Vec<_> = (0..200).map(|i| coco.objects(i)).collect();
+    let dets: Vec<_> = gts
+        .iter()
+        .map(|objs| {
+            objs.iter()
+                .map(|o| mobile_data::types::Detection { class: o.class, score: 0.9, bbox: o.bbox })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    c.bench_function("coco_map_200_images", |b| {
+        b.iter(|| black_box(mobile_metrics::map::coco_map(&gts, &dets)));
+    });
+
+    let imagenet = SyntheticImageNet::with_len(2, 10_000);
+    let labels: Vec<u32> = (0..10_000).map(|i| imagenet.label(i)).collect();
+    c.bench_function("top1_10k", |b| {
+        b.iter(|| black_box(mobile_metrics::accuracy::top1_accuracy(&labels, &labels)));
+    });
+}
+
+fn bench_quant_and_preprocess(c: &mut Criterion) {
+    let activations: Vec<f32> = (0..100_000).map(|i| (i as f32 * 0.37).sin() * 6.0).collect();
+    c.bench_function("ptq_calibration_100k", |b| {
+        b.iter(|| {
+            let mut cal = Calibrator::new(CalibrationMethod::Percentile(99.9), nn_graph::DataType::U8);
+            cal.observe(&activations);
+            black_box(cal.finish().unwrap().scale)
+        });
+    });
+
+    let raw = Image::synthetic(256, 384, 3, 7);
+    c.bench_function("preprocess_classification", |b| {
+        b.iter(|| black_box(Pipeline::Classification.apply(&raw).mean()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_graph_build,
+    bench_partition,
+    bench_metrics,
+    bench_quant_and_preprocess
+);
+criterion_main!(benches);

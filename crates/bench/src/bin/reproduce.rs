@@ -1,0 +1,39 @@
+//! `reproduce` — regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p mlperf-bench --bin reproduce            # everything
+//! cargo run --release -p mlperf-bench --bin reproduce -- table3  # one artifact
+//! ```
+
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let out = match which {
+        "table1" => mlperf_bench::table1(),
+        "table2" => mlperf_bench::table2(),
+        "table3" => mlperf_bench::table3(),
+        "table4" => mlperf_bench::table4(),
+        "figure6" => mlperf_bench::figure6(),
+        "figure7" => mlperf_bench::figure7(),
+        "offline" => mlperf_bench::offline_throughput(),
+        "laptop" => mlperf_bench::laptop(),
+        "codepaths" => mlperf_bench::codepaths(),
+        "ablations" => mlperf_bench::all_ablations(),
+        "insights" => mlperf_bench::all_insights(),
+        "endtoend" => mlperf_bench::end_to_end_tax(),
+        "extensions" => mlperf_bench::extensions_report(),
+        "power" => mlperf_bench::power_report(),
+        "all" => format!("{}\n{}\n{}", mlperf_bench::all_reports(), mlperf_bench::all_insights(), mlperf_bench::all_ablations()),
+        other => {
+            eprintln!(
+                "unknown artifact {other:?}; expected one of: table1 table2 table3 table4 \
+                 figure6 figure7 offline laptop codepaths insights ablations endtoend \
+                 extensions power all"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!("{out}");
+}

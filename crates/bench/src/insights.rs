@@ -1,0 +1,202 @@
+//! The paper's five insights (Section 7), each *computed* from the
+//! simulation rather than asserted — the narrative the benchmark data is
+//! supposed to support.
+
+use mlperf_mobile::report::render_table;
+use mlperf_mobile::task::{suite, SuiteVersion, Task};
+use mobile_backend::backend::Backend;
+use mobile_backend::backends::{Neuron, Nnapi, TfliteGpu};
+use mobile_backend::registry::{create, vendor_backend};
+use nn_graph::models::ModelId;
+use quant::{nominal_retention, Scheme, Sensitivity};
+use soc_sim::catalog::ChipId;
+use soc_sim::executor::run_offline;
+
+/// Insight 1: benchmarking drives generational improvements (~2x in six
+/// months).
+#[must_use]
+pub fn insight1() -> String {
+    let pairs = [
+        (ChipId::Dimensity820, ChipId::Dimensity1100),
+        (ChipId::Exynos990, ChipId::Exynos2100),
+        (ChipId::Snapdragon865Plus, ChipId::Snapdragon888),
+    ];
+    let mut ratios = Vec::new();
+    for (old, new) in pairs {
+        for (m_old, m_new) in [
+            (ModelId::MobileNetEdgeTpu, ModelId::MobileNetEdgeTpu),
+            (ModelId::SsdMobileNetV2, ModelId::MobileDetSsd),
+            (ModelId::DeepLabV3Plus, ModelId::DeepLabV3Plus),
+        ] {
+            let a = vendor_latency(old, m_old);
+            let b = vendor_latency(new, m_new);
+            ratios.push(a / b);
+        }
+    }
+    let geo = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    let max = ratios.iter().copied().fold(0.0f64, f64::max);
+    format!(
+        "Insight 1 — benchmarking drives improvement: across the three\n\
+         smartphone families and vision tasks, v0.7 -> v1.0 improved latency\n\
+         {geo:.2}x on average and up to {max:.1}x (paper: ~2x average, 12x max).\n"
+    )
+}
+
+fn vendor_latency(chip: ChipId, model: ModelId) -> f64 {
+    let soc = chip.build();
+    create(vendor_backend(&soc).expect("vendor"))
+        .compile(&model.build(), &soc)
+        .expect("compiles")
+        .estimate_ms(&soc)
+}
+
+/// Insight 2: no one size fits all — per-task winners differ.
+#[must_use]
+pub fn insight2() -> String {
+    let chips = [ChipId::Dimensity820, ChipId::Exynos990, ChipId::Snapdragon865Plus];
+    let mut rows = Vec::new();
+    for task in Task::ALL {
+        let model = suite(SuiteVersion::V0_7)
+            .into_iter()
+            .find(|d| d.task == task)
+            .expect("in suite")
+            .model;
+        let mut best: Option<(ChipId, f64)> = None;
+        for chip in chips {
+            let soc = chip.build();
+            let ms = if task == Task::QuestionAnswering {
+                let dep = if soc.vendor == "Samsung" {
+                    mobile_backend::backends::Enn.compile(&model.build(), &soc).expect("enn")
+                } else {
+                    TfliteGpu.compile(&model.build(), &soc).expect("gpu delegate")
+                };
+                dep.estimate_ms(&soc)
+            } else {
+                vendor_latency(chip, model)
+            };
+            if best.as_ref().is_none_or(|&(_, b)| ms < b) {
+                best = Some((chip, ms));
+            }
+        }
+        let (chip, ms) = best.expect("three chips");
+        rows.push(vec![task.to_string(), chip.to_string(), format!("{ms:.2} ms")]);
+    }
+    let winners: std::collections::BTreeSet<String> =
+        rows.iter().map(|r| r[1].clone()).collect();
+    format!(
+        "Insight 2 — no one size fits all: {} distinct winners across the\n\
+         four v0.7 tasks.\n{}",
+        winners.len(),
+        render_table(&["Task", "Winner (v0.7)", "Latency"], &rows)
+    )
+}
+
+/// Insight 3: accelerator-level parallelism is here — offline throughput
+/// from concurrent engines.
+#[must_use]
+pub fn insight3() -> String {
+    let mut rows = Vec::new();
+    for chip in [ChipId::Exynos990, ChipId::Snapdragon865Plus, ChipId::CoreI7_1165G7] {
+        let soc = chip.build();
+        let dep = create(vendor_backend(&soc).expect("vendor"))
+            .compile(&ModelId::MobileNetEdgeTpu.build(), &soc)
+            .expect("compiles");
+        let mut s1 = soc.new_state(22.0);
+        let solo =
+            run_offline(&soc, &dep.graph, &dep.offline_streams[..1], &mut s1, 8192, 32);
+        let mut s2 = soc.new_state(22.0);
+        let alp = run_offline(&soc, &dep.graph, &dep.offline_streams, &mut s2, 8192, 32);
+        rows.push(vec![
+            chip.to_string(),
+            format!("{:.0} FPS", solo.throughput_fps),
+            format!("{:.0} FPS", alp.throughput_fps),
+            format!("{:+.0}%", (alp.throughput_fps / solo.throughput_fps - 1.0) * 100.0),
+        ]);
+    }
+    format!(
+        "Insight 3 — accelerator-level parallelism: offline classification\n\
+         with one stream vs concurrent engines.\n{}",
+        render_table(&["Platform", "Single engine", "ALP", "Gain"], &rows)
+    )
+}
+
+/// Insight 4: frameworks matter — vendor delegates beat NNAPI; buggy
+/// drivers are catastrophic.
+#[must_use]
+pub fn insight4() -> String {
+    let soc = ChipId::Dimensity1100.build();
+    let reference = ModelId::MobileNetEdgeTpu.build();
+    let neuron = Neuron.compile(&reference, &soc).expect("neuron").estimate_ms(&soc);
+    let nnapi = Nnapi::default().compile(&reference, &soc).expect("nnapi").estimate_ms(&soc);
+    let buggy = Nnapi::buggy(vec![nn_graph::OpClass::DepthwiseConv, nn_graph::OpClass::Pool])
+        .compile(&reference, &soc)
+        .expect("buggy nnapi")
+        .estimate_ms(&soc);
+    format!(
+        "Insight 4 — ML frameworks play a crucial role: classification on the\n\
+         Dimensity 1100 runs {neuron:.2} ms through the vendor delegate,\n\
+         {nnapi:.2} ms through NNAPI ({:+.1}%), and {buggy:.2} ms through a\n\
+         buggy NNAPI driver ({:.1}x slower) — the paper reports >10% and up\n\
+         to 7x respectively.\n",
+        (nnapi / neuron - 1.0) * 100.0,
+        buggy / neuron,
+    )
+}
+
+/// Insight 5: numerics still matter — INT8 margins per task and the FP16
+/// refuge for NLP.
+#[must_use]
+pub fn insight5() -> String {
+    let mut rows = Vec::new();
+    for def in suite(SuiteVersion::V1_0) {
+        let s = Sensitivity::for_model(def.model);
+        let int8 = def.fp32_quality * nominal_retention(Scheme::ptq_default(nn_graph::DataType::I8), s);
+        let fp16 = def.fp32_quality * nominal_retention(Scheme::Fp16, s);
+        let margin = (int8 - def.quality_target()) / def.quality_target() * 100.0;
+        rows.push(vec![
+            def.task.to_string(),
+            format!("{:.4}", def.quality_target()),
+            format!("{int8:.4} ({margin:+.1}%)"),
+            format!("{fp16:.4}"),
+        ]);
+    }
+    format!(
+        "Insight 5 — numerics still matter: INT8 PTQ clears the vision gates\n\
+         comfortably but NLP only barely; FP16 is the safe harbour, which is\n\
+         why every phone submission ran MobileBERT at FP16.\n{}",
+        render_table(&["Task", "Gate", "INT8 PTQ (margin)", "FP16"], &rows)
+    )
+}
+
+/// All five insights.
+#[must_use]
+pub fn all_insights() -> String {
+    [insight1(), insight2(), insight3(), insight4(), insight5()].join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insight2_has_multiple_winners() {
+        let text = insight2();
+        assert!(
+            text.contains("2 distinct winners") || text.contains("3 distinct winners"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn insight4_orders_frameworks() {
+        let text = insight4();
+        assert!(text.contains("buggy"));
+    }
+
+    #[test]
+    fn all_insights_render() {
+        let text = all_insights();
+        assert!(text.contains("Insight 1"));
+        assert!(text.contains("Insight 5"));
+    }
+}

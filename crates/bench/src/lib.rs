@@ -1,0 +1,414 @@
+//! Reproduction harness: regenerates every table and figure from the
+//! paper's evaluation (see DESIGN.md's per-experiment index).
+//!
+//! Each `table*`/`figure*` function runs the benchmark pipeline and
+//! renders the same rows/series the paper reports, annotated with the
+//! published values where the paper states them. Invoked by the
+//! `reproduce` binary and the `reproduce_tables` bench target.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ablations;
+pub mod insights;
+
+pub use insights::all_insights;
+
+pub use ablations::{
+    ablation_batch_size, ablation_interconnect, ablation_merge_window,
+    ablation_sticky_fallback, ablation_sync_overhead, all_ablations, end_to_end_tax,
+    extensions_report, power_report,
+};
+
+use mlperf_mobile::report::render_table;
+use mlperf_mobile::task::{suite, SuiteVersion, Task};
+use mobile_backend::backend::Backend;
+use mobile_backend::backends::{Enn, Neuron, Nnapi, TfliteGpu};
+use mobile_backend::registry::{available_backends, create, vendor_backend};
+use nn_graph::models::ModelId;
+use quant::{nominal_retention, Scheme, Sensitivity};
+use soc_sim::catalog::ChipId;
+use soc_sim::executor::run_offline;
+use soc_sim::soc::Soc;
+
+/// Vendor-path single-stream latency estimate in ms.
+fn vendor_ms(chip: ChipId, model: ModelId) -> f64 {
+    let soc = chip.build();
+    let backend = create(vendor_backend(&soc).unwrap());
+    backend
+        .compile(&model.build(), &soc)
+        .expect("vendor backend compiles")
+        .estimate_ms(&soc)
+}
+
+/// NLP latency via the Table 2 path (TFLite GPU delegate; ENN on Samsung).
+fn nlp_ms(chip: ChipId) -> f64 {
+    let soc = chip.build();
+    let reference = ModelId::MobileBert.build();
+    let dep = if soc.vendor == "Samsung" {
+        Enn.compile(&reference, &soc).expect("ENN targets Exynos")
+    } else if soc.is_laptop {
+        create(mobile_backend::backend::BackendId::OpenVino)
+            .compile(&reference, &soc)
+            .expect("OpenVINO targets laptops")
+    } else {
+        TfliteGpu.compile(&reference, &soc).expect("GPU delegate available")
+    };
+    dep.estimate_ms(&soc)
+}
+
+fn task_model(version: SuiteVersion, task: Task) -> ModelId {
+    suite(version)
+        .into_iter()
+        .find(|d| d.task == task)
+        .expect("task in suite")
+        .model
+}
+
+fn task_ms(chip: ChipId, version: SuiteVersion, task: Task) -> f64 {
+    if task == Task::QuestionAnswering {
+        nlp_ms(chip)
+    } else {
+        vendor_ms(chip, task_model(version, task))
+    }
+}
+
+/// Table 1: the benchmark suite with quality targets, plus the achieved
+/// PTQ-INT8 quality from the quant model (showing each gate passes).
+#[must_use]
+pub fn table1() -> String {
+    let mut rows = Vec::new();
+    for version in SuiteVersion::ALL {
+        for def in suite(version) {
+            if version == SuiteVersion::V1_0 && def.task != Task::ObjectDetection {
+                continue; // only detection changed between versions
+            }
+            let graph = def.model.build();
+            let scheme = Scheme::ptq_default(nn_graph::DataType::I8);
+            let retained = def.fp32_quality
+                * nominal_retention(scheme, Sensitivity::for_model(def.model));
+            rows.push(vec![
+                version.to_string(),
+                def.task.to_string(),
+                format!("{} ({:.1}M params)", def.model, graph.parameter_count() as f64 / 1e6),
+                def.dataset.clone(),
+                format!(
+                    "{:.0}% of FP32 ({:.4} {})",
+                    def.target_fraction * 100.0,
+                    def.fp32_quality,
+                    def.task.metric_name()
+                ),
+                format!(
+                    "{:.4} ({})",
+                    retained,
+                    if retained >= def.quality_target() { "passes INT8 PTQ" } else { "needs FP16" }
+                ),
+            ]);
+        }
+    }
+    format!(
+        "Table 1 — benchmark suite and quality targets\n{}",
+        render_table(
+            &["Version", "Task", "Reference model", "Data set", "Quality target", "INT8 PTQ quality"],
+            &rows,
+        )
+    )
+}
+
+/// Table 2: per-SoC per-task configuration matrix (numerics / framework /
+/// accelerator), v0.7, plus the offline classification column.
+#[must_use]
+pub fn table2() -> String {
+    let chips = [
+        ChipId::Dimensity820,
+        ChipId::Exynos990,
+        ChipId::Snapdragon865Plus,
+        ChipId::CoreI7_1165G7,
+    ];
+    let version = SuiteVersion::V0_7;
+    let mut rows = Vec::new();
+    for chip in chips {
+        let soc = chip.build();
+        let mut row = vec![format!("{} {}", soc.vendor, chip)];
+        // Single-stream columns per task + offline classification.
+        for task in Task::ALL {
+            let backend_id = mlperf_mobile::app::submission_backend(chip, version, task);
+            let backend = create(backend_id);
+            let model = task_model(version, task);
+            match backend.compile(&model.build(), &soc) {
+                Ok(dep) => row.push(format!(
+                    "{}, {}, {}",
+                    dep.scheme,
+                    backend_id,
+                    dep.accelerator_summary(&soc)
+                )),
+                Err(_) => row.push("n/a".into()),
+            }
+        }
+        // Offline classification configuration (ALP engines).
+        let backend = create(mlperf_mobile::app::submission_backend(
+            chip,
+            version,
+            Task::ImageClassification,
+        ));
+        let dep = backend
+            .compile(&ModelId::MobileNetEdgeTpu.build(), &soc)
+            .expect("classification compiles");
+        if dep.offline_streams.len() < 2 {
+            // MediaTek did not submit offline in v0.7 — the paper's cell
+            // reads "Not applicable".
+            row.push("not submitted".into());
+        } else {
+            let mut engines: Vec<String> = Vec::new();
+            for s in &dep.offline_streams {
+                let k = soc.engine(s.stages[0].engine).kind.to_string();
+                if !engines.contains(&k) {
+                    engines.push(k);
+                }
+            }
+            row.push(engines.join("+"));
+        }
+        rows.push(row);
+    }
+    format!(
+        "Table 2 — numerics / framework / accelerator per task (v0.7)\n{}",
+        render_table(
+            &[
+                "SoC",
+                "Classification (single-stream)",
+                "Detection (single-stream)",
+                "Segmentation (single-stream)",
+                "NLP (single-stream)",
+                "Classification offline (ALP)",
+            ],
+            &rows,
+        )
+    )
+}
+
+/// Table 3: NNAPI vs Neuron delegate on the Dimensity 1100.
+#[must_use]
+pub fn table3() -> String {
+    let soc = ChipId::Dimensity1100.build();
+    let cases = [
+        (ModelId::MobileNetEdgeTpu, "Image Classification", 2.48, 2.23, 10.08),
+        (ModelId::MobileDetSsd, "Object Detection", 5.05, 4.77, 5.54),
+        (ModelId::DeepLabV3Plus, "Image Segmentation", 20.56, 20.02, 2.70),
+    ];
+    let mut rows = Vec::new();
+    for (model, name, paper_nnapi, paper_neuron, paper_pct) in cases {
+        let reference = model.build();
+        let nnapi = Nnapi::default().compile(&reference, &soc).unwrap().estimate_ms(&soc);
+        let neuron = Neuron.compile(&reference, &soc).unwrap().estimate_ms(&soc);
+        rows.push(vec![
+            name.to_owned(),
+            format!("{nnapi:.2} ms (paper {paper_nnapi})"),
+            format!("{neuron:.2} ms (paper {paper_neuron})"),
+            format!("{:.2}% (paper {paper_pct}%)", (nnapi / neuron - 1.0) * 100.0),
+        ]);
+    }
+    format!(
+        "Table 3 — MediaTek Dimensity 1100: generic NNAPI vs vendor Neuron delegate\n{}",
+        render_table(&["Task", "NNAPI Delegate", "Neuron Delegate", "% Improvement"], &rows)
+    )
+}
+
+/// Table 4: requirement matrix vs other mobile AI benchmarks.
+#[must_use]
+pub fn table4() -> String {
+    let mut rows = Vec::new();
+    for cmp in mlperf_mobile::related::table4() {
+        let mut row = vec![cmp.name.to_owned()];
+        for s in cmp.satisfies {
+            row.push(if s { "yes" } else { "X" }.to_owned());
+        }
+        rows.push(row);
+    }
+    format!(
+        "Table 4 — requirement comparison with other mobile ML benchmarks\n{}",
+        render_table(&["Benchmark", "Req.1", "Req.2", "Req.3", "Req.4", "Req.5"], &rows)
+    )
+}
+
+/// Figure 6: v0.7 -> v1.0 latency improvement per task per SoC family.
+#[must_use]
+pub fn figure6() -> String {
+    let pairs = [
+        (ChipId::Dimensity820, ChipId::Dimensity1100),
+        (ChipId::Exynos990, ChipId::Exynos2100),
+        (ChipId::Snapdragon865Plus, ChipId::Snapdragon888),
+        (ChipId::CoreI7_1165G7, ChipId::CoreI7_11375H),
+    ];
+    let mut rows = Vec::new();
+    let mut all_ratios = Vec::new();
+    for (old, new) in pairs {
+        for task in Task::ALL {
+            let a = task_ms(old, SuiteVersion::V0_7, task);
+            let b = task_ms(new, SuiteVersion::V1_0, task);
+            let ratio = a / b;
+            all_ratios.push(ratio);
+            rows.push(vec![
+                format!("{old} -> {new}"),
+                task.to_string(),
+                format!("{a:.2} ms"),
+                format!("{b:.2} ms"),
+                format!("{ratio:.2}x"),
+            ]);
+        }
+    }
+    let geo = (all_ratios.iter().map(|r| r.ln()).sum::<f64>() / all_ratios.len() as f64).exp();
+    let max = all_ratios.iter().copied().fold(0.0f64, f64::max);
+    format!(
+        "Figure 6 — generational latency improvement (v0.7 -> v1.0)\n{}\naverage improvement {geo:.2}x (paper ~2x); largest {max:.1}x on Exynos segmentation (paper 12.7x)\n",
+        render_table(&["SoC family", "Task", "v0.7", "v1.0", "Improvement"], &rows)
+    )
+}
+
+/// Figure 7: v0.7 single-stream latency and throughput per smartphone
+/// chipset per task.
+#[must_use]
+pub fn figure7() -> String {
+    let chips = [ChipId::Dimensity820, ChipId::Exynos990, ChipId::Snapdragon865Plus];
+    let mut rows = Vec::new();
+    for task in Task::ALL {
+        for chip in chips {
+            let ms = task_ms(chip, SuiteVersion::V0_7, task);
+            rows.push(vec![
+                task.to_string(),
+                chip.to_string(),
+                format!("{ms:.2} ms"),
+                format!("{:.1} qps", 1000.0 / ms),
+            ]);
+        }
+    }
+    format!(
+        "Figure 7 — v0.7 single-stream results (vendor code paths)\n{}\npaper orderings: Exynos wins classification & NLP; Dimensity wins detection & segmentation; Snapdragon competitive in segmentation & NLP\n",
+        render_table(&["Task", "Chipset", "Latency", "Throughput"], &rows)
+    )
+}
+
+/// Section 7.2 offline text: classification offline throughput.
+#[must_use]
+pub fn offline_throughput() -> String {
+    let cases = [
+        (ChipId::Exynos990, Some(674.4)),
+        (ChipId::Snapdragon865Plus, Some(605.37)),
+        (ChipId::Dimensity820, None),
+        (ChipId::CoreI7_1165G7, None),
+    ];
+    let mut rows = Vec::new();
+    for (chip, paper) in cases {
+        let soc = chip.build();
+        let backend = create(vendor_backend(&soc).unwrap());
+        let dep = backend.compile(&ModelId::MobileNetEdgeTpu.build(), &soc).unwrap();
+        let mut state = soc.new_state(22.0);
+        let r = run_offline(&soc, &dep.graph, &dep.offline_streams, &mut state, 24_576, 32);
+        rows.push(vec![
+            chip.to_string(),
+            format!("{:.1} FPS", r.throughput_fps),
+            paper.map_or("not published".to_owned(), |p| format!("{p} FPS")),
+            format!("{} streams", dep.offline_streams.len()),
+            format!("{:.0}% throttled", r.throttled_fraction * 100.0),
+        ]);
+    }
+    format!(
+        "Offline classification throughput (24576 samples, Section 7.2)\n{}",
+        render_table(&["Chipset", "Simulated", "Paper", "ALP", "Thermal"], &rows)
+    )
+}
+
+/// Section 7.1 laptop results: engine choice and generational deltas.
+#[must_use]
+pub fn laptop() -> String {
+    let mut rows = Vec::new();
+    for task in Task::ALL {
+        let old_soc = ChipId::CoreI7_1165G7.build();
+        let new_soc = ChipId::CoreI7_11375H.build();
+        let model_old = task_model(SuiteVersion::V0_7, task);
+        let model_new = task_model(SuiteVersion::V1_0, task);
+        let backend = create(mobile_backend::backend::BackendId::OpenVino);
+        let dep_old = backend.compile(&model_old.build(), &old_soc).unwrap();
+        let dep_new = backend.compile(&model_new.build(), &new_soc).unwrap();
+        let a = dep_old.estimate_ms(&old_soc);
+        let b = dep_new.estimate_ms(&new_soc);
+        rows.push(vec![
+            task.to_string(),
+            format!("{a:.2} ms on {}", dep_old.accelerator_summary(&old_soc)),
+            format!("{b:.2} ms on {}", dep_new.accelerator_summary(&new_soc)),
+            format!("{:.2}x", a / b),
+        ]);
+    }
+    format!(
+        "Laptop results (OpenVINO, all INT8; Section 7.1)\n{}\npaper: classification/detection on CPU (~1.1x gain from frequency); segmentation/NLP on iGPU; NLP gains most from the quantized GPU kernel\n",
+        render_table(&["Task", "i7-1165G7 (v0.7)", "i7-11375H (v1.0)", "Gain"], &rows)
+    )
+}
+
+/// Figures 1/5: the code-path matrix — which backends exist per SoC.
+#[must_use]
+pub fn codepaths() -> String {
+    let mut rows = Vec::new();
+    for chip in ChipId::ALL {
+        let soc: Soc = chip.build();
+        let paths: Vec<String> =
+            available_backends(&soc).iter().map(ToString::to_string).collect();
+        rows.push(vec![
+            chip.to_string(),
+            paths.join(", "),
+            vendor_backend(&soc).map(|b| b.to_string()).unwrap_or_default(),
+        ]);
+    }
+    format!(
+        "Figures 1 & 5 — code paths per platform\n{}",
+        render_table(&["Platform", "Available code paths", "Vendor path"], &rows)
+    )
+}
+
+/// Every reproduction artifact, concatenated (the `reproduce all` output).
+#[must_use]
+pub fn all_reports() -> String {
+    [
+        table1(),
+        table2(),
+        table3(),
+        table4(),
+        figure6(),
+        figure7(),
+        offline_throughput(),
+        laptop(),
+        codepaths(),
+    ]
+    .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_report_renders() {
+        for (name, text) in [
+            ("table1", table1()),
+            ("table3", table3()),
+            ("table4", table4()),
+            ("figure7", figure7()),
+            ("codepaths", codepaths()),
+        ] {
+            assert!(text.lines().count() > 4, "{name} too short:\n{text}");
+        }
+    }
+
+    #[test]
+    fn table3_contains_paper_values() {
+        let t = table3();
+        assert!(t.contains("paper 2.23"));
+        assert!(t.contains("paper 10.08%"));
+    }
+
+    #[test]
+    fn table2_shows_fp16_nlp_and_alp() {
+        let t = table2();
+        assert!(t.contains("FP16"));
+        assert!(t.contains("+"), "offline column should show ALP combos:\n{t}");
+    }
+}

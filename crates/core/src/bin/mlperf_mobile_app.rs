@@ -1,0 +1,182 @@
+//! `mlperf-mobile-app` — the headless benchmark application.
+//!
+//! The paper's Section 4.3: "For laptops, submitters can build a native
+//! command-line application... The number of samples necessary for
+//! performance mode and for accuracy mode remains identical to the number
+//! in the smartphone scenario. The only difference is the absence of a
+//! graphical user interface." This is that application, for simulated
+//! devices.
+//!
+//! ```sh
+//! cargo run --release -p mlperf-mobile --bin mlperf-mobile-app -- \
+//!     --chip dimensity-1100 --version v1.0 --scale 512 --offline
+//! cargo run --release -p mlperf-mobile --bin mlperf-mobile-app -- --list
+//! ```
+
+use mlperf_mobile::app::{run_suite, AppConfig};
+use mlperf_mobile::harness::RunRules;
+use mlperf_mobile::report::format_report;
+use mlperf_mobile::sut_impl::DatasetScale;
+use mlperf_mobile::task::SuiteVersion;
+use soc_sim::catalog::ChipId;
+use std::process::ExitCode;
+
+fn chip_slug(chip: ChipId) -> String {
+    chip.to_string()
+        .to_lowercase()
+        .replace('+', "-plus")
+        .replace(' ', "-")
+        .replace("--", "-")
+}
+
+fn chip_by_slug(slug: &str) -> Option<ChipId> {
+    ChipId::ALL.into_iter().find(|&c| chip_slug(c) == slug.to_lowercase())
+}
+
+fn usage() -> &'static str {
+    "usage: mlperf-mobile-app [--list] [--chip <slug>] [--version v0.7|v1.0]\n\
+     \u{20}                       [--scale <n>|full] [--offline] [--ambient <degC>]\n\
+     \u{20}                       [--battery <0..1>]\n\
+     \n\
+     --list       print the device catalog and exit\n\
+     --chip       device slug (default dimensity-1100)\n\
+     --version    suite version (default matches the chip's generation)\n\
+     --scale      validation-set size per task, or 'full' (default 2048;\n\
+     \u{20}             reduced sets add sampling noise near the tight gates)\n\
+     --offline    also run the offline scenario for classification\n\
+     --ambient    room temperature; the rules require 20-25 degC\n\
+     --battery    initial state of charge (default 1.0 = full, per rules)"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut chip = ChipId::Dimensity1100;
+    let mut version: Option<SuiteVersion> = None;
+    let mut scale = DatasetScale::Reduced(2048);
+    let mut offline = false;
+    let mut rules = RunRules::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                println!("device catalog:");
+                for c in ChipId::ALL {
+                    let soc = c.build();
+                    println!(
+                        "  {:24} {} ({}, {})",
+                        chip_slug(c),
+                        soc,
+                        c.generation(),
+                        if soc.is_laptop { "laptop" } else { "smartphone" },
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--chip" => {
+                i += 1;
+                let Some(slug) = args.get(i) else {
+                    eprintln!("{}", usage());
+                    return ExitCode::from(2);
+                };
+                match chip_by_slug(slug) {
+                    Some(c) => chip = c,
+                    None => {
+                        eprintln!("unknown chip {slug:?}; try --list");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--version" => {
+                i += 1;
+                version = match args.get(i).map(String::as_str) {
+                    Some("v0.7") => Some(SuiteVersion::V0_7),
+                    Some("v1.0") => Some(SuiteVersion::V1_0),
+                    _ => {
+                        eprintln!("--version takes v0.7 or v1.0");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("full") => DatasetScale::Full,
+                    Some(n) => match n.parse::<usize>() {
+                        Ok(n) if n > 0 => DatasetScale::Reduced(n),
+                        _ => {
+                            eprintln!("--scale takes a positive integer or 'full'");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("{}", usage());
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--offline" => offline = true,
+            "--ambient" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(t) => rules.ambient_c = t,
+                    None => {
+                        eprintln!("--ambient takes a temperature in degC");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--battery" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(b) if (0.0..=1.0).contains(&b) => rules.battery_soc = Some(b),
+                    _ => {
+                        eprintln!("--battery takes a state of charge in [0, 1]");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let version = version.unwrap_or(match chip.generation() {
+        soc_sim::catalog::Generation::V0_7 => SuiteVersion::V0_7,
+        soc_sim::catalog::Generation::V1_0 => SuiteVersion::V1_0,
+    });
+    if !rules.ambient_compliant() {
+        eprintln!(
+            "warning: ambient {:.1} degC is outside the 20-25 degC run rules; \
+             the result will not be a valid submission",
+            rules.ambient_c
+        );
+    }
+    let config = AppConfig { rules, offline_classification: offline };
+    println!("running MLPerf Mobile {version} on {chip} ...");
+    match run_suite(chip, version, &config, scale) {
+        Ok(report) => {
+            print!("{}", format_report(&report));
+            for s in &report.scores {
+                if s.power_saving_entered {
+                    println!(
+                        "note: {} ran in battery power-saving mode — recharge and rerun",
+                        s.def.task
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("benchmark failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! `mlperf-mobile` — a Rust reproduction of the MLPerf Mobile inference
+//! benchmark (MLSys 2022).
+//!
+//! This is the top-level harness tying the substrates together:
+//!
+//! - [`task`]: the Table 1 suite (tasks, reference models, quality gates),
+//! - [`sut_impl`]: the device SUT binding a compiled backend deployment to
+//!   a simulated SoC and synthetic datasets,
+//! - [`sim_infer`]: the statistical quality model producing predictions
+//!   that the real metrics score,
+//! - [`harness`]: the accuracy-then-performance run flow with run rules,
+//! - [`app`]: the full-suite "mobile app" with per-vendor backend
+//!   selection (Table 2),
+//! - [`audit`]: submission validation and independent reproduction
+//!   (Section 6.2),
+//! - [`related`]: the Table 4 comparison matrix,
+//! - [`report`]: plain-text result rendering.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mlperf_mobile::app::{run_suite, AppConfig};
+//! use mlperf_mobile::sut_impl::DatasetScale;
+//! use mlperf_mobile::task::SuiteVersion;
+//! use soc_sim::catalog::ChipId;
+//!
+//! let report = run_suite(
+//!     ChipId::Dimensity1100,
+//!     SuiteVersion::V1_0,
+//!     &AppConfig::default(),
+//!     DatasetScale::Full,
+//! )?;
+//! println!("{}", mlperf_mobile::report::format_report(&report));
+//! # Ok::<(), mobile_backend::backend::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ai_tax;
+pub mod app;
+pub mod audit;
+pub mod extensions;
+pub mod harness;
+pub mod related;
+pub mod report;
+pub mod sim_infer;
+pub mod submission;
+pub mod sut_impl;
+pub mod task;
+
+pub use app::{run_suite, submission_backend, AppConfig, SuiteReport};
+pub use ai_tax::{host_stage_time, EndToEndSut};
+pub use extensions::{extended_suite, extension_defs};
+pub use submission::{Date, SubmissionEntry, SubmissionRegistry};
+pub use audit::{audit, AuditFinding, AuditReport, SubmissionPackage};
+pub use harness::{run_benchmark, BenchmarkScore, RunRules};
+pub use sut_impl::{DatasetScale, DeviceSut, Prediction, TaskData};
+pub use task::{suite, BenchmarkDef, SuiteVersion, Task};

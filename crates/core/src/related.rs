@@ -1,0 +1,111 @@
+//! The related-work comparison matrix (paper Table 4): which mobile AI
+//! benchmarks satisfy which of the five requirements.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five requirements of paper Section 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Requirement {
+    /// Req. 1: system-level ML benchmark (not micro-benchmarks).
+    SystemLevel,
+    /// Req. 2: accuracy first, performance at a minimum quality target.
+    AccuracyFirst,
+    /// Req. 3: open source with auditable submissions.
+    OpenSource,
+    /// Req. 4: supports vendor backends/SDKs and delegates.
+    VendorBackends,
+    /// Req. 5: driven and audited by the industry.
+    IndustryDriven,
+}
+
+impl Requirement {
+    /// All requirements in table-column order.
+    pub const ALL: [Requirement; 5] = [
+        Requirement::SystemLevel,
+        Requirement::AccuracyFirst,
+        Requirement::OpenSource,
+        Requirement::VendorBackends,
+        Requirement::IndustryDriven,
+    ];
+}
+
+impl fmt::Display for Requirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Requirement::SystemLevel => "Req. 1 (system-level)",
+            Requirement::AccuracyFirst => "Req. 2 (accuracy-first)",
+            Requirement::OpenSource => "Req. 3 (open source)",
+            Requirement::VendorBackends => "Req. 4 (vendor backends)",
+            Requirement::IndustryDriven => "Req. 5 (industry-driven)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchmarkComparison {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Requirement satisfaction, in [`Requirement::ALL`] order.
+    pub satisfies: [bool; 5],
+}
+
+impl BenchmarkComparison {
+    /// Whether this benchmark meets every requirement.
+    #[must_use]
+    pub fn meets_all(&self) -> bool {
+        self.satisfies.iter().all(|&s| s)
+    }
+}
+
+/// Table 4, verbatim.
+#[must_use]
+pub fn table4() -> Vec<BenchmarkComparison> {
+    vec![
+        BenchmarkComparison { name: "Aitutu", satisfies: [true, false, false, true, false] },
+        BenchmarkComparison { name: "AI-Benchmark", satisfies: [true, false, false, false, false] },
+        BenchmarkComparison { name: "AIMark", satisfies: [true, false, false, true, false] },
+        BenchmarkComparison { name: "Android MLTS", satisfies: [false, false, true, true, false] },
+        BenchmarkComparison { name: "GeekBenchML", satisfies: [true, false, false, false, false] },
+        BenchmarkComparison { name: "Neural Scope", satisfies: [true, false, false, false, false] },
+        BenchmarkComparison { name: "TF Lite", satisfies: [false, false, true, true, false] },
+        BenchmarkComparison { name: "UL Procyon AI", satisfies: [true, false, false, false, false] },
+        BenchmarkComparison { name: "Xiaomi", satisfies: [true, false, true, false, false] },
+        BenchmarkComparison { name: "MLPerf Mobile", satisfies: [true, true, true, true, true] },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_mlperf_meets_all() {
+        let rows = table4();
+        let full: Vec<&str> = rows.iter().filter(|r| r.meets_all()).map(|r| r.name).collect();
+        assert_eq!(full, vec!["MLPerf Mobile"]);
+    }
+
+    #[test]
+    fn every_other_benchmark_misses_something() {
+        // Paper: "the other benchmarks are each missing at least one major
+        // feature requirement".
+        for row in table4() {
+            if row.name != "MLPerf Mobile" {
+                assert!(!row.meets_all(), "{} should miss a requirement", row.name);
+                // And specifically nobody else is accuracy-first or
+                // industry-driven.
+                assert!(!row.satisfies[1], "{}", row.name);
+                assert!(!row.satisfies[4], "{}", row.name);
+            }
+        }
+    }
+
+    #[test]
+    fn ten_rows_five_columns() {
+        assert_eq!(table4().len(), 10);
+        assert_eq!(Requirement::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,300 @@
+//! Rolling submissions (paper Appendix E): a registry of results that can
+//! be appended between formal rounds, "allowing up-to-date and consistent
+//! reporting of the AI performance".
+//!
+//! Entries are validated on admission (quality gate + rule compliance) and
+//! the registry serializes to JSON for publication — the transparency
+//! requirement of the paper's Section 8.
+
+use crate::harness::BenchmarkScore;
+use crate::task::{SuiteVersion, Task};
+use mobile_backend::backend::BackendId;
+use serde::{Deserialize, Serialize};
+use soc_sim::catalog::ChipId;
+use std::collections::BTreeMap;
+
+/// A calendar date (no time-of-day; submission windows are day-granular).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    /// Year.
+    pub year: u16,
+    /// Month (1-12).
+    pub month: u8,
+    /// Day (1-31).
+    pub day: u8,
+}
+
+impl Date {
+    /// Creates a date.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range month/day.
+    #[must_use]
+    pub fn new(year: u16, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month out of range");
+        assert!((1..=31).contains(&day), "day out of range");
+        Date { year, month, day }
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// One published result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmissionEntry {
+    /// Submission date.
+    pub date: Date,
+    /// Submitting organization.
+    pub submitter: String,
+    /// Platform.
+    pub chip: ChipId,
+    /// Suite version the result targets.
+    pub version: SuiteVersion,
+    /// Task.
+    pub task: Task,
+    /// Code path used.
+    pub backend: BackendId,
+    /// Single-stream p90 latency (ms).
+    pub latency_ms: f64,
+    /// Offline throughput (FPS), when submitted.
+    pub offline_fps: Option<f64>,
+    /// Measured accuracy (metric units).
+    pub accuracy: f64,
+}
+
+impl SubmissionEntry {
+    /// Builds an entry from a harness score.
+    #[must_use]
+    pub fn from_score(date: Date, submitter: &str, version: SuiteVersion, score: &BenchmarkScore) -> Self {
+        SubmissionEntry {
+            date,
+            submitter: submitter.to_owned(),
+            chip: score.chip,
+            version,
+            task: score.def.task,
+            backend: score.backend,
+            latency_ms: score.latency_ms(),
+            offline_fps: score.offline.as_ref().map(|o| o.throughput_fps),
+            accuracy: score.accuracy,
+        }
+    }
+}
+
+/// Why the registry refused an entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// Accuracy below the task's quality gate — the paper's accuracy-first
+    /// rule: such results "will indeed mislead the industry".
+    BelowQualityGate {
+        /// Claimed accuracy.
+        accuracy: f64,
+        /// Required target.
+        target: f64,
+    },
+    /// Duplicate of an existing entry (same submitter/chip/task/version
+    /// and date).
+    Duplicate,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::BelowQualityGate { accuracy, target } => {
+                write!(f, "accuracy {accuracy:.4} below quality target {target:.4}")
+            }
+            RejectReason::Duplicate => write!(f, "duplicate submission"),
+        }
+    }
+}
+
+/// The rolling-submission registry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SubmissionRegistry {
+    entries: Vec<SubmissionEntry>,
+}
+
+impl SubmissionRegistry {
+    /// Empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        SubmissionRegistry::default()
+    }
+
+    /// All entries, in admission order.
+    #[must_use]
+    pub fn entries(&self) -> &[SubmissionEntry] {
+        &self.entries
+    }
+
+    /// Admits an entry after checking the quality gate and duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejection reason; the registry is unchanged on error.
+    pub fn submit(&mut self, entry: SubmissionEntry) -> Result<(), RejectReason> {
+        let target = crate::extensions::extended_suite(entry.version)
+            .into_iter()
+            .find(|d| d.task == entry.task)
+            .map(|d| d.quality_target())
+            .unwrap_or(0.0);
+        if entry.accuracy < target {
+            return Err(RejectReason::BelowQualityGate { accuracy: entry.accuracy, target });
+        }
+        let dup = self.entries.iter().any(|e| {
+            e.submitter == entry.submitter
+                && e.chip == entry.chip
+                && e.task == entry.task
+                && e.version == entry.version
+                && e.date == entry.date
+        });
+        if dup {
+            return Err(RejectReason::Duplicate);
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// The best (lowest-latency) valid entry per task, as of `cutoff`.
+    #[must_use]
+    pub fn leaderboard(&self, version: SuiteVersion, cutoff: Date) -> BTreeMap<Task, SubmissionEntry> {
+        let mut best: BTreeMap<Task, SubmissionEntry> = BTreeMap::new();
+        for e in &self.entries {
+            if e.version != version || e.date > cutoff {
+                continue;
+            }
+            match best.get(&e.task) {
+                Some(cur) if cur.latency_ms <= e.latency_ms => {}
+                _ => {
+                    best.insert(e.task, e.clone());
+                }
+            }
+        }
+        best
+    }
+
+    /// Latency history for one (chip, task), date-ordered — the
+    /// generational trend data technical roadmaps like IRDS consume
+    /// (paper Appendix E).
+    #[must_use]
+    pub fn history(&self, chip: ChipId, task: Task) -> Vec<(Date, f64)> {
+        let mut points: Vec<(Date, f64)> = self
+            .entries
+            .iter()
+            .filter(|e| e.chip == chip && e.task == task)
+            .map(|e| (e.date, e.latency_ms))
+            .collect();
+        points.sort_by_key(|&(d, _)| d);
+        points
+    }
+
+    /// Serializes the registry to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never for these types.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("registry serializes")
+    }
+
+    /// Parses a registry from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON error for malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(day: u8, task: Task, latency: f64, accuracy: f64) -> SubmissionEntry {
+        SubmissionEntry {
+            date: Date::new(2021, 6, day),
+            submitter: "Acme".into(),
+            chip: ChipId::Snapdragon888,
+            version: SuiteVersion::V1_0,
+            task,
+            backend: BackendId::Snpe,
+            latency_ms: latency,
+            offline_fps: None,
+            accuracy,
+        }
+    }
+
+    #[test]
+    fn quality_gate_enforced_on_admission() {
+        let mut reg = SubmissionRegistry::new();
+        // Classification gate is 0.7467: a 70% result is refused.
+        let err = reg.submit(entry(1, Task::ImageClassification, 1.9, 0.70)).unwrap_err();
+        assert!(matches!(err, RejectReason::BelowQualityGate { .. }));
+        assert!(reg.entries().is_empty());
+        // A compliant result is admitted.
+        reg.submit(entry(1, Task::ImageClassification, 1.9, 0.751)).unwrap();
+        assert_eq!(reg.entries().len(), 1);
+    }
+
+    #[test]
+    fn duplicates_refused() {
+        let mut reg = SubmissionRegistry::new();
+        reg.submit(entry(1, Task::ImageClassification, 1.9, 0.751)).unwrap();
+        let err = reg.submit(entry(1, Task::ImageClassification, 1.8, 0.751)).unwrap_err();
+        assert_eq!(err, RejectReason::Duplicate);
+        // Same content on a later date is a rolling update, not a dup.
+        reg.submit(entry(2, Task::ImageClassification, 1.8, 0.751)).unwrap();
+    }
+
+    #[test]
+    fn leaderboard_respects_cutoff() {
+        let mut reg = SubmissionRegistry::new();
+        reg.submit(entry(1, Task::ImageClassification, 2.0, 0.751)).unwrap();
+        reg.submit(entry(10, Task::ImageClassification, 1.5, 0.751)).unwrap();
+        let early = reg.leaderboard(SuiteVersion::V1_0, Date::new(2021, 6, 5));
+        assert!((early[&Task::ImageClassification].latency_ms - 2.0).abs() < 1e-12);
+        let late = reg.leaderboard(SuiteVersion::V1_0, Date::new(2021, 6, 30));
+        assert!((late[&Task::ImageClassification].latency_ms - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn history_is_date_ordered() {
+        let mut reg = SubmissionRegistry::new();
+        reg.submit(entry(20, Task::ImageClassification, 1.5, 0.751)).unwrap();
+        reg.submit(entry(3, Task::ImageClassification, 2.0, 0.751)).unwrap();
+        let h = reg.history(ChipId::Snapdragon888, Task::ImageClassification);
+        assert_eq!(h.len(), 2);
+        assert!(h[0].0 < h[1].0);
+        assert!(h[0].1 > h[1].1, "latency improves over time");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut reg = SubmissionRegistry::new();
+        reg.submit(entry(1, Task::ImageClassification, 1.9, 0.751)).unwrap();
+        reg.submit(entry(2, Task::ImageSegmentation, 19.0, 0.54)).unwrap();
+        let text = reg.to_json();
+        let parsed = SubmissionRegistry::from_json(&text).unwrap();
+        assert_eq!(parsed, reg);
+    }
+
+    #[test]
+    fn extension_tasks_accepted() {
+        let mut reg = SubmissionRegistry::new();
+        reg.submit(entry(1, Task::SuperResolution, 60.0, 33.5)).unwrap();
+        let err = reg.submit(entry(2, Task::SuperResolution, 55.0, 30.0)).unwrap_err();
+        assert!(matches!(err, RejectReason::BelowQualityGate { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "month out of range")]
+    fn bad_date_rejected() {
+        let _ = Date::new(2021, 13, 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! The device-side SUT: a compiled deployment running on the simulated
+//! SoC, answering LoadGen queries with simulated latencies and
+//! quality-model predictions.
+
+use crate::sim_infer;
+use crate::task::{BenchmarkDef, Task};
+use mobile_backend::backend::Deployment;
+use mobile_data::datasets::{
+    Dataset, SyntheticAde20k, SyntheticCoco, SyntheticImageNet, SyntheticSquad,
+};
+use mobile_data::extended::{SyntheticDiv2k, SyntheticLibriSpeech};
+use mobile_data::image::Image;
+use mobile_data::types::{AnswerSpan, Detection, LabelMap};
+use loadgen::sut::SystemUnderTest;
+use quant::{quality::nominal_retention, Sensitivity};
+use soc_sim::executor::{run_offline, run_query};
+use soc_sim::soc::{Soc, SocState};
+use soc_sim::time::SimDuration;
+
+/// Offline batch size used when amortizing per-query overheads.
+pub const OFFLINE_BATCH: usize = 32;
+
+/// How large the synthetic validation sets are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetScale {
+    /// Full paper-sized splits (50k / 5k / 2k / 2k).
+    Full,
+    /// Reduced splits for fast tests and examples.
+    Reduced(usize),
+}
+
+impl DatasetScale {
+    fn len(self, full: usize) -> usize {
+        match self {
+            DatasetScale::Full => full,
+            DatasetScale::Reduced(n) => n.min(full).max(1),
+        }
+    }
+}
+
+/// Task-specific dataset + prediction state.
+#[derive(Debug, Clone)]
+pub enum TaskData {
+    /// ImageNet classification.
+    Classification(SyntheticImageNet),
+    /// COCO detection.
+    Detection(SyntheticCoco),
+    /// ADE20K segmentation with the calibrated per-pixel accuracy.
+    Segmentation(SyntheticAde20k, f64),
+    /// SQuAD question answering.
+    Qa(SyntheticSquad),
+    /// Speech recognition (extension task).
+    Speech(SyntheticLibriSpeech),
+    /// Super-resolution with the calibrated noise sigma (extension task).
+    SuperRes(SyntheticDiv2k, f64),
+}
+
+impl TaskData {
+    /// Number of validation samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            TaskData::Classification(d) => d.len(),
+            TaskData::Detection(d) => d.len(),
+            TaskData::Segmentation(d, _) => d.len(),
+            TaskData::Qa(d) => d.len(),
+            TaskData::Speech(d) => d.len(),
+            TaskData::SuperRes(d, _) => d.len(),
+        }
+    }
+
+    /// Whether the dataset is empty (never).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A task-specific prediction, scored later by the real metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Prediction {
+    /// Predicted class label.
+    Class(u32),
+    /// Predicted detections.
+    Detections(Vec<Detection>),
+    /// Predicted segmentation map.
+    Map(LabelMap),
+    /// Predicted answer span.
+    Span(AnswerSpan),
+    /// Predicted transcript (word ids).
+    Transcript(Vec<u32>),
+    /// Reconstructed high-resolution image.
+    Reconstruction(Image),
+}
+
+/// A deployment + simulated SoC bound to a benchmark's dataset.
+#[derive(Debug)]
+pub struct DeviceSut {
+    /// SoC description.
+    pub soc: Soc,
+    /// Compiled deployment under test.
+    pub deployment: Deployment,
+    /// Mutable device state (thermal, energy) — persists across queries.
+    pub state: SocState,
+    /// Dataset and quality-model state.
+    pub data: TaskData,
+    /// Achieved quality level (FP32 quality x numerics retention).
+    pub target_quality: f64,
+    seed: u64,
+}
+
+impl DeviceSut {
+    /// Binds a deployment to a benchmark definition.
+    ///
+    /// The achieved quality is the FP32 reference quality degraded by the
+    /// deployment scheme's retention (the `quant` quality model).
+    #[must_use]
+    pub fn new(
+        soc: Soc,
+        deployment: Deployment,
+        def: &BenchmarkDef,
+        scale: DatasetScale,
+        seed: u64,
+        ambient_c: f64,
+    ) -> Self {
+        let retention = nominal_retention(deployment.scheme, Sensitivity::for_model(def.model));
+        let target_quality = def.fp32_quality * retention;
+        let data = match def.task {
+            Task::ImageClassification => TaskData::Classification(SyntheticImageNet::with_len(
+                seed,
+                scale.len(mobile_data::datasets::IMAGENET_VAL_LEN),
+            )),
+            Task::ObjectDetection => TaskData::Detection(SyntheticCoco::with_len(
+                seed,
+                scale.len(mobile_data::datasets::COCO_VAL_LEN),
+            )),
+            Task::ImageSegmentation => {
+                let ds = SyntheticAde20k::with_params(
+                    seed,
+                    scale.len(mobile_data::datasets::ADE20K_VAL_LEN),
+                    64,
+                );
+                let pixel_acc = sim_infer::pixel_accuracy_for_miou(&ds, target_quality);
+                TaskData::Segmentation(ds, pixel_acc)
+            }
+            Task::QuestionAnswering => TaskData::Qa(SyntheticSquad::with_len(
+                seed,
+                scale.len(mobile_data::datasets::SQUAD_MINI_DEV_LEN),
+            )),
+            Task::SpeechRecognition => TaskData::Speech(SyntheticLibriSpeech::with_len(
+                seed,
+                scale.len(mobile_data::extended::SPEECH_DEV_LEN),
+            )),
+            Task::SuperResolution => {
+                // target_quality is PSNR in dB; invert to a noise level.
+                // Reduced-scale SR datasets also shrink the image so tests
+                // stay fast (class statistics are resolution independent).
+                let (h, w) = match scale {
+                    DatasetScale::Full => (720, 1280),
+                    DatasetScale::Reduced(_) => (72, 128),
+                };
+                let ds = SyntheticDiv2k::with_params(
+                    seed,
+                    scale.len(mobile_data::extended::SR_VAL_LEN),
+                    h,
+                    w,
+                );
+                let sigma = mobile_metrics::psnr::noise_sigma_for_psnr(target_quality, 1.0);
+                TaskData::SuperRes(ds, sigma)
+            }
+        };
+        let state = soc.new_state(ambient_c);
+        DeviceSut { soc, deployment, state, data, target_quality, seed }
+    }
+
+    fn predict(&self, sample_index: usize) -> Prediction {
+        match &self.data {
+            TaskData::Classification(d) => {
+                Prediction::Class(sim_infer::classify(d, sample_index, self.target_quality, self.seed))
+            }
+            TaskData::Detection(d) => {
+                Prediction::Detections(sim_infer::detect(d, sample_index, self.target_quality, self.seed))
+            }
+            TaskData::Segmentation(d, pixel_acc) => {
+                Prediction::Map(sim_infer::segment(d, sample_index, *pixel_acc, self.seed))
+            }
+            TaskData::Qa(d) => {
+                Prediction::Span(sim_infer::answer(d, sample_index, self.target_quality, self.seed))
+            }
+            TaskData::Speech(d) => Prediction::Transcript(sim_infer::transcribe(
+                d,
+                sample_index,
+                self.target_quality,
+                self.seed,
+            )),
+            TaskData::SuperRes(d, sigma) => {
+                Prediction::Reconstruction(sim_infer::reconstruct(d, sample_index, *sigma, self.seed))
+            }
+        }
+    }
+}
+
+impl SystemUnderTest for DeviceSut {
+    type Response = Prediction;
+
+    fn issue_query(&mut self, sample_index: usize) -> (SimDuration, Prediction) {
+        let result = run_query(
+            &self.soc,
+            &self.deployment.graph,
+            &self.deployment.schedule,
+            &mut self.state,
+        );
+        (result.latency, self.predict(sample_index))
+    }
+
+    fn issue_batch(&mut self, sample_indices: &[usize]) -> (SimDuration, Vec<Prediction>) {
+        let result = run_offline(
+            &self.soc,
+            &self.deployment.graph,
+            &self.deployment.offline_streams,
+            &mut self.state,
+            sample_indices.len() as u64,
+            OFFLINE_BATCH,
+        );
+        let predictions = sample_indices.iter().map(|&i| self.predict(i)).collect();
+        (result.duration, predictions)
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "{} / {} / {} on {}",
+            self.soc.name,
+            self.deployment.backend,
+            self.deployment.scheme,
+            self.deployment.accelerator_summary(&self.soc),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{suite, SuiteVersion};
+    use mobile_backend::backend::Backend;
+    use mobile_backend::backends::Neuron;
+    use soc_sim::catalog::ChipId;
+
+    fn sut_for(task_index: usize) -> DeviceSut {
+        let soc = ChipId::Dimensity1100.build();
+        let def = &suite(SuiteVersion::V1_0)[task_index];
+        let deployment = Neuron.compile(&def.model.build(), &soc).unwrap();
+        DeviceSut::new(soc, deployment, def, DatasetScale::Reduced(64), 42, 22.0)
+    }
+
+    #[test]
+    fn query_returns_latency_and_prediction() {
+        let mut sut = sut_for(0);
+        let (d, p) = sut.issue_query(0);
+        assert!(d.as_millis_f64() > 0.5);
+        assert!(matches!(p, Prediction::Class(_)));
+    }
+
+    #[test]
+    fn each_task_produces_its_prediction_kind() {
+        let kinds: Vec<Prediction> = (0..4)
+            .map(|i| sut_for(i).issue_query(0).1)
+            .collect();
+        assert!(matches!(kinds[0], Prediction::Class(_)));
+        assert!(matches!(kinds[1], Prediction::Detections(_)));
+        assert!(matches!(kinds[2], Prediction::Map(_)));
+        assert!(matches!(kinds[3], Prediction::Span(_)));
+    }
+
+    #[test]
+    fn thermal_state_persists_across_queries() {
+        let mut sut = sut_for(2); // segmentation: heavy
+        let t0 = sut.state.thermal.temperature_c();
+        for _ in 0..50 {
+            let _ = sut.issue_query(0);
+        }
+        assert!(sut.state.thermal.temperature_c() > t0);
+    }
+
+    #[test]
+    fn batch_uses_offline_streams() {
+        let mut sut = sut_for(0);
+        let samples: Vec<usize> = (0..64).map(|i| i % 64).collect();
+        let (d, preds) = sut.issue_batch(&samples);
+        assert_eq!(preds.len(), 64);
+        assert!(d > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn description_names_the_stack() {
+        let sut = sut_for(0);
+        let desc = sut.description();
+        assert!(desc.contains("Dimensity 1100"));
+        assert!(desc.contains("Neuron"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Benchmark tasks and the suite definition (paper Table 1).
+
+use nn_graph::models::ModelId;
+use serde::{Deserialize, Serialize};
+use soc_sim::catalog::Generation;
+use std::fmt;
+
+/// The four ML task areas of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Task {
+    /// ImageNet classification (224x224).
+    ImageClassification,
+    /// COCO object detection (300/320).
+    ObjectDetection,
+    /// ADE20K semantic segmentation (512x512).
+    ImageSegmentation,
+    /// SQuAD v1.1 question answering (seq 384).
+    QuestionAnswering,
+    /// Speech recognition (extension task, paper Appendix E).
+    SpeechRecognition,
+    /// 2x super-resolution (extension task, paper Appendix E).
+    SuperResolution,
+}
+
+impl Task {
+    /// The four tasks of the published suite, in the order the app runs
+    /// them.
+    pub const ALL: [Task; 4] = [
+        Task::ImageClassification,
+        Task::ObjectDetection,
+        Task::ImageSegmentation,
+        Task::QuestionAnswering,
+    ];
+
+    /// The extension tasks (paper Appendix E: speech and super-resolution).
+    pub const EXTENSIONS: [Task; 2] = [Task::SpeechRecognition, Task::SuperResolution];
+
+    /// Name of the task's quality metric.
+    #[must_use]
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Task::ImageClassification => "Top-1 accuracy",
+            Task::ObjectDetection => "mAP",
+            Task::ImageSegmentation => "mIoU",
+            Task::QuestionAnswering => "F1",
+            Task::SpeechRecognition => "word accuracy (1 - WER)",
+            Task::SuperResolution => "PSNR (dB)",
+        }
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Task::ImageClassification => "Image classification",
+            Task::ObjectDetection => "Object detection",
+            Task::ImageSegmentation => "Semantic segmentation",
+            Task::QuestionAnswering => "Question answering",
+            Task::SpeechRecognition => "Speech recognition",
+            Task::SuperResolution => "Super-resolution",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Suite version (maps 1:1 to the hardware [`Generation`]s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SuiteVersion {
+    /// First round, late 2020.
+    V0_7,
+    /// Second round, mid 2021 (detection model upgraded to MobileDets).
+    V1_0,
+}
+
+impl SuiteVersion {
+    /// Both versions.
+    pub const ALL: [SuiteVersion; 2] = [SuiteVersion::V0_7, SuiteVersion::V1_0];
+
+    /// The hardware generation that submitted to this version.
+    #[must_use]
+    pub fn generation(self) -> Generation {
+        match self {
+            SuiteVersion::V0_7 => Generation::V0_7,
+            SuiteVersion::V1_0 => Generation::V1_0,
+        }
+    }
+}
+
+impl fmt::Display for SuiteVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteVersion::V0_7 => f.write_str("v0.7"),
+            SuiteVersion::V1_0 => f.write_str("v1.0"),
+        }
+    }
+}
+
+/// One row of paper Table 1: a task with its reference model, dataset and
+/// quality gate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkDef {
+    /// Task area.
+    pub task: Task,
+    /// Reference model.
+    pub model: ModelId,
+    /// Dataset description.
+    pub dataset: String,
+    /// FP32 reference quality (metric units, e.g. 0.7619 Top-1).
+    pub fp32_quality: f64,
+    /// Minimum fraction of FP32 quality a submission must retain.
+    pub target_fraction: f64,
+}
+
+impl BenchmarkDef {
+    /// The absolute minimum quality a submission must reach.
+    #[must_use]
+    pub fn quality_target(&self) -> f64 {
+        self.fp32_quality * self.target_fraction
+    }
+}
+
+/// The Table 1 suite for a version.
+#[must_use]
+pub fn suite(version: SuiteVersion) -> Vec<BenchmarkDef> {
+    let detection = match version {
+        // v0.7: SSD-MobileNet v2, 93% of FP32 (24.4 mAP -> 22.7 target).
+        SuiteVersion::V0_7 => BenchmarkDef {
+            task: Task::ObjectDetection,
+            model: ModelId::SsdMobileNetV2,
+            dataset: "COCO 2017 (300x300)".to_owned(),
+            fp32_quality: 0.244,
+            target_fraction: 0.93,
+        },
+        // v1.0: MobileDets, 95% of FP32 (28.5 mAP -> 27.1 target).
+        SuiteVersion::V1_0 => BenchmarkDef {
+            task: Task::ObjectDetection,
+            model: ModelId::MobileDetSsd,
+            dataset: "COCO 2017 (320x320)".to_owned(),
+            fp32_quality: 0.285,
+            target_fraction: 0.95,
+        },
+    };
+    vec![
+        BenchmarkDef {
+            task: Task::ImageClassification,
+            model: ModelId::MobileNetEdgeTpu,
+            dataset: "ImageNet 2012 (224x224)".to_owned(),
+            fp32_quality: 0.7619,
+            target_fraction: 0.98,
+        },
+        detection,
+        BenchmarkDef {
+            task: Task::ImageSegmentation,
+            model: ModelId::DeepLabV3Plus,
+            dataset: "ADE20K (512x512)".to_owned(),
+            fp32_quality: 0.548,
+            target_fraction: 0.97,
+        },
+        BenchmarkDef {
+            task: Task::QuestionAnswering,
+            model: ModelId::MobileBert,
+            dataset: "Mini SQuAD v1.1 dev".to_owned(),
+            fp32_quality: 0.9398,
+            target_fraction: 0.93,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_four_tasks() {
+        for v in SuiteVersion::ALL {
+            let s = suite(v);
+            assert_eq!(s.len(), 4);
+            let tasks: Vec<Task> = s.iter().map(|b| b.task).collect();
+            assert_eq!(tasks, Task::ALL.to_vec());
+        }
+    }
+
+    #[test]
+    fn detection_model_upgraded_in_v10() {
+        let v07 = suite(SuiteVersion::V0_7);
+        let v10 = suite(SuiteVersion::V1_0);
+        assert_eq!(v07[1].model, ModelId::SsdMobileNetV2);
+        assert_eq!(v10[1].model, ModelId::MobileDetSsd);
+        // More stringent quality target in v1.0 (paper Table 1 caption).
+        assert!(v10[1].target_fraction > v07[1].target_fraction);
+        assert!(v10[1].fp32_quality > v07[1].fp32_quality);
+    }
+
+    #[test]
+    fn quality_targets_match_table1() {
+        let s = suite(SuiteVersion::V0_7);
+        // 98% of 76.19% Top-1 = 74.66%.
+        assert!((s[0].quality_target() - 0.7467).abs() < 1e-3);
+        // 93% of 24.4 mAP = 22.7.
+        assert!((s[1].quality_target() - 0.227).abs() < 1e-3);
+        // 97% of 54.8 mIoU = 53.2.
+        assert!((s[2].quality_target() - 0.5316).abs() < 1e-3);
+        // 93% of 93.98 F1 = 87.4.
+        assert!((s[3].quality_target() - 0.874).abs() < 1e-3);
+    }
+
+    #[test]
+    fn all_targets_above_93_percent() {
+        // Paper Section 8: "Our targets are all >93% FP32".
+        for v in SuiteVersion::ALL {
+            for b in suite(v) {
+                assert!(b.target_fraction >= 0.93, "{:?}", b.task);
+            }
+        }
+    }
+
+    #[test]
+    fn versions_map_to_generations() {
+        assert_eq!(SuiteVersion::V0_7.generation(), Generation::V0_7);
+        assert_eq!(SuiteVersion::V1_0.generation(), Generation::V1_0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The submission checker: validates that a run's logs comply with the run
+//! rules (paper Sections 4.3 and 6).
+//!
+//! "The application generates logs consistent with MLPerf rules, validated
+//! by the submission checker."
+
+use crate::log::{LogRecord, RunLog};
+use crate::scenario::{Scenario, TestMode, TestSettings};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rule violation found in a run log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// Log does not begin with a test-start record.
+    MissingStart,
+    /// Log does not end with a test-end record.
+    MissingEnd,
+    /// Fewer queries than the rules require.
+    TooFewQueries {
+        /// Queries found.
+        got: u64,
+        /// Queries required.
+        required: u64,
+    },
+    /// Run shorter than the minimum duration.
+    TooShort {
+        /// Duration found (ns).
+        got_ns: u64,
+        /// Required duration (ns).
+        required_ns: u64,
+    },
+    /// Offline burst smaller than required.
+    ShortBurst {
+        /// Samples found.
+        got: u64,
+        /// Samples required.
+        required: u64,
+    },
+    /// The wrong seed was used (sample selection not reproducible).
+    WrongSeed {
+        /// Seed found.
+        got: u64,
+        /// Seed expected.
+        expected: u64,
+    },
+    /// Query count in the end record disagrees with logged queries.
+    InconsistentQueryCount {
+        /// Count from the end record.
+        declared: u64,
+        /// Count of query records.
+        logged: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MissingStart => write!(f, "log missing test-start record"),
+            Violation::MissingEnd => write!(f, "log missing test-end record"),
+            Violation::TooFewQueries { got, required } => {
+                write!(f, "only {got} queries, {required} required")
+            }
+            Violation::TooShort { got_ns, required_ns } => write!(
+                f,
+                "run lasted {:.2}s, {:.2}s required",
+                *got_ns as f64 / 1e9,
+                *required_ns as f64 / 1e9
+            ),
+            Violation::ShortBurst { got, required } => {
+                write!(f, "offline burst of {got} samples, {required} required")
+            }
+            Violation::WrongSeed { got, expected } => {
+                write!(f, "seed {got} used, {expected} expected")
+            }
+            Violation::InconsistentQueryCount { declared, logged } => {
+                write!(f, "end record declares {declared} queries but {logged} were logged")
+            }
+        }
+    }
+}
+
+/// Checks a run log against the rules.
+///
+/// A log may contain several tests back to back (the app appends the
+/// offline run after single-stream); each `TestStart..TestEnd` segment is
+/// checked independently. Returns every violation found (empty =
+/// compliant).
+#[must_use]
+pub fn check_log(log: &RunLog, settings: &TestSettings) -> Vec<Violation> {
+    let records = log.records();
+    if !matches!(records.first(), Some(LogRecord::TestStart { .. })) {
+        return vec![Violation::MissingStart];
+    }
+    // Split into segments at TestStart records.
+    let mut segments: Vec<RunLog> = Vec::new();
+    for r in records {
+        if matches!(r, LogRecord::TestStart { .. }) {
+            segments.push(RunLog::new());
+        }
+        segments.last_mut().expect("starts with TestStart").push(r.clone());
+    }
+    segments
+        .iter()
+        .flat_map(|seg| check_segment(seg, settings))
+        .collect()
+}
+
+fn check_segment(log: &RunLog, settings: &TestSettings) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let records = log.records();
+
+    let Some(LogRecord::TestStart { scenario, mode, seed, .. }) = records.first() else {
+        return vec![Violation::MissingStart];
+    };
+    if *seed != settings.seed {
+        violations.push(Violation::WrongSeed { got: *seed, expected: settings.seed });
+    }
+
+    let Some(LogRecord::TestEnd { queries, duration_ns }) = records.last() else {
+        violations.push(Violation::MissingEnd);
+        return violations;
+    };
+
+    match (scenario, mode) {
+        (Scenario::SingleStream, TestMode::Performance) => {
+            if *queries < settings.min_query_count {
+                violations.push(Violation::TooFewQueries {
+                    got: *queries,
+                    required: settings.min_query_count,
+                });
+            }
+            if *duration_ns < settings.min_duration.as_nanos() {
+                violations.push(Violation::TooShort {
+                    got_ns: *duration_ns,
+                    required_ns: settings.min_duration.as_nanos(),
+                });
+            }
+            let logged = log.latencies_ns().len() as u64;
+            if logged != *queries {
+                violations.push(Violation::InconsistentQueryCount {
+                    declared: *queries,
+                    logged,
+                });
+            }
+        }
+        (Scenario::Offline, TestMode::Performance) => {
+            let burst = records.iter().find_map(|r| match r {
+                LogRecord::BurstComplete { samples, .. } => Some(*samples),
+                _ => None,
+            });
+            match burst {
+                Some(samples) if samples >= settings.offline_sample_count => {}
+                Some(samples) => violations.push(Violation::ShortBurst {
+                    got: samples,
+                    required: settings.offline_sample_count,
+                }),
+                None => violations.push(Violation::ShortBurst {
+                    got: 0,
+                    required: settings.offline_sample_count,
+                }),
+            }
+        }
+        (_, TestMode::Accuracy) => {
+            // Accuracy mode has no minimum-duration rule; coverage of the
+            // whole dataset is enforced by the harness, which knows the
+            // dataset length.
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{run_offline_scenario, run_single_stream};
+    use crate::sut::ConstantSut;
+    use soc_sim::time::SimDuration;
+
+    #[test]
+    fn compliant_single_stream_passes() {
+        let mut sut = ConstantSut::new(SimDuration::from_millis(10));
+        let mut log = RunLog::new();
+        let settings = TestSettings::default();
+        let _ = run_single_stream(&mut sut, 1000, &settings, &mut log);
+        assert!(check_log(&log, &settings).is_empty());
+    }
+
+    #[test]
+    fn compliant_offline_passes() {
+        let mut sut = ConstantSut::new(SimDuration::from_micros(50));
+        let mut log = RunLog::new();
+        let settings = TestSettings::default();
+        let _ = run_offline_scenario(&mut sut, 1000, &settings, &mut log);
+        assert!(check_log(&log, &settings).is_empty());
+    }
+
+    #[test]
+    fn smoke_settings_flagged_against_real_rules() {
+        // A run produced with scaled-down smoke settings must NOT pass the
+        // real rules.
+        let mut sut = ConstantSut::new(SimDuration::from_millis(1));
+        let mut log = RunLog::new();
+        let smoke = TestSettings::smoke_test();
+        let _ = run_single_stream(&mut sut, 100, &smoke, &mut log);
+        let real = TestSettings { seed: smoke.seed, ..TestSettings::default() };
+        // (seed matched to isolate the count/duration violations)
+        let violations = check_log(&log, &real);
+        assert!(violations.iter().any(|v| matches!(v, Violation::TooFewQueries { .. })));
+        assert!(violations.iter().any(|v| matches!(v, Violation::TooShort { .. })));
+    }
+
+    #[test]
+    fn wrong_seed_detected() {
+        let mut sut = ConstantSut::new(SimDuration::from_millis(10));
+        let mut log = RunLog::new();
+        let mut settings = TestSettings::default();
+        let _ = run_single_stream(&mut sut, 1000, &settings, &mut log);
+        settings.seed = 999; // auditor expects a different published seed
+        let violations = check_log(&log, &settings);
+        assert!(violations.iter().any(|v| matches!(v, Violation::WrongSeed { .. })));
+    }
+
+    #[test]
+    fn truncated_log_detected() {
+        let mut sut = ConstantSut::new(SimDuration::from_millis(10));
+        let mut log = RunLog::new();
+        let settings = TestSettings::default();
+        let _ = run_single_stream(&mut sut, 1000, &settings, &mut log);
+        // Drop the final record — "unedited logs" rule.
+        let text = log.to_json_lines();
+        let truncated: Vec<&str> = text.lines().collect();
+        let truncated = truncated[..truncated.len() - 1].join("\n");
+        let tampered = RunLog::from_json_lines(&truncated).unwrap();
+        assert!(!check_log(&tampered, &settings).is_empty());
+    }
+
+    #[test]
+    fn empty_log_fails() {
+        assert_eq!(
+            check_log(&RunLog::new(), &TestSettings::default()),
+            vec![Violation::MissingStart]
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! The LoadGen run loops (paper Section 4).
+//!
+//! Single-stream: inject one query, wait for completion, record, repeat —
+//! until at least `min_query_count` samples AND `min_duration` of simulated
+//! time have elapsed. Offline: one burst of `offline_sample_count` samples.
+//! Accuracy mode feeds the entire validation set. All on the simulated
+//! clock.
+
+use crate::log::{LogRecord, RunLog};
+use crate::scenario::{Scenario, TestMode, TestSettings};
+use crate::sut::SystemUnderTest;
+use mobile_metrics::latency::LatencyStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use soc_sim::time::{SimDuration, SimInstant};
+
+/// Performance-mode result for one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceResult {
+    /// Scenario measured.
+    pub scenario: Scenario,
+    /// Queries issued.
+    pub queries: u64,
+    /// Total simulated duration.
+    pub duration: SimDuration,
+    /// Latency statistics (meaningful for single-stream).
+    pub latency: LatencyStats,
+    /// Average throughput in samples/second (the offline score).
+    pub throughput_fps: f64,
+}
+
+impl PerformanceResult {
+    /// The scenario's headline score: p90 latency (ms) for single-stream,
+    /// throughput (FPS) for offline.
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        match self.scenario {
+            Scenario::SingleStream => self.latency.score_ms(),
+            Scenario::Offline => self.throughput_fps,
+        }
+    }
+}
+
+/// Accuracy-mode result: every validation sample's prediction.
+#[derive(Debug, Clone)]
+pub struct AccuracyResult<R> {
+    /// Predictions indexed by dataset sample index.
+    pub predictions: Vec<(usize, R)>,
+    /// Total simulated duration of the accuracy pass.
+    pub duration: SimDuration,
+}
+
+/// Selects the performance sample set: `n` indices drawn by the seeded RNG
+/// from the dataset — "a seed and random-number generator allows the
+/// LoadGen to select samples, precluding unrealistic data-set-specific
+/// optimizations".
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+#[must_use]
+pub fn performance_sample_set(seed: u64, dataset_len: usize, n: u64) -> Vec<usize> {
+    assert!(dataset_len > 0, "empty dataset");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..dataset_len)).collect()
+}
+
+/// Runs the single-stream performance scenario.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn run_single_stream<S: SystemUnderTest>(
+    sut: &mut S,
+    dataset_len: usize,
+    settings: &TestSettings,
+    log: &mut RunLog,
+) -> PerformanceResult {
+    log.start(
+        Scenario::SingleStream,
+        TestMode::Performance,
+        settings.seed,
+        sut.description(),
+    );
+    let samples = performance_sample_set(settings.seed, dataset_len, settings.min_query_count);
+    let mut now = SimInstant::EPOCH;
+    let mut latencies = Vec::new();
+    let mut queries = 0u64;
+    // Repeat until both the sample count and the minimum duration are met.
+    'outer: loop {
+        for &s in &samples {
+            let (latency, _response) = sut.issue_query(s);
+            log.query(now, s, latency);
+            now += latency;
+            latencies.push(latency.as_nanos());
+            queries += 1;
+            if queries >= settings.min_query_count
+                && now.duration_since(SimInstant::EPOCH) >= settings.min_duration
+            {
+                break 'outer;
+            }
+        }
+    }
+    let duration = now.duration_since(SimInstant::EPOCH);
+    log.push(LogRecord::TestEnd { queries, duration_ns: duration.as_nanos() });
+    PerformanceResult {
+        scenario: Scenario::SingleStream,
+        queries,
+        duration,
+        latency: LatencyStats::from_latencies(&latencies),
+        throughput_fps: queries as f64 / duration.as_secs_f64(),
+    }
+}
+
+/// Runs the offline performance scenario: one burst.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn run_offline_scenario<S: SystemUnderTest>(
+    sut: &mut S,
+    dataset_len: usize,
+    settings: &TestSettings,
+    log: &mut RunLog,
+) -> PerformanceResult {
+    log.start(
+        Scenario::Offline,
+        TestMode::Performance,
+        settings.seed,
+        sut.description(),
+    );
+    let samples =
+        performance_sample_set(settings.seed, dataset_len, settings.offline_sample_count);
+    let (duration, responses) = sut.issue_batch(&samples);
+    assert_eq!(responses.len(), samples.len(), "SUT must answer every sample");
+    log.push(LogRecord::BurstComplete {
+        samples: samples.len() as u64,
+        duration_ns: duration.as_nanos(),
+    });
+    log.push(LogRecord::TestEnd {
+        queries: samples.len() as u64,
+        duration_ns: duration.as_nanos(),
+    });
+    let per_query: Vec<u64> =
+        vec![duration.as_nanos() / samples.len() as u64; samples.len().min(4)];
+    PerformanceResult {
+        scenario: Scenario::Offline,
+        queries: samples.len() as u64,
+        duration,
+        latency: LatencyStats::from_latencies(&per_query),
+        throughput_fps: samples.len() as f64 / duration.as_secs_f64(),
+    }
+}
+
+/// Runs accuracy mode: the entire validation set, each sample once.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn run_accuracy<S: SystemUnderTest>(
+    sut: &mut S,
+    dataset_len: usize,
+    settings: &TestSettings,
+    log: &mut RunLog,
+) -> AccuracyResult<S::Response> {
+    assert!(dataset_len > 0, "empty dataset");
+    log.start(
+        Scenario::SingleStream,
+        TestMode::Accuracy,
+        settings.seed,
+        sut.description(),
+    );
+    let mut now = SimInstant::EPOCH;
+    let mut predictions = Vec::with_capacity(dataset_len);
+    for s in 0..dataset_len {
+        let (latency, response) = sut.issue_query(s);
+        now += latency;
+        predictions.push((s, response));
+    }
+    let duration = now.duration_since(SimInstant::EPOCH);
+    log.push(LogRecord::TestEnd { queries: dataset_len as u64, duration_ns: duration.as_nanos() });
+    AccuracyResult { predictions, duration }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sut::ConstantSut;
+
+    #[test]
+    fn single_stream_meets_min_duration() {
+        // 100 ms per query, 60 s minimum -> at least 600 queries even
+        // though min_query_count is 1024... both constraints bind.
+        let mut sut = ConstantSut::new(SimDuration::from_millis(100));
+        let mut log = RunLog::new();
+        let settings = TestSettings::default();
+        let r = run_single_stream(&mut sut, 5000, &settings, &mut log);
+        assert!(r.queries >= 1024);
+        assert!(r.duration >= SimDuration::from_secs(60));
+        // 1024 queries at 100ms = 102.4s > 60s: count binds.
+        assert_eq!(r.queries, 1024);
+    }
+
+    #[test]
+    fn single_stream_extends_past_count_for_duration() {
+        // 1 ms per query: 1024 queries = 1.024 s << 60 s, so the LoadGen
+        // keeps issuing until 60 s pass.
+        let mut sut = ConstantSut::new(SimDuration::from_millis(1));
+        let mut log = RunLog::new();
+        let settings = TestSettings::default();
+        let r = run_single_stream(&mut sut, 5000, &settings, &mut log);
+        assert!(r.queries >= 60_000, "queries {}", r.queries);
+        assert!(r.duration >= SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn single_stream_p90_of_constant_is_constant() {
+        let mut sut = ConstantSut::new(SimDuration::from_millis(7));
+        let mut log = RunLog::new();
+        let r = run_single_stream(&mut sut, 100, &TestSettings::smoke_test(), &mut log);
+        assert_eq!(r.latency.p90_ns, 7_000_000);
+        assert!((r.score() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offline_issues_24576() {
+        let mut sut = ConstantSut::new(SimDuration::from_micros(100));
+        let mut log = RunLog::new();
+        let r = run_offline_scenario(&mut sut, 50_000, &TestSettings::default(), &mut log);
+        assert_eq!(r.queries, 24_576);
+        assert_eq!(sut.queries_served, 24_576);
+        // 100us per sample sequentially -> 10k fps.
+        assert!((r.throughput_fps - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn accuracy_covers_entire_dataset() {
+        let mut sut = ConstantSut::new(SimDuration::from_micros(10));
+        let mut log = RunLog::new();
+        let r = run_accuracy(&mut sut, 1234, &TestSettings::smoke_test(), &mut log);
+        assert_eq!(r.predictions.len(), 1234);
+        // Every sample exactly once, in order.
+        assert!(r.predictions.iter().enumerate().all(|(i, (s, _))| i == *s));
+    }
+
+    #[test]
+    fn sample_selection_is_seeded() {
+        let a = performance_sample_set(1, 1000, 64);
+        let b = performance_sample_set(1, 1000, 64);
+        let c = performance_sample_set(2, 1000, 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn log_records_every_query() {
+        let mut sut = ConstantSut::new(SimDuration::from_millis(2));
+        let mut log = RunLog::new();
+        let r = run_single_stream(&mut sut, 100, &TestSettings::smoke_test(), &mut log);
+        assert_eq!(log.latencies_ns().len() as u64, r.queries);
+    }
+}

@@ -1,0 +1,102 @@
+//! Scenarios, modes and test settings (paper Sections 4.2 and 6.1).
+
+use serde::{Deserialize, Serialize};
+use soc_sim::time::SimDuration;
+use std::fmt;
+
+/// Execution scenario — how the LoadGen offers work to the SUT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// One query at a time, sample size one; the interactive smartphone
+    /// pattern. Scored as 90th-percentile latency.
+    SingleStream,
+    /// All samples delivered in one burst; batched/concurrent processing.
+    /// Scored as average throughput.
+    Offline,
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scenario::SingleStream => f.write_str("single-stream"),
+            Scenario::Offline => f.write_str("offline"),
+        }
+    }
+}
+
+/// Whether the run measures performance or verifies accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TestMode {
+    /// Steady-state performance over the performance sample set.
+    Performance,
+    /// The entire validation set is fed through the SUT.
+    Accuracy,
+}
+
+impl fmt::Display for TestMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestMode::Performance => f.write_str("performance"),
+            TestMode::Accuracy => f.write_str("accuracy"),
+        }
+    }
+}
+
+/// LoadGen configuration. Defaults encode the paper's run rules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestSettings {
+    /// Samples in the performance set / minimum single-stream queries
+    /// (run rules: at least 1024).
+    pub min_query_count: u64,
+    /// Minimum single-stream run time (run rules: 60 seconds).
+    pub min_duration: SimDuration,
+    /// Samples issued in one offline burst (run rules: 24 576).
+    pub offline_sample_count: u64,
+    /// Seed for the sample-selection RNG, "precluding unrealistic
+    /// data-set-specific optimizations".
+    pub seed: u64,
+}
+
+impl Default for TestSettings {
+    fn default() -> Self {
+        TestSettings {
+            min_query_count: 1024,
+            min_duration: SimDuration::from_secs(60),
+            offline_sample_count: 24_576,
+            seed: 0x4D4C_5065_7266, // "MLPerf"
+        }
+    }
+}
+
+impl TestSettings {
+    /// Settings scaled down for fast unit tests (NOT rule-compliant; the
+    /// submission checker will flag results produced with these).
+    #[must_use]
+    pub fn smoke_test() -> Self {
+        TestSettings {
+            min_query_count: 32,
+            min_duration: SimDuration::from_millis(50),
+            offline_sample_count: 256,
+            seed: 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_run_rules() {
+        let s = TestSettings::default();
+        assert_eq!(s.min_query_count, 1024);
+        assert_eq!(s.min_duration, SimDuration::from_secs(60));
+        assert_eq!(s.offline_sample_count, 24_576);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Scenario::SingleStream.to_string(), "single-stream");
+        assert_eq!(TestMode::Accuracy.to_string(), "accuracy");
+    }
+}

@@ -1,0 +1,94 @@
+//! The system-under-test interface (paper Figure 4).
+//!
+//! The LoadGen is deliberately ignorant of what the SUT is — a phone app
+//! driving an NPU, a laptop command-line binary, or (here) a simulated SoC.
+//! It issues sample indices and receives per-query durations plus opaque
+//! responses that accuracy mode scores later.
+
+use soc_sim::time::SimDuration;
+
+/// A system under test.
+///
+/// `Response` is the task-specific prediction payload (class label,
+/// detection list, label map, answer span) consumed by the accuracy
+/// pipeline; performance mode discards it.
+pub trait SystemUnderTest {
+    /// Task-specific prediction type.
+    type Response;
+
+    /// Runs one inference on the sample with the given dataset index,
+    /// returning the simulated latency and the prediction.
+    fn issue_query(&mut self, sample_index: usize) -> (SimDuration, Self::Response);
+
+    /// Runs a batched burst (offline scenario). The default issues the
+    /// samples sequentially; SUTs with accelerator-level parallelism
+    /// override this to run concurrent streams.
+    fn issue_batch(&mut self, sample_indices: &[usize]) -> (SimDuration, Vec<Self::Response>) {
+        let mut total = SimDuration::ZERO;
+        let mut responses = Vec::with_capacity(sample_indices.len());
+        for &i in sample_indices {
+            let (d, r) = self.issue_query(i);
+            total += d;
+            responses.push(r);
+        }
+        (total, responses)
+    }
+
+    /// Human-readable SUT description for the logs.
+    fn description(&self) -> String {
+        "unnamed SUT".to_owned()
+    }
+}
+
+/// A deterministic synthetic SUT for LoadGen self-tests: fixed latency,
+/// echoes the sample index.
+#[derive(Debug, Clone)]
+pub struct ConstantSut {
+    /// Latency returned for every query.
+    pub latency: SimDuration,
+    /// Number of queries served so far.
+    pub queries_served: u64,
+}
+
+impl ConstantSut {
+    /// Creates a SUT with the given fixed latency.
+    #[must_use]
+    pub fn new(latency: SimDuration) -> Self {
+        ConstantSut { latency, queries_served: 0 }
+    }
+}
+
+impl SystemUnderTest for ConstantSut {
+    type Response = usize;
+
+    fn issue_query(&mut self, sample_index: usize) -> (SimDuration, usize) {
+        self.queries_served += 1;
+        (self.latency, sample_index)
+    }
+
+    fn description(&self) -> String {
+        format!("constant-latency SUT ({})", self.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sut_counts_queries() {
+        let mut sut = ConstantSut::new(SimDuration::from_millis(5));
+        let (d, r) = sut.issue_query(42);
+        assert_eq!(d, SimDuration::from_millis(5));
+        assert_eq!(r, 42);
+        assert_eq!(sut.queries_served, 1);
+    }
+
+    #[test]
+    fn default_batch_sums_latencies() {
+        let mut sut = ConstantSut::new(SimDuration::from_millis(2));
+        let (d, rs) = sut.issue_batch(&[1, 2, 3]);
+        assert_eq!(d, SimDuration::from_millis(6));
+        assert_eq!(rs, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,48 @@
+use mobile_backend::backend::Backend;
+use mobile_backend::backends::*;
+use mobile_backend::registry::{create, vendor_backend};
+use nn_graph::models::ModelId;
+use soc_sim::catalog::ChipId;
+
+fn main() {
+    for chip in ChipId::ALL {
+        let soc = chip.build();
+        let be = create(vendor_backend(&soc).unwrap());
+        println!("{:16} [{}]", chip.to_string(), be.id());
+        for model in [ModelId::MobileNetEdgeTpu, ModelId::SsdMobileNetV2, ModelId::MobileDetSsd, ModelId::DeepLabV3Plus, ModelId::MobileBert] {
+            let g = model.build();
+            match be.compile(&g, &soc) {
+                Ok(dep) => println!("   {:6}={:8.2}ms  {:10} {:12} {}st {}tr", short(model), dep.estimate_ms(&soc), dep.scheme.to_string(), dep.accelerator_summary(&soc), dep.schedule.num_stages(), dep.schedule.num_transitions()),
+                Err(e) => println!("   {:6}=ERR({e})", short(model)),
+            }
+        }
+    }
+    let soc = ChipId::Dimensity1100.build();
+    for model in [ModelId::MobileNetEdgeTpu, ModelId::MobileDetSsd, ModelId::DeepLabV3Plus] {
+        let g = model.build();
+        let n = Nnapi::default().compile(&g, &soc).unwrap();
+        let d = Neuron.compile(&g, &soc).unwrap();
+        println!("Dim1100 {:?}: nnapi={:.2}ms neuron={:.2}ms delta={:.2}%", model,
+            n.estimate_ms(&soc), d.estimate_ms(&soc),
+            (n.estimate_ms(&soc)/d.estimate_ms(&soc)-1.0)*100.0);
+    }
+    let soc = ChipId::CoreI7_1165G7.build();
+    for model in ModelId::ALL {
+        let g = model.build();
+        let dep = OpenVino.compile(&g, &soc).unwrap();
+        let first = soc.engine(dep.schedule.stages[0].engine).kind;
+        println!("i7-1165G7 {:?}: {:.2}ms on {} ({} streams)", model, dep.estimate_ms(&soc), first, dep.offline_streams.len());
+    }
+}
+
+fn short(m: ModelId) -> &'static str {
+    match m {
+        ModelId::MobileNetEdgeTpu => "cls",
+        ModelId::SsdMobileNetV2 => "det7",
+        ModelId::MobileDetSsd => "det10",
+        ModelId::DeepLabV3Plus => "seg",
+        ModelId::MobileBert => "nlp",
+        ModelId::MobileRnnt => "asr",
+        ModelId::EdsrMobile => "sr",
+    }
+}

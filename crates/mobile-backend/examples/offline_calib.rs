@@ -1,0 +1,22 @@
+use mobile_backend::backend::Backend;
+use mobile_backend::backends::{Enn, Snpe, OpenVino};
+use nn_graph::models::ModelId;
+use soc_sim::catalog::ChipId;
+use soc_sim::executor::run_offline;
+
+fn main() {
+    let g = ModelId::MobileNetEdgeTpu.build();
+    for (chip, be) in [
+        (ChipId::Exynos990, Box::new(Enn) as Box<dyn Backend>),
+        (ChipId::Snapdragon865Plus, Box::new(Snpe)),
+        (ChipId::CoreI7_1165G7, Box::new(OpenVino)),
+    ] {
+        let soc = chip.build();
+        let dep = be.compile(&g, &soc).unwrap();
+        let mut state = soc.new_state(22.0);
+        let r = run_offline(&soc, &dep.graph, &dep.offline_streams, &mut state, 24_576, 32);
+        println!("{:18} offline cls: {:7.1} fps  ({} streams, {:.0}% throttled, {:.1}s)",
+            chip.to_string(), r.throughput_fps, dep.offline_streams.len(),
+            r.throttled_fraction*100.0, r.duration.as_secs_f64());
+    }
+}

@@ -1,0 +1,36 @@
+//! Backend layer for the MLPerf Mobile reproduction.
+//!
+//! Implements the paper's backend abstraction (Figure 5): vendor SDKs
+//! (SNPE, ENN, Neuron), generic frameworks (TFLite CPU/GPU, NNAPI) and the
+//! laptop path (OpenVINO), all driving a simulated SoC through real graph
+//! partitioning, cost-based engine selection, and framework-specific
+//! overheads.
+//!
+//! # Examples
+//!
+//! ```
+//! use mobile_backend::backend::Backend;
+//! use mobile_backend::backends::Neuron;
+//! use nn_graph::models::ModelId;
+//! use soc_sim::catalog::ChipId;
+//!
+//! let soc = ChipId::Dimensity1100.build();
+//! let deployment = Neuron.compile(&ModelId::MobileNetEdgeTpu.build(), &soc)?;
+//! println!("runs on {} at {}", deployment.accelerator_summary(&soc), deployment.scheme);
+//! # Ok::<(), mobile_backend::backend::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod backend;
+pub mod backends;
+pub mod optimize;
+pub mod partition;
+pub mod registry;
+
+pub use backend::{Backend, BackendId, CompileError, Deployment};
+pub use backends::{DriverQuality, Enn, Neuron, Nnapi, OpenVino, Snpe, TfliteCpu, TfliteGpu};
+pub use optimize::{optimize, OptimizeStats};
+pub use partition::{partition, FallbackPolicy, PartitionPlan, Target};
+pub use registry::{available_backends, create, vendor_backend, ALL_BACKENDS};

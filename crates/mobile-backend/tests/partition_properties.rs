@@ -1,0 +1,162 @@
+//! Property tests over the partitioner: every valid plan on every catalog
+//! SoC must yield a complete, ordered, executable schedule, and the
+//! fallback policies must preserve those invariants under arbitrary
+//! parameters.
+
+use mobile_backend::partition::{partition, FallbackPolicy, PartitionPlan, Target};
+use nn_graph::builder::GraphBuilder;
+use nn_graph::graph::retype;
+use nn_graph::models::ModelId;
+use nn_graph::{Activation, DataType, Graph, Shape};
+use proptest::prelude::*;
+use soc_sim::catalog::ChipId;
+use soc_sim::engine::EngineKind;
+use soc_sim::executor::estimate_query_secs;
+
+/// A small random CNN whose depth/width vary per seed.
+fn random_graph(blocks: usize, base_channels: usize, with_postproc: bool) -> Graph {
+    let mut b = GraphBuilder::new("prop", Shape::nhwc(32, 32, 3), DataType::F32);
+    let mut x = b.conv2d("stem", b.input_id(), 3, 2, base_channels, Activation::Relu6);
+    for i in 0..blocks {
+        let c = b.conv2d(&format!("c{i}"), x, 1, 1, base_channels * 2, Activation::Relu6);
+        let d = b.depthwise_conv2d(&format!("d{i}"), c, 3, 1, Activation::Relu6);
+        x = b.conv2d(&format!("p{i}"), d, 1, 1, base_channels, Activation::None);
+    }
+    if with_postproc {
+        let r = b.reshape("flat", x, Shape::new(&[1, 16 * 16 * base_channels]));
+        let dec = b.box_decode("decode", r, 64, 10);
+        let _ = b.nms("nms", dec, 64, 8);
+    } else {
+        let p = b.global_avg_pool("gap", x);
+        let _ = b.fully_connected("fc", p, 10, Activation::None);
+    }
+    b.finish()
+}
+
+fn policy_from(kind: u8, param: usize) -> FallbackPolicy {
+    if kind.is_multiple_of(2) {
+        FallbackPolicy::PingPong { sticky: param % 12 }
+    } else {
+        FallbackPolicy::Merge { window: param % 6 }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_plan_yields_valid_executable_schedule(
+        blocks in 1usize..6,
+        channels in 4usize..24,
+        with_postproc: bool,
+        chip_idx in 0usize..8,
+        policy_kind: u8,
+        policy_param in 0usize..16,
+        sync_us in 0.0f64..500.0,
+    ) {
+        let graph = retype(&random_graph(blocks, channels, with_postproc), DataType::U8);
+        let soc = ChipId::ALL[chip_idx].build();
+        let primary = soc
+            .engines()
+            .find(|(_, e)| e.kind.is_accelerator())
+            .map(|(id, _)| id)
+            .unwrap_or_else(|| soc.cpu());
+        let plan = PartitionPlan {
+            primary: Target { engine: primary, dtype: DataType::U8 },
+            fallbacks: vec![Target { engine: soc.cpu(), dtype: DataType::U8 }],
+            policy: policy_from(policy_kind, policy_param),
+            primary_blocked: Vec::new(),
+            sync_overhead_us: sync_us,
+            query_overhead_us: 0.0,
+        };
+        let schedule = partition(&graph, &soc, &plan).expect("CPU fallback covers everything");
+        prop_assert!(schedule.validate(&graph).is_ok());
+        // Every node scheduled exactly once.
+        let scheduled: usize = schedule.stages.iter().map(|s| s.nodes.len()).sum();
+        prop_assert_eq!(scheduled, graph.len());
+        // And the schedule is actually executable (estimator is total).
+        let secs = estimate_query_secs(&soc, &graph, &schedule);
+        prop_assert!(secs.is_finite() && secs > 0.0);
+    }
+
+    #[test]
+    fn latency_monotone_in_sync_overhead(
+        blocks in 1usize..5,
+        lo in 0.0f64..100.0,
+        delta in 1.0f64..400.0,
+    ) {
+        let graph = retype(&random_graph(blocks, 8, true), DataType::U8);
+        let soc = ChipId::Dimensity1100.build();
+        let npu = soc.engine_of_kind(EngineKind::Npu).expect("has NPU");
+        let mk = |sync: f64| PartitionPlan {
+            primary: Target { engine: npu, dtype: DataType::U8 },
+            fallbacks: vec![Target { engine: soc.cpu(), dtype: DataType::U8 }],
+            policy: FallbackPolicy::Merge { window: 2 },
+            primary_blocked: Vec::new(),
+            sync_overhead_us: sync,
+            query_overhead_us: 0.0,
+        };
+        let a = partition(&graph, &soc, &mk(lo)).expect("partitions");
+        let b = partition(&graph, &soc, &mk(lo + delta)).expect("partitions");
+        let ta = estimate_query_secs(&soc, &graph, &a);
+        let tb = estimate_query_secs(&soc, &graph, &b);
+        prop_assert!(tb >= ta, "sync {lo} -> {ta}, sync {} -> {tb}", lo + delta);
+    }
+
+    #[test]
+    fn blocking_classes_never_speeds_things_up(
+        blocks in 1usize..5,
+    ) {
+        use nn_graph::OpClass;
+        let graph = retype(&random_graph(blocks, 8, false), DataType::U8);
+        let soc = ChipId::Snapdragon888.build();
+        let hta = soc.engine_of_kind(EngineKind::Hta).expect("has HTA");
+        let mk = |blocked: Vec<OpClass>| PartitionPlan {
+            primary: Target { engine: hta, dtype: DataType::U8 },
+            fallbacks: vec![Target { engine: soc.cpu(), dtype: DataType::U8 }],
+            policy: FallbackPolicy::PingPong { sticky: 0 },
+            primary_blocked: blocked,
+            sync_overhead_us: 10.0,
+            query_overhead_us: 0.0,
+        };
+        let healthy = partition(&graph, &soc, &mk(Vec::new())).expect("partitions");
+        let broken =
+            partition(&graph, &soc, &mk(vec![OpClass::DepthwiseConv])).expect("partitions");
+        let th = estimate_query_secs(&soc, &graph, &healthy);
+        let tb = estimate_query_secs(&soc, &graph, &broken);
+        prop_assert!(tb >= th * 0.999, "healthy {th}, broken {tb}");
+    }
+}
+
+#[test]
+fn every_model_partitions_on_every_chip_with_every_policy() {
+    for chip in ChipId::ALL {
+        let soc = chip.build();
+        let primary = soc
+            .engines()
+            .find(|(_, e)| e.kind.is_accelerator())
+            .map(|(id, _)| id)
+            .unwrap_or_else(|| soc.cpu());
+        for model in ModelId::ALL {
+            let graph = retype(&model.build(), DataType::U8);
+            for policy in [
+                FallbackPolicy::PingPong { sticky: 0 },
+                FallbackPolicy::PingPong { sticky: 6 },
+                FallbackPolicy::Merge { window: 0 },
+                FallbackPolicy::Merge { window: 4 },
+            ] {
+                let plan = PartitionPlan {
+                    primary: Target { engine: primary, dtype: DataType::U8 },
+                    fallbacks: vec![Target { engine: soc.cpu(), dtype: DataType::U8 }],
+                    policy,
+                    primary_blocked: Vec::new(),
+                    sync_overhead_us: 20.0,
+                    query_overhead_us: 0.0,
+                };
+                let schedule = partition(&graph, &soc, &plan)
+                    .unwrap_or_else(|e| panic!("{chip:?}/{model:?}/{policy:?}: {e}"));
+                assert!(schedule.validate(&graph).is_ok(), "{chip:?}/{model:?}");
+            }
+        }
+    }
+}

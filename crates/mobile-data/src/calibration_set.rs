@@ -1,0 +1,95 @@
+//! Approved calibration-set selection (paper Section 5.1).
+//!
+//! "For each model, we specify a calibration data set (typically 500
+//! samples or images from the training or validation data set)...
+//! Submitters can only use the approved calibration data set." Selection is
+//! deterministic from a published seed so every submitter gets the same
+//! samples.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Size of the approved calibration set.
+pub const CALIBRATION_SET_SIZE: usize = 500;
+
+/// Deterministically selects the approved calibration sample indices from
+/// a dataset of `dataset_len` samples.
+///
+/// The same `(seed, dataset_len)` always yields the same set; indices are
+/// unique and sorted.
+///
+/// # Panics
+///
+/// Panics if the dataset is smaller than the requested set.
+#[must_use]
+pub fn approved_calibration_indices(seed: u64, dataset_len: usize, set_size: usize) -> Vec<usize> {
+    assert!(
+        dataset_len >= set_size,
+        "dataset ({dataset_len}) smaller than calibration set ({set_size})"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut all: Vec<usize> = (0..dataset_len).collect();
+    all.shuffle(&mut rng);
+    let mut chosen: Vec<usize> = all.into_iter().take(set_size).collect();
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Checks that a submitter's claimed calibration indices are exactly the
+/// approved set — the audit-side counterpart.
+#[must_use]
+pub fn is_approved_set(seed: u64, dataset_len: usize, claimed: &[usize]) -> bool {
+    if claimed.len() > dataset_len {
+        return false;
+    }
+    let approved = approved_calibration_indices(seed, dataset_len, claimed.len().min(dataset_len));
+    let mut sorted = claimed.to_vec();
+    sorted.sort_unstable();
+    sorted == approved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_selection() {
+        let a = approved_calibration_indices(42, 50_000, CALIBRATION_SET_SIZE);
+        let b = approved_calibration_indices(42, 50_000, CALIBRATION_SET_SIZE);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn indices_unique_and_in_range() {
+        let set = approved_calibration_indices(7, 5_000, 500);
+        let mut dedup = set.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), set.len());
+        assert!(set.iter().all(|&i| i < 5_000));
+    }
+
+    #[test]
+    fn different_seed_different_set() {
+        let a = approved_calibration_indices(1, 50_000, 500);
+        let b = approved_calibration_indices(2, 50_000, 500);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn audit_accepts_approved_rejects_other() {
+        let approved = approved_calibration_indices(9, 5_000, 500);
+        assert!(is_approved_set(9, 5_000, &approved));
+        let mut rogue = approved.clone();
+        rogue[0] += 1; // submitter sneaks in a favorable sample
+        // (may collide with rogue[1]; either way it is not the approved set)
+        assert!(!is_approved_set(9, 5_000, &rogue));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than calibration set")]
+    fn tiny_dataset_panics() {
+        let _ = approved_calibration_indices(0, 100, 500);
+    }
+}

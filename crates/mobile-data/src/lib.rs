@@ -1,0 +1,40 @@
+//! Synthetic stand-ins for the MLPerf Mobile datasets plus the real
+//! preprocessing and calibration-set machinery.
+//!
+//! ImageNet 2012, COCO 2017, ADE20K and SQuAD v1.1 are licensed datasets;
+//! per the substitution policy in DESIGN.md this crate generates seeded
+//! synthetic equivalents with full ground truth, while the preprocessing
+//! pipelines (resize / crop / normalize) and calibration-set selection are
+//! implemented for real and exercised by the benchmark code paths.
+//!
+//! # Examples
+//!
+//! ```
+//! use mobile_data::datasets::{Dataset, SyntheticImageNet};
+//! use mobile_data::preprocess::Pipeline;
+//!
+//! let imagenet = SyntheticImageNet::with_len(42, 100);
+//! let raw = imagenet.image(0);
+//! let tensor = Pipeline::Classification.apply(&raw);
+//! assert_eq!((tensor.height, tensor.width), (224, 224));
+//! assert!(imagenet.label(0) >= 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod calibration_set;
+pub mod datasets;
+pub mod extended;
+pub mod image;
+pub mod preprocess;
+pub mod types;
+
+pub use calibration_set::{approved_calibration_indices, is_approved_set, CALIBRATION_SET_SIZE};
+pub use datasets::{
+    Dataset, QaSample, SyntheticAde20k, SyntheticCoco, SyntheticImageNet, SyntheticSquad,
+};
+pub use extended::{SyntheticDiv2k, SyntheticLibriSpeech, Utterance};
+pub use image::Image;
+pub use preprocess::Pipeline;
+pub use types::{AnswerSpan, BBox, Detection, GtObject, LabelMap};

@@ -1,0 +1,120 @@
+//! Task preprocessing pipelines (paper Section 4.1).
+//!
+//! "The typical image-preprocessing tasks — such as resizing, cropping, and
+//! normalization — depend on the ML model... all submitters must follow the
+//! same steps." Each pipeline reproduces the reference implementation's
+//! stages for its task.
+
+use crate::image::Image;
+use serde::{Deserialize, Serialize};
+
+/// The preprocessing pipeline of one benchmark task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pipeline {
+    /// ImageNet classification: resize shorter side to 256-equivalent,
+    /// center-crop 224x224, normalize to [-1, 1].
+    Classification,
+    /// COCO detection v0.7: resize to 300x300, normalize.
+    DetectionV07,
+    /// COCO detection v1.0 (MobileDets): resize to 320x320, normalize.
+    DetectionV10,
+    /// ADE20K segmentation: crop/scale to 512x512, normalize.
+    Segmentation,
+}
+
+impl Pipeline {
+    /// Final spatial size produced by the pipeline.
+    #[must_use]
+    pub fn output_size(self) -> usize {
+        match self {
+            Pipeline::Classification => 224,
+            Pipeline::DetectionV07 => 300,
+            Pipeline::DetectionV10 => 320,
+            Pipeline::Segmentation => 512,
+        }
+    }
+
+    /// Applies the pipeline to a raw image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is smaller than the crop target (real raw
+    /// dataset images never are).
+    #[must_use]
+    pub fn apply(self, raw: &Image) -> Image {
+        let mean = [0.5, 0.5, 0.5];
+        let std = [0.5, 0.5, 0.5];
+        match self {
+            Pipeline::Classification => {
+                // Resize so the shorter side is 256, center-crop 224.
+                let (h, w) = scale_shorter_side(raw.height, raw.width, 256);
+                raw.resize_bilinear(h, w)
+                    .center_crop(224, 224)
+                    .normalize(&mean, &std)
+            }
+            Pipeline::DetectionV07 => raw.resize_bilinear(300, 300).normalize(&mean, &std),
+            Pipeline::DetectionV10 => raw.resize_bilinear(320, 320).normalize(&mean, &std),
+            Pipeline::Segmentation => {
+                // Scale the shorter side to 512 then center-crop 512x512.
+                let (h, w) = scale_shorter_side(raw.height, raw.width, 512);
+                raw.resize_bilinear(h, w)
+                    .center_crop(512, 512)
+                    .normalize(&mean, &std)
+            }
+        }
+    }
+}
+
+fn scale_shorter_side(h: usize, w: usize, target: usize) -> (usize, usize) {
+    if h <= w {
+        let scale = target as f64 / h as f64;
+        (target, (w as f64 * scale).round() as usize)
+    } else {
+        let scale = target as f64 / w as f64;
+        ((h as f64 * scale).round() as usize, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_yields_224() {
+        let raw = Image::synthetic(256, 384, 3, 1);
+        let out = Pipeline::Classification.apply(&raw);
+        assert_eq!((out.height, out.width, out.channels), (224, 224, 3));
+    }
+
+    #[test]
+    fn detection_sizes_match_model_generations() {
+        let raw = Image::synthetic(480, 640, 3, 2);
+        assert_eq!(Pipeline::DetectionV07.apply(&raw).height, 300);
+        assert_eq!(Pipeline::DetectionV10.apply(&raw).width, 320);
+        assert_eq!(Pipeline::DetectionV07.output_size(), 300);
+        assert_eq!(Pipeline::DetectionV10.output_size(), 320);
+    }
+
+    #[test]
+    fn segmentation_yields_512() {
+        let raw = Image::synthetic(512, 683, 3, 3);
+        let out = Pipeline::Segmentation.apply(&raw);
+        assert_eq!((out.height, out.width), (512, 512));
+    }
+
+    #[test]
+    fn output_is_normalized() {
+        let raw = Image::synthetic(256, 256, 3, 4);
+        let out = Pipeline::Classification.apply(&raw);
+        assert!(out.data.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        // And genuinely uses the negative half (not still [0,1]).
+        assert!(out.data.iter().any(|&v| v < -0.05));
+    }
+
+    #[test]
+    fn shorter_side_scaling_portrait_and_landscape() {
+        assert_eq!(scale_shorter_side(480, 640, 256), (256, 341));
+        assert_eq!(scale_shorter_side(640, 480, 256), (341, 256));
+        assert_eq!(scale_shorter_side(256, 256, 256), (256, 256));
+    }
+}

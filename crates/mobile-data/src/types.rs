@@ -1,0 +1,215 @@
+//! Ground-truth and prediction types shared between datasets and metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned box in normalized `[0, 1]` coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// Left edge.
+    pub x_min: f32,
+    /// Top edge.
+    pub y_min: f32,
+    /// Right edge.
+    pub x_max: f32,
+    /// Bottom edge.
+    pub y_max: f32,
+}
+
+impl BBox {
+    /// Creates a box, clamping to `[0, 1]` and enforcing min <= max.
+    #[must_use]
+    pub fn new(x_min: f32, y_min: f32, x_max: f32, y_max: f32) -> Self {
+        let x0 = x_min.clamp(0.0, 1.0);
+        let y0 = y_min.clamp(0.0, 1.0);
+        let x1 = x_max.clamp(0.0, 1.0).max(x0);
+        let y1 = y_max.clamp(0.0, 1.0).max(y0);
+        BBox { x_min: x0, y_min: y0, x_max: x1, y_max: y1 }
+    }
+
+    /// Box area.
+    #[must_use]
+    pub fn area(&self) -> f32 {
+        (self.x_max - self.x_min).max(0.0) * (self.y_max - self.y_min).max(0.0)
+    }
+
+    /// Intersection-over-union with another box.
+    #[must_use]
+    pub fn iou(&self, other: &BBox) -> f32 {
+        let ix0 = self.x_min.max(other.x_min);
+        let iy0 = self.y_min.max(other.y_min);
+        let ix1 = self.x_max.min(other.x_max);
+        let iy1 = self.y_max.min(other.y_max);
+        let inter = (ix1 - ix0).max(0.0) * (iy1 - iy0).max(0.0);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+/// A ground-truth object annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GtObject {
+    /// COCO category id (1..=90).
+    pub class: u32,
+    /// Bounding box.
+    pub bbox: BBox,
+}
+
+/// A predicted detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Predicted category id.
+    pub class: u32,
+    /// Confidence score in `[0, 1]`.
+    pub score: f32,
+    /// Predicted box.
+    pub bbox: BBox,
+}
+
+/// A dense per-pixel label map (segmentation ground truth or prediction).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelMap {
+    /// Height in pixels.
+    pub height: usize,
+    /// Width in pixels.
+    pub width: usize,
+    /// Row-major class labels.
+    pub labels: Vec<u8>,
+}
+
+impl LabelMap {
+    /// Allocates a map filled with class 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    #[must_use]
+    pub fn zeros(height: usize, width: usize) -> Self {
+        assert!(height > 0 && width > 0);
+        LabelMap { height, width, labels: vec![0; height * width] }
+    }
+
+    /// Label accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    #[must_use]
+    pub fn get(&self, y: usize, x: usize) -> u8 {
+        assert!(y < self.height && x < self.width);
+        self.labels[y * self.width + x]
+    }
+
+    /// Pixel count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the map is empty (never true for constructed maps).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// A SQuAD-style extractive answer span over passage tokens, inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnswerSpan {
+    /// First token index of the answer.
+    pub start: u32,
+    /// Last token index of the answer (inclusive).
+    pub end: u32,
+}
+
+impl AnswerSpan {
+    /// Creates a span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    #[must_use]
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(end >= start, "span end before start");
+        AnswerSpan { start, end }
+    }
+
+    /// Number of tokens in the span.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.end - self.start + 1
+    }
+
+    /// Spans are never empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Token overlap with another span.
+    #[must_use]
+    pub fn overlap(&self, other: &AnswerSpan) -> u32 {
+        let lo = self.start.max(other.start);
+        let hi = self.end.min(other.end);
+        if hi >= lo {
+            hi - lo + 1
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bbox_iou_identical() {
+        let b = BBox::new(0.1, 0.1, 0.5, 0.5);
+        assert!((b.iou(&b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bbox_iou_disjoint() {
+        let a = BBox::new(0.0, 0.0, 0.2, 0.2);
+        let b = BBox::new(0.5, 0.5, 0.9, 0.9);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn bbox_iou_half_overlap() {
+        let a = BBox::new(0.0, 0.0, 0.4, 0.4);
+        let b = BBox::new(0.2, 0.0, 0.6, 0.4);
+        // inter = 0.2*0.4 = 0.08; union = 0.16+0.16-0.08 = 0.24.
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bbox_clamps_and_orders() {
+        let b = BBox::new(0.8, -0.5, 0.2, 2.0);
+        assert!(b.x_max >= b.x_min);
+        assert!(b.y_min >= 0.0 && b.y_max <= 1.0);
+    }
+
+    #[test]
+    fn span_overlap() {
+        let a = AnswerSpan::new(5, 10);
+        let b = AnswerSpan::new(8, 12);
+        assert_eq!(a.overlap(&b), 3);
+        assert_eq!(a.len(), 6);
+        let c = AnswerSpan::new(20, 22);
+        assert_eq!(a.overlap(&c), 0);
+    }
+
+    #[test]
+    fn label_map_indexing() {
+        let mut m = LabelMap::zeros(4, 6);
+        m.labels[6 + 2] = 9;
+        assert_eq!(m.get(1, 2), 9);
+        assert_eq!(m.len(), 24);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Top-1 classification accuracy and SQuAD span metrics (F1 / exact match).
+
+use mobile_data::types::AnswerSpan;
+
+/// Top-1 accuracy: fraction of samples whose predicted label equals the
+/// ground truth.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn top1_accuracy(ground_truth: &[u32], predictions: &[u32]) -> f64 {
+    assert_eq!(ground_truth.len(), predictions.len(), "length mismatch");
+    assert!(!ground_truth.is_empty(), "no samples");
+    let correct = ground_truth
+        .iter()
+        .zip(predictions.iter())
+        .filter(|(g, p)| g == p)
+        .count();
+    correct as f64 / ground_truth.len() as f64
+}
+
+/// Top-K accuracy: the ground truth appears among the K ranked predictions.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+#[must_use]
+pub fn topk_accuracy(ground_truth: &[u32], ranked_predictions: &[Vec<u32>], k: usize) -> f64 {
+    assert_eq!(ground_truth.len(), ranked_predictions.len(), "length mismatch");
+    assert!(!ground_truth.is_empty(), "no samples");
+    let correct = ground_truth
+        .iter()
+        .zip(ranked_predictions.iter())
+        .filter(|(g, ranked)| ranked.iter().take(k).any(|p| p == *g))
+        .count();
+    correct as f64 / ground_truth.len() as f64
+}
+
+/// Token-level F1 between a predicted span and the ground truth — the
+/// SQuAD metric (paper Table 1 targets 93.98 F1 for FP32 MobileBERT).
+#[must_use]
+pub fn span_f1(ground_truth: &AnswerSpan, prediction: &AnswerSpan) -> f64 {
+    let overlap = f64::from(ground_truth.overlap(prediction));
+    if overlap == 0.0 {
+        return 0.0;
+    }
+    let precision = overlap / f64::from(prediction.len());
+    let recall = overlap / f64::from(ground_truth.len());
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Exact match: 1 if the spans are identical.
+#[must_use]
+pub fn span_exact_match(ground_truth: &AnswerSpan, prediction: &AnswerSpan) -> f64 {
+    if ground_truth == prediction {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Dataset-level SQuAD scores: `(f1, exact_match)` averaged over samples,
+/// both in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+#[must_use]
+pub fn squad_scores(ground_truth: &[AnswerSpan], predictions: &[AnswerSpan]) -> (f64, f64) {
+    assert_eq!(ground_truth.len(), predictions.len(), "length mismatch");
+    assert!(!ground_truth.is_empty(), "no samples");
+    let n = ground_truth.len() as f64;
+    let f1 = ground_truth
+        .iter()
+        .zip(predictions.iter())
+        .map(|(g, p)| span_f1(g, p))
+        .sum::<f64>()
+        / n;
+    let em = ground_truth
+        .iter()
+        .zip(predictions.iter())
+        .map(|(g, p)| span_exact_match(g, p))
+        .sum::<f64>()
+        / n;
+    (f1, em)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top1_basic() {
+        let gt = [1, 2, 3, 4];
+        let pred = [1, 2, 9, 4];
+        assert!((top1_accuracy(&gt, &pred) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topk_recovers_lower_ranked_hits() {
+        let gt = [5, 7];
+        let ranked = vec![vec![1, 5, 9], vec![7, 2, 3]];
+        assert!((topk_accuracy(&gt, &ranked, 1) - 0.5).abs() < 1e-12);
+        assert!((topk_accuracy(&gt, &ranked, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_accuracy_panics() {
+        let _ = top1_accuracy(&[], &[]);
+    }
+
+    #[test]
+    fn f1_exact_span_is_one() {
+        let s = AnswerSpan::new(10, 14);
+        assert!((span_f1(&s, &s) - 1.0).abs() < 1e-12);
+        assert_eq!(span_exact_match(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn f1_disjoint_is_zero() {
+        let a = AnswerSpan::new(0, 3);
+        let b = AnswerSpan::new(10, 12);
+        assert_eq!(span_f1(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn f1_partial_overlap() {
+        // GT 4 tokens [10..13], prediction 2 tokens [12..13]: overlap 2.
+        let gt = AnswerSpan::new(10, 13);
+        let pred = AnswerSpan::new(12, 13);
+        // precision 1.0, recall 0.5 -> F1 = 2/3.
+        assert!((span_f1(&gt, &pred) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(span_exact_match(&gt, &pred), 0.0);
+    }
+
+    #[test]
+    fn dataset_squad_scores() {
+        let gts = vec![AnswerSpan::new(0, 1), AnswerSpan::new(5, 8)];
+        let preds = vec![AnswerSpan::new(0, 1), AnswerSpan::new(7, 8)];
+        let (f1, em) = squad_scores(&gts, &preds);
+        assert_eq!(em, 0.5);
+        // Sample 2: overlap 2, precision 1, recall 0.5 -> 2/3.
+        assert!((f1 - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+}

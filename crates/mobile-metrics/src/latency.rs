@@ -1,0 +1,155 @@
+//! Latency and throughput statistics.
+//!
+//! The run rules (paper Section 6.1) score single-stream as the
+//! 90th-percentile latency over at least 1024 samples, and offline as
+//! average throughput over 24 576 samples. Percentiles follow the
+//! nearest-rank convention the LoadGen uses.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of per-query latencies (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub count: usize,
+    /// Minimum (ns).
+    pub min_ns: u64,
+    /// Mean (ns).
+    pub mean_ns: u64,
+    /// Median / p50 (ns).
+    pub p50_ns: u64,
+    /// 90th percentile — the benchmark's single-stream score (ns).
+    pub p90_ns: u64,
+    /// 99th percentile (ns).
+    pub p99_ns: u64,
+    /// Maximum (ns).
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Computes statistics from raw latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    #[must_use]
+    pub fn from_latencies(latencies_ns: &[u64]) -> Self {
+        assert!(!latencies_ns.is_empty(), "no latencies");
+        let mut sorted = latencies_ns.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&v| u128::from(v)).sum();
+        LatencyStats {
+            count,
+            min_ns: sorted[0],
+            mean_ns: (sum / count as u128) as u64,
+            p50_ns: percentile_nearest_rank(&sorted, 50.0),
+            p90_ns: percentile_nearest_rank(&sorted, 90.0),
+            p99_ns: percentile_nearest_rank(&sorted, 99.0),
+            max_ns: sorted[count - 1],
+        }
+    }
+
+    /// The benchmark score in milliseconds (p90).
+    #[must_use]
+    pub fn score_ms(&self) -> f64 {
+        self.p90_ns as f64 / 1e6
+    }
+}
+
+/// Nearest-rank percentile over a **sorted** slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice or percentile outside `(0, 100]`.
+#[must_use]
+pub fn percentile_nearest_rank(sorted_ns: &[u64], percentile: f64) -> u64 {
+    assert!(!sorted_ns.is_empty(), "no samples");
+    assert!(percentile > 0.0 && percentile <= 100.0, "percentile out of range");
+    let rank = ((percentile / 100.0) * sorted_ns.len() as f64).ceil() as usize;
+    sorted_ns[rank.clamp(1, sorted_ns.len()) - 1]
+}
+
+/// Average throughput in samples per second.
+///
+/// # Panics
+///
+/// Panics if the duration is zero.
+#[must_use]
+pub fn throughput_fps(samples: u64, duration_ns: u64) -> f64 {
+    assert!(duration_ns > 0, "zero duration");
+    samples as f64 / (duration_ns as f64 / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stats_on_uniform_ramp() {
+        let lat: Vec<u64> = (1..=100).collect();
+        let s = LatencyStats::from_latencies(&lat);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 100);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p90_ns, 90);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.mean_ns, 50);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencyStats::from_latencies(&[42]);
+        assert_eq!(s.p90_ns, 42);
+        assert_eq!(s.p50_ns, 42);
+    }
+
+    #[test]
+    fn p90_ignores_order() {
+        let mut lat: Vec<u64> = (1..=1000).collect();
+        lat.reverse();
+        let s = LatencyStats::from_latencies(&lat);
+        assert_eq!(s.p90_ns, 900);
+    }
+
+    #[test]
+    fn score_ms_converts() {
+        let s = LatencyStats::from_latencies(&[5_000_000, 5_000_000]);
+        assert!((s.score_ms() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_basic() {
+        // 24576 samples in 36.45 s -> ~674 fps, the Exynos offline figure.
+        let fps = throughput_fps(24_576, 36_450_000_000);
+        assert!((fps - 674.2).abs() < 1.0, "fps = {fps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero duration")]
+    fn zero_duration_panics() {
+        let _ = throughput_fps(10, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_monotone(mut lat in proptest::collection::vec(1u64..1_000_000, 1..300)) {
+            lat.sort_unstable();
+            let p50 = percentile_nearest_rank(&lat, 50.0);
+            let p90 = percentile_nearest_rank(&lat, 90.0);
+            let p99 = percentile_nearest_rank(&lat, 99.0);
+            prop_assert!(p50 <= p90 && p90 <= p99);
+            prop_assert!(*lat.first().unwrap() <= p50);
+            prop_assert!(p99 <= *lat.last().unwrap());
+        }
+
+        #[test]
+        fn p90_dominates_90pct_of_samples(lat in proptest::collection::vec(1u64..1_000_000, 10..500)) {
+            let s = LatencyStats::from_latencies(&lat);
+            let below = lat.iter().filter(|&&v| v <= s.p90_ns).count();
+            prop_assert!(below as f64 >= 0.9 * lat.len() as f64 - 1.0);
+        }
+    }
+}

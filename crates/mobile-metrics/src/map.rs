@@ -1,0 +1,230 @@
+//! COCO-style mean average precision (mAP).
+//!
+//! The real algorithm: per-class greedy matching of score-ranked detections
+//! to ground truth at each IoU threshold in 0.50:0.05:0.95, 101-point
+//! interpolated average precision, averaged over classes and thresholds —
+//! the detection quality metric of paper Table 1.
+
+use mobile_data::types::{Detection, GtObject};
+use std::collections::BTreeSet;
+
+/// The ten COCO IoU thresholds: 0.50, 0.55, ..., 0.95.
+#[must_use]
+pub fn coco_iou_thresholds() -> Vec<f64> {
+    (0..10).map(|i| 0.5 + 0.05 * i as f64).collect()
+}
+
+/// Computes COCO mAP over a dataset.
+///
+/// `gts[i]` and `dets[i]` are the ground truth and detections for image
+/// `i`. Returns mAP in `[0, 1]` (multiply by 100 for the conventional
+/// percentage form used in Table 1).
+///
+/// # Examples
+///
+/// ```
+/// use mobile_data::types::{BBox, Detection, GtObject};
+/// use mobile_metrics::map::coco_map;
+///
+/// let gt = GtObject { class: 1, bbox: BBox::new(0.1, 0.1, 0.4, 0.4) };
+/// let hit = Detection { class: 1, score: 0.9, bbox: gt.bbox };
+/// let map = coco_map(&[vec![gt]], &[vec![hit]]);
+/// assert!((map - 1.0).abs() < 1e-6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+#[must_use]
+pub fn coco_map(gts: &[Vec<GtObject>], dets: &[Vec<Detection>]) -> f64 {
+    assert_eq!(gts.len(), dets.len(), "image count mismatch");
+    let classes: BTreeSet<u32> = gts.iter().flatten().map(|g| g.class).collect();
+    if classes.is_empty() {
+        return 0.0;
+    }
+    let thresholds = coco_iou_thresholds();
+    let mut ap_sum = 0.0;
+    let mut ap_count = 0usize;
+    for &class in &classes {
+        for &thr in &thresholds {
+            ap_sum += average_precision(gts, dets, class, thr);
+            ap_count += 1;
+        }
+    }
+    ap_sum / ap_count as f64
+}
+
+/// Average precision for one class at one IoU threshold (101-point
+/// interpolation, COCO convention).
+#[must_use]
+pub fn average_precision(
+    gts: &[Vec<GtObject>],
+    dets: &[Vec<Detection>],
+    class: u32,
+    iou_threshold: f64,
+) -> f64 {
+    // Gather detections of this class across all images: (image, score, bbox).
+    let mut all: Vec<(usize, f32, usize)> = Vec::new();
+    for (img, img_dets) in dets.iter().enumerate() {
+        for (di, d) in img_dets.iter().enumerate() {
+            if d.class == class {
+                all.push((img, d.score, di));
+            }
+        }
+    }
+    // Rank by score descending (stable on ties by image/index order).
+    all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+
+    let total_gt: usize = gts
+        .iter()
+        .map(|g| g.iter().filter(|o| o.class == class).count())
+        .sum();
+    if total_gt == 0 {
+        return 0.0;
+    }
+
+    // Greedy matching: each GT may be claimed once per image.
+    let mut claimed: Vec<Vec<bool>> = gts
+        .iter()
+        .map(|g| vec![false; g.len()])
+        .collect();
+    let mut tp = vec![false; all.len()];
+    for (rank, &(img, _score, di)) in all.iter().enumerate() {
+        let det = &dets[img][di];
+        let mut best_iou = iou_threshold as f32;
+        let mut best_gt: Option<usize> = None;
+        for (gi, gt) in gts[img].iter().enumerate() {
+            if gt.class != class || claimed[img][gi] {
+                continue;
+            }
+            let iou = det.bbox.iou(&gt.bbox);
+            if iou >= best_iou {
+                best_iou = iou;
+                best_gt = Some(gi);
+            }
+        }
+        if let Some(gi) = best_gt {
+            claimed[img][gi] = true;
+            tp[rank] = true;
+        }
+    }
+
+    // Precision-recall curve.
+    let mut cum_tp = 0usize;
+    let mut precisions = Vec::with_capacity(all.len());
+    let mut recalls = Vec::with_capacity(all.len());
+    for (rank, &is_tp) in tp.iter().enumerate() {
+        if is_tp {
+            cum_tp += 1;
+        }
+        precisions.push(cum_tp as f64 / (rank + 1) as f64);
+        recalls.push(cum_tp as f64 / total_gt as f64);
+    }
+
+    // Monotone non-increasing precision envelope.
+    for i in (0..precisions.len().saturating_sub(1)).rev() {
+        if precisions[i] < precisions[i + 1] {
+            precisions[i] = precisions[i + 1];
+        }
+    }
+
+    // 101-point interpolation.
+    let mut ap = 0.0;
+    let mut idx = 0usize;
+    for r in 0..=100 {
+        let recall_point = r as f64 / 100.0;
+        while idx < recalls.len() && recalls[idx] < recall_point {
+            idx += 1;
+        }
+        if idx < precisions.len() {
+            ap += precisions[idx];
+        }
+    }
+    ap / 101.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobile_data::types::BBox;
+
+    fn gt(class: u32, x: f32) -> GtObject {
+        GtObject { class, bbox: BBox::new(x, 0.1, x + 0.2, 0.3) }
+    }
+
+    fn det(class: u32, score: f32, x: f32) -> Detection {
+        Detection { class, score, bbox: BBox::new(x, 0.1, x + 0.2, 0.3) }
+    }
+
+    #[test]
+    fn perfect_detections_score_one() {
+        let gts = vec![vec![gt(1, 0.1), gt(2, 0.5)], vec![gt(1, 0.3)]];
+        let dets = vec![
+            vec![det(1, 0.9, 0.1), det(2, 0.8, 0.5)],
+            vec![det(1, 0.95, 0.3)],
+        ];
+        let map = coco_map(&gts, &dets);
+        assert!((map - 1.0).abs() < 1e-6, "map = {map}");
+    }
+
+    #[test]
+    fn no_detections_scores_zero() {
+        let gts = vec![vec![gt(1, 0.1)]];
+        let dets = vec![vec![]];
+        assert_eq!(coco_map(&gts, &dets), 0.0);
+    }
+
+    #[test]
+    fn wrong_class_scores_zero() {
+        let gts = vec![vec![gt(1, 0.1)]];
+        let dets = vec![vec![det(2, 0.9, 0.1)]];
+        assert_eq!(coco_map(&gts, &dets), 0.0);
+    }
+
+    #[test]
+    fn shifted_boxes_fail_high_iou_thresholds() {
+        // A box shifted by half its width has IoU = 1/3: matches at no
+        // COCO threshold (all >= 0.5).
+        let gts = vec![vec![gt(1, 0.1)]];
+        let dets = vec![vec![det(1, 0.9, 0.2)]];
+        assert_eq!(coco_map(&gts, &dets), 0.0);
+        // A slight shift (IoU ~ 0.82) passes thresholds 0.5..0.8 only.
+        let dets2 = vec![vec![det(1, 0.9, 0.12)]];
+        let map2 = coco_map(&gts, &dets2);
+        assert!(map2 > 0.3 && map2 < 1.0, "map2 = {map2}");
+    }
+
+    #[test]
+    fn false_positives_reduce_precision() {
+        let gts = vec![vec![gt(1, 0.1)]];
+        // One correct detection plus one higher-scored false positive.
+        let dets = vec![vec![det(1, 0.95, 0.7), det(1, 0.9, 0.1)]];
+        let ap = average_precision(&gts, &dets, 1, 0.5);
+        assert!((ap - 0.5).abs() < 0.01, "ap = {ap}");
+    }
+
+    #[test]
+    fn duplicate_detections_counted_once() {
+        let gts = vec![vec![gt(1, 0.1)]];
+        let dets = vec![vec![det(1, 0.9, 0.1), det(1, 0.85, 0.1)]];
+        let ap = average_precision(&gts, &dets, 1, 0.5);
+        // Second duplicate is a false positive but comes after recall=1.
+        assert!((ap - 1.0).abs() < 1e-6, "ap = {ap}");
+    }
+
+    #[test]
+    fn missing_one_of_two_gts_halves_recall() {
+        let gts = vec![vec![gt(1, 0.1), gt(1, 0.6)]];
+        let dets = vec![vec![det(1, 0.9, 0.1)]];
+        let ap = average_precision(&gts, &dets, 1, 0.5);
+        assert!((ap - 0.5).abs() < 0.01, "ap = {ap}");
+    }
+
+    #[test]
+    fn ten_thresholds() {
+        let t = coco_iou_thresholds();
+        assert_eq!(t.len(), 10);
+        assert!((t[0] - 0.5).abs() < 1e-12);
+        assert!((t[9] - 0.95).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,186 @@
+//! Mean intersection-over-union for semantic segmentation.
+//!
+//! Implemented over a dense confusion matrix. Per the paper's Section 3.2,
+//! the benchmark's mIoU only counts pixels whose *ground-truth* label is
+//! one of the 31 most frequent classes (class 31, "other", is excluded from
+//! the ground-truth side but predictions may still land there).
+
+use mobile_data::types::LabelMap;
+use serde::{Deserialize, Serialize};
+
+/// Dense confusion matrix over `n` classes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an `n x n` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        ConfusionMatrix { n, counts: vec![0; n * n] }
+    }
+
+    /// Class count.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.n
+    }
+
+    /// Records one pixel: ground truth `gt`, prediction `pred`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, gt: u8, pred: u8) {
+        let (g, p) = (gt as usize, pred as usize);
+        assert!(g < self.n && p < self.n, "label out of range");
+        self.counts[g * self.n + p] += 1;
+    }
+
+    /// Accumulates a full ground-truth/prediction map pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the maps have different geometry.
+    pub fn record_maps(&mut self, gt: &LabelMap, pred: &LabelMap) {
+        assert_eq!((gt.height, gt.width), (pred.height, pred.width), "map size mismatch");
+        for (&g, &p) in gt.labels.iter().zip(pred.labels.iter()) {
+            self.record(g, p);
+        }
+    }
+
+    /// Count of pixels with ground truth `gt` predicted as `pred`.
+    #[must_use]
+    pub fn count(&self, gt: u8, pred: u8) -> u64 {
+        self.counts[gt as usize * self.n + pred as usize]
+    }
+
+    /// IoU of one class: `tp / (tp + fp + fn)`, or `None` if the class
+    /// never appears in either role.
+    #[must_use]
+    pub fn class_iou(&self, class: u8) -> Option<f64> {
+        let c = class as usize;
+        let tp = self.counts[c * self.n + c];
+        let fp: u64 = (0..self.n).filter(|&g| g != c).map(|g| self.counts[g * self.n + c]).sum();
+        let fn_: u64 = (0..self.n).filter(|&p| p != c).map(|p| self.counts[c * self.n + p]).sum();
+        let denom = tp + fp + fn_;
+        if denom == 0 {
+            None
+        } else {
+            Some(tp as f64 / denom as f64)
+        }
+    }
+
+    /// Mean IoU over the classes in `eval_classes` that actually occur.
+    ///
+    /// Returns 0 if none occur.
+    #[must_use]
+    pub fn mean_iou(&self, eval_classes: &[u8]) -> f64 {
+        let ious: Vec<f64> = eval_classes.iter().filter_map(|&c| self.class_iou(c)).collect();
+        if ious.is_empty() {
+            0.0
+        } else {
+            ious.iter().sum::<f64>() / ious.len() as f64
+        }
+    }
+}
+
+/// The benchmark's evaluation classes: the 31 frequent ADE20K classes
+/// (0..=30); class 31 ("other") is excluded from the ground-truth side.
+#[must_use]
+pub fn benchmark_eval_classes() -> Vec<u8> {
+    (0..31).collect()
+}
+
+/// Convenience: benchmark mIoU over whole datasets of map pairs.
+///
+/// # Panics
+///
+/// Panics if slices differ in length.
+#[must_use]
+pub fn benchmark_miou(gts: &[LabelMap], preds: &[LabelMap]) -> f64 {
+    assert_eq!(gts.len(), preds.len());
+    let mut cm = ConfusionMatrix::new(32);
+    for (g, p) in gts.iter().zip(preds.iter()) {
+        cm.record_maps(g, p);
+    }
+    cm.mean_iou(&benchmark_eval_classes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_one() {
+        let mut cm = ConfusionMatrix::new(32);
+        for c in 0..31u8 {
+            for _ in 0..10 {
+                cm.record(c, c);
+            }
+        }
+        assert!((cm.mean_iou(&benchmark_eval_classes()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_wrong_is_zero() {
+        let mut cm = ConfusionMatrix::new(4);
+        cm.record(0, 1);
+        cm.record(1, 2);
+        assert_eq!(cm.mean_iou(&[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn half_right_single_class() {
+        let mut cm = ConfusionMatrix::new(4);
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(0, 1); // one false negative for 0 / false positive for 1
+        // class0: tp=2, fn=1, fp=0 -> 2/3.
+        assert!((cm.class_iou(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_classes_excluded_from_mean() {
+        let mut cm = ConfusionMatrix::new(32);
+        cm.record(5, 5);
+        // Only class 5 occurs: mean over {5} = 1.0 even though 30 other
+        // eval classes exist.
+        assert!((cm.mean_iou(&benchmark_eval_classes()) - 1.0).abs() < 1e-12);
+        assert!(cm.class_iou(7).is_none());
+    }
+
+    #[test]
+    fn other_class_not_evaluated() {
+        let classes = benchmark_eval_classes();
+        assert_eq!(classes.len(), 31);
+        assert!(!classes.contains(&31));
+    }
+
+    #[test]
+    fn map_pair_accumulation() {
+        let mut gt = LabelMap::zeros(4, 4);
+        let mut pred = LabelMap::zeros(4, 4);
+        gt.labels[0] = 3;
+        pred.labels[0] = 3;
+        pred.labels[1] = 7; // gt 0 predicted as 7
+        let miou = benchmark_miou(&[gt], &[pred]);
+        // class0: tp=14, fp=0, fn=1 -> 14/15; class3: 1; class7: fp only -> 0.
+        let expected = (14.0 / 15.0 + 1.0 + 0.0) / 3.0;
+        assert!((miou - expected).abs() < 1e-9, "miou {miou} vs {expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "map size mismatch")]
+    fn mismatched_maps_panic() {
+        let mut cm = ConfusionMatrix::new(32);
+        cm.record_maps(&LabelMap::zeros(2, 2), &LabelMap::zeros(3, 3));
+    }
+}

@@ -1,0 +1,143 @@
+//! Peak signal-to-noise ratio — the quality metric for the
+//! super-resolution task the paper lists as future work (Appendix E:
+//! "super-resolution and high-resolution models are important use cases").
+
+use mobile_data::image::Image;
+
+/// Mean squared error between two images.
+///
+/// # Panics
+///
+/// Panics if the images differ in geometry.
+#[must_use]
+pub fn image_mse(a: &Image, b: &Image) -> f64 {
+    assert_eq!(
+        (a.height, a.width, a.channels),
+        (b.height, b.width, b.channels),
+        "image geometry mismatch"
+    );
+    let n = a.data.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.data.iter().zip(b.data.iter()) {
+        let e = f64::from(x - y);
+        acc += e * e;
+    }
+    acc / n as f64
+}
+
+/// PSNR in dB for images with a given peak value (1.0 for unit-range
+/// pixels): `10 log10(peak^2 / mse)`.
+///
+/// Identical images return `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if `peak` is not positive or geometries differ.
+#[must_use]
+pub fn psnr_db(reference: &Image, reconstruction: &Image, peak: f64) -> f64 {
+    assert!(peak > 0.0, "peak must be positive");
+    let mse = image_mse(reference, reconstruction);
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (peak * peak / mse).log10()
+    }
+}
+
+/// Dataset-level PSNR: mean over image pairs (the convention SR papers
+/// report).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn mean_psnr_db(references: &[Image], reconstructions: &[Image], peak: f64) -> f64 {
+    assert_eq!(references.len(), reconstructions.len(), "image count mismatch");
+    assert!(!references.is_empty(), "no images");
+    let sum: f64 = references
+        .iter()
+        .zip(reconstructions.iter())
+        .map(|(r, x)| psnr_db(r, x, peak))
+        .sum();
+    sum / references.len() as f64
+}
+
+/// The noise standard deviation that produces a target PSNR on unit-range
+/// images: `sigma = peak * 10^(-psnr/20)` — the closed-form inverse used
+/// by the quality model.
+#[must_use]
+pub fn noise_sigma_for_psnr(target_psnr_db: f64, peak: f64) -> f64 {
+    peak * 10f64.powf(-target_psnr_db / 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant(v: f32) -> Image {
+        let mut img = Image::zeros(8, 8, 3);
+        img.data.fill(v);
+        img
+    }
+
+    #[test]
+    fn identical_images_infinite_psnr() {
+        let a = Image::synthetic(16, 16, 3, 1);
+        assert_eq!(psnr_db(&a, &a, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_mse_known_psnr() {
+        let a = constant(0.5);
+        let b = constant(0.6);
+        // mse = 0.01 -> PSNR = 10 log10(1/0.01) = 20 dB.
+        assert!((image_mse(&a, &b) - 0.01).abs() < 1e-6);
+        assert!((psnr_db(&a, &b, 1.0) - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sigma_inversion_round_trips() {
+        for target in [25.0, 30.0, 35.0] {
+            let sigma = noise_sigma_for_psnr(target, 1.0);
+            // Adding exactly-sigma offset everywhere gives mse = sigma^2.
+            let a = constant(0.5);
+            let mut b = a.clone();
+            for v in &mut b.data {
+                *v += sigma as f32;
+            }
+            let measured = psnr_db(&a, &b, 1.0);
+            assert!((measured - target).abs() < 0.1, "target {target} got {measured}");
+        }
+    }
+
+    #[test]
+    fn higher_noise_lower_psnr() {
+        let a = Image::synthetic(16, 16, 3, 2);
+        let mut small = a.clone();
+        let mut big = a.clone();
+        for (i, (s, b)) in small.data.iter_mut().zip(big.data.iter_mut()).enumerate() {
+            let n = if i % 2 == 0 { 0.01 } else { -0.01 };
+            *s += n;
+            *b += n * 5.0;
+        }
+        assert!(psnr_db(&a, &small, 1.0) > psnr_db(&a, &big, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn mismatched_images_panic() {
+        let _ = image_mse(&Image::zeros(4, 4, 3), &Image::zeros(8, 8, 3));
+    }
+
+    #[test]
+    fn mean_psnr_averages() {
+        let a = constant(0.5);
+        let b = constant(0.6); // 20 dB
+        let c = constant(0.5 + 0.031_622_7); // ~30 dB
+        let m = mean_psnr_db(&[a.clone(), a], &[b, c], 1.0);
+        assert!((m - 25.0).abs() < 0.1, "mean {m}");
+    }
+}

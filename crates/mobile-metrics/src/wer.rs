@@ -1,0 +1,199 @@
+//! Word error rate (WER) — the quality metric for the speech-recognition
+//! task the paper lists as in-progress future work (Appendix E: "a mobile
+//! version of RNN-T for speech is in the works").
+//!
+//! Real implementation: Levenshtein distance over token sequences
+//! (substitutions + insertions + deletions) divided by reference length.
+
+/// Edit-distance breakdown between a reference and a hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditOps {
+    /// Substituted tokens.
+    pub substitutions: u64,
+    /// Tokens the hypothesis inserted.
+    pub insertions: u64,
+    /// Reference tokens the hypothesis dropped.
+    pub deletions: u64,
+}
+
+impl EditOps {
+    /// Total edit operations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.substitutions + self.insertions + self.deletions
+    }
+}
+
+/// Computes the minimal edit-operation breakdown between `reference` and
+/// `hypothesis` token sequences (classic dynamic program with operation
+/// backtracking).
+#[must_use]
+pub fn edit_ops<T: PartialEq>(reference: &[T], hypothesis: &[T]) -> EditOps {
+    let n = reference.len();
+    let m = hypothesis.len();
+    // dp[i][j] = (cost, subs, ins, dels) for ref[..i] vs hyp[..j].
+    let mut dp = vec![vec![(0u64, 0u64, 0u64, 0u64); m + 1]; n + 1];
+    for (i, row) in dp.iter_mut().enumerate().skip(1) {
+        row[0] = (i as u64, 0, 0, i as u64);
+    }
+    for (j, cell) in dp[0].iter_mut().enumerate().skip(1) {
+        *cell = (j as u64, 0, j as u64, 0);
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            if reference[i - 1] == hypothesis[j - 1] {
+                dp[i][j] = dp[i - 1][j - 1];
+                continue;
+            }
+            let sub = dp[i - 1][j - 1];
+            let ins = dp[i][j - 1];
+            let del = dp[i - 1][j];
+            let sub_cost = sub.0 + 1;
+            let ins_cost = ins.0 + 1;
+            let del_cost = del.0 + 1;
+            dp[i][j] = if sub_cost <= ins_cost && sub_cost <= del_cost {
+                (sub_cost, sub.1 + 1, sub.2, sub.3)
+            } else if ins_cost <= del_cost {
+                (ins_cost, ins.1, ins.2 + 1, ins.3)
+            } else {
+                (del_cost, del.1, del.2, del.3 + 1)
+            };
+        }
+    }
+    let (_, s, i, d) = dp[n][m];
+    EditOps { substitutions: s, insertions: i, deletions: d }
+}
+
+/// WER of one utterance: edit distance / reference length.
+///
+/// An empty reference scores 0.0 against an empty hypothesis and 1.0
+/// otherwise (everything inserted).
+#[must_use]
+pub fn utterance_wer<T: PartialEq>(reference: &[T], hypothesis: &[T]) -> f64 {
+    if reference.is_empty() {
+        return if hypothesis.is_empty() { 0.0 } else { 1.0 };
+    }
+    edit_ops(reference, hypothesis).total() as f64 / reference.len() as f64
+}
+
+/// Corpus WER: total edits over total reference tokens (the standard
+/// aggregation — *not* the mean of per-utterance WERs).
+///
+/// # Examples
+///
+/// ```
+/// use mobile_metrics::wer::corpus_wer;
+///
+/// let refs = vec![vec!["the", "cat", "sat"], vec!["hello"]];
+/// let hyps = vec![vec!["the", "cat", "sat"], vec!["jello"]];
+/// assert!((corpus_wer(&refs, &hyps) - 0.25).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn corpus_wer<T: PartialEq>(references: &[Vec<T>], hypotheses: &[Vec<T>]) -> f64 {
+    assert_eq!(references.len(), hypotheses.len(), "utterance count mismatch");
+    assert!(!references.is_empty(), "no utterances");
+    let mut edits = 0u64;
+    let mut tokens = 0u64;
+    for (r, h) in references.iter().zip(hypotheses.iter()) {
+        edits += edit_ops(r, h).total();
+        tokens += r.len() as u64;
+    }
+    if tokens == 0 {
+        0.0
+    } else {
+        edits as f64 / tokens as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn words(s: &str) -> Vec<&str> {
+        s.split_whitespace().collect()
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let r = words("the quick brown fox");
+        assert_eq!(utterance_wer(&r, &r), 0.0);
+    }
+
+    #[test]
+    fn single_substitution() {
+        let r = words("the quick brown fox");
+        let h = words("the quick red fox");
+        let ops = edit_ops(&r, &h);
+        assert_eq!(ops, EditOps { substitutions: 1, insertions: 0, deletions: 0 });
+        assert!((utterance_wer(&r, &h) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertion_and_deletion() {
+        let r = words("hello world");
+        let h = words("hello big world");
+        assert_eq!(edit_ops(&r, &h).insertions, 1);
+        let h2 = words("hello");
+        assert_eq!(edit_ops(&r, &h2).deletions, 1);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let empty: Vec<&str> = vec![];
+        assert_eq!(utterance_wer(&empty, &empty), 0.0);
+        assert_eq!(utterance_wer(&empty, &words("x")), 1.0);
+        assert_eq!(utterance_wer(&words("a b"), &empty), 1.0);
+    }
+
+    #[test]
+    fn wer_can_exceed_one() {
+        let r = words("hi");
+        let h = words("a b c d");
+        assert!(utterance_wer(&r, &h) > 1.0);
+    }
+
+    #[test]
+    fn corpus_weighs_by_length() {
+        // 1 error in a 9-word utterance + perfect 1-word utterance:
+        // corpus WER = 1/10, not mean(1/9, 0).
+        let refs = vec![words("a b c d e f g h i"), words("z")];
+        let hyps = vec![words("a b c d e f g h X"), words("z")];
+        assert!((corpus_wer(&refs, &hyps) - 0.1).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn wer_zero_iff_equal(r in proptest::collection::vec(0u8..5, 0..12)) {
+            prop_assert_eq!(utterance_wer(&r, &r), 0.0);
+        }
+
+        #[test]
+        fn edit_distance_total_symmetric(
+            a in proptest::collection::vec(0u8..5, 0..10),
+            b in proptest::collection::vec(0u8..5, 0..10),
+        ) {
+            // Only the *total* is guaranteed symmetric: multiple optimal
+            // alignments can differ in their sub/ins/del split.
+            let ab = edit_ops(&a, &b);
+            let ba = edit_ops(&b, &a);
+            prop_assert_eq!(ab.total(), ba.total());
+        }
+
+        #[test]
+        fn triangle_inequality(
+            a in proptest::collection::vec(0u8..4, 0..8),
+            b in proptest::collection::vec(0u8..4, 0..8),
+            c in proptest::collection::vec(0u8..4, 0..8),
+        ) {
+            let ac = edit_ops(&a, &c).total();
+            let ab = edit_ops(&a, &b).total();
+            let bc = edit_ops(&b, &c).total();
+            prop_assert!(ac <= ab + bc);
+        }
+    }
+}

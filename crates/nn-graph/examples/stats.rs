@@ -1,0 +1,21 @@
+use nn_graph::models::ModelId;
+use std::collections::BTreeMap;
+
+fn main() {
+    for id in ModelId::ALL {
+        let g = id.build();
+        let c = g.total_cost();
+        println!("== {:28} nodes={:4} gmacs={:7.3} params={:6.2}M act={:6.1}M flops={:.2}G",
+            id.name(), g.len(), g.gmacs(), g.parameter_count() as f64/1e6,
+            (c.input_elements+c.output_elements) as f64/1e6, c.flops as f64/1e9);
+        let mut by: BTreeMap<_, (u64,u64)> = BTreeMap::new();
+        for n in &g {
+            let e = by.entry(n.class()).or_insert((0,0));
+            e.0 += n.cost.flops;
+            e.1 += n.cost.input_elements + n.cost.output_elements + n.cost.weight_elements;
+        }
+        for (cl,(f,b)) in by {
+            println!("   {:16} flops={:8.3}G  elems={:8.2}M", format!("{cl}"), f as f64/1e9, b as f64/1e6);
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Ergonomic construction of operator graphs with shape inference.
+//!
+//! [`GraphBuilder`] infers every output shape from the op attributes and
+//! input shapes, so model definitions read like the layer tables in the
+//! papers the reference models come from.
+
+use crate::graph::{Graph, GraphError, NodeId};
+use crate::op::{Activation, EltwiseKind, Op, Padding, PoolKind};
+use crate::tensor::{DataType, Shape, TensorDesc};
+
+/// Builder for [`Graph`]s.
+///
+/// The graph input is materialized as an implicit identity node (id 0) so
+/// downstream code has a uniform producer for every edge; backends treat it
+/// as the input-DMA stage.
+///
+/// # Examples
+///
+/// ```
+/// use nn_graph::builder::GraphBuilder;
+/// use nn_graph::op::Activation;
+/// use nn_graph::tensor::{DataType, Shape};
+///
+/// let mut b = GraphBuilder::new("demo", Shape::nhwc(32, 32, 3), DataType::F32);
+/// let c = b.conv2d("stem", b.input_id(), 3, 2, 16, Activation::Relu6);
+/// let p = b.global_avg_pool("gap", c);
+/// b.fully_connected("head", p, 10, Activation::None);
+/// let graph = b.finish();
+/// assert_eq!(graph.len(), 4); // input + 3 layers
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: Graph,
+    input_id: NodeId,
+}
+
+impl GraphBuilder {
+    /// Starts a graph with the given input shape and element type.
+    #[must_use]
+    pub fn new(name: &str, input_shape: Shape, dtype: DataType) -> Self {
+        let input = TensorDesc::new(input_shape.clone(), dtype);
+        let mut graph = Graph::empty(name, input.clone());
+        let input_id = graph
+            .push(
+                "input".to_owned(),
+                Op::Reshape { shape: input_shape },
+                Vec::new(),
+                input,
+            )
+            .expect("input node insertion is infallible");
+        GraphBuilder { graph, input_id }
+    }
+
+    /// Id of the implicit input node.
+    #[must_use]
+    pub fn input_id(&self) -> NodeId {
+        self.input_id
+    }
+
+    /// Element type of the graph under construction.
+    #[must_use]
+    pub fn dtype(&self) -> DataType {
+        self.graph.input().dtype
+    }
+
+    /// Output descriptor of a previously added node.
+    #[must_use]
+    pub fn output_of(&self, id: NodeId) -> &TensorDesc {
+        &self.graph.node(id).output
+    }
+
+    fn push(&mut self, name: &str, op: Op, inputs: Vec<NodeId>, shape: Shape) -> NodeId {
+        let dtype = self.dtype();
+        self.try_push(name, op, inputs, shape, dtype)
+            .unwrap_or_else(|e| panic!("graph construction failed at {name}: {e}"))
+    }
+
+    fn try_push(
+        &mut self,
+        name: &str,
+        op: Op,
+        inputs: Vec<NodeId>,
+        shape: Shape,
+        dtype: DataType,
+    ) -> Result<NodeId, GraphError> {
+        self.graph
+            .push(name.to_owned(), op, inputs, TensorDesc::new(shape, dtype))
+    }
+
+    /// Adds a 2-D convolution (SAME padding, dilation 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 4.
+    pub fn conv2d(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        kernel: usize,
+        stride: usize,
+        out_channels: usize,
+        activation: Activation,
+    ) -> NodeId {
+        self.conv2d_dilated(name, input, kernel, stride, out_channels, 1, activation)
+    }
+
+    /// Adds a dilated (atrous) 2-D convolution with SAME padding.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d_dilated(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        kernel: usize,
+        stride: usize,
+        out_channels: usize,
+        dilation: usize,
+        activation: Activation,
+    ) -> NodeId {
+        let in_shape = &self.output_of(input).shape;
+        let h = Padding::Same.output_extent(in_shape.height(), kernel, stride, dilation);
+        let w = Padding::Same.output_extent(in_shape.width(), kernel, stride, dilation);
+        let op = Op::Conv2d {
+            kernel,
+            stride,
+            out_channels,
+            dilation,
+            padding: Padding::Same,
+            activation,
+        };
+        self.push(name, op, vec![input], Shape::nhwc(h, w, out_channels))
+    }
+
+    /// Adds a depthwise 2-D convolution with SAME padding.
+    pub fn depthwise_conv2d(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        kernel: usize,
+        stride: usize,
+        activation: Activation,
+    ) -> NodeId {
+        let in_shape = self.output_of(input).shape.clone();
+        let h = Padding::Same.output_extent(in_shape.height(), kernel, stride, 1);
+        let w = Padding::Same.output_extent(in_shape.width(), kernel, stride, 1);
+        let op = Op::DepthwiseConv2d {
+            kernel,
+            stride,
+            dilation: 1,
+            padding: Padding::Same,
+            activation,
+        };
+        self.push(name, op, vec![input], Shape::nhwc(h, w, in_shape.channels()))
+    }
+
+    /// Adds a fully connected layer; flattens the input implicitly.
+    pub fn fully_connected(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        out_features: usize,
+        activation: Activation,
+    ) -> NodeId {
+        let op = Op::FullyConnected { out_features, activation };
+        self.push(name, op, vec![input], Shape::new(&[1, out_features]))
+    }
+
+    /// Adds a per-token dense projection for sequence tensors
+    /// `[1, seq, in] -> [1, seq, out]` — TFLite's fully-connected broadcast
+    /// over the time axis, sharing one weight matrix across tokens.
+    pub fn seq_dense(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        out_features: usize,
+        activation: Activation,
+    ) -> NodeId {
+        let in_shape = self.output_of(input).shape.clone();
+        assert_eq!(in_shape.rank(), 3, "seq_dense expects [1, seq, hidden]");
+        let seq = in_shape.dims()[1];
+        let op = Op::FullyConnected { out_features, activation };
+        self.push(name, op, vec![input], Shape::new(&[1, seq, out_features]))
+    }
+
+    /// Adds a batched matrix multiply between two sequence tensors.
+    ///
+    /// `a: [b, m, k]`, `b: [b, k, n]` -> `[b, m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&mut self, name: &str, a: NodeId, b: NodeId) -> NodeId {
+        let sa = self.output_of(a).shape.clone();
+        let sb = self.output_of(b).shape.clone();
+        assert!(sa.rank() >= 2 && sb.rank() >= 2, "matmul requires rank >= 2");
+        let k = sa.channels();
+        let kb = sb.dims()[sb.rank() - 2];
+        assert_eq!(k, kb, "matmul inner dims disagree: {k} vs {kb}");
+        let n = sb.channels();
+        let mut out: Vec<usize> = sa.dims().to_vec();
+        let rank = out.len();
+        out[rank - 1] = n;
+        let op = Op::MatMul { k, n };
+        self.push(name, op, vec![a, b], Shape::new(&out))
+    }
+
+    /// Adds a pooling layer with SAME padding.
+    pub fn pool(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        kind: PoolKind,
+        kernel: usize,
+        stride: usize,
+    ) -> NodeId {
+        let in_shape = self.output_of(input).shape.clone();
+        let h = Padding::Same.output_extent(in_shape.height(), kernel, stride, 1);
+        let w = Padding::Same.output_extent(in_shape.width(), kernel, stride, 1);
+        let op = Op::Pool { kind, kernel, stride };
+        self.push(name, op, vec![input], Shape::nhwc(h, w, in_shape.channels()))
+    }
+
+    /// Global average pooling to `1x1` spatial extent.
+    pub fn global_avg_pool(&mut self, name: &str, input: NodeId) -> NodeId {
+        let in_shape = self.output_of(input).shape.clone();
+        let k = in_shape.height().max(in_shape.width());
+        let op = Op::Pool { kind: PoolKind::Average, kernel: k, stride: k };
+        self.push(name, op, vec![input], Shape::nhwc(1, 1, in_shape.channels()))
+    }
+
+    /// Softmax over the last dimension.
+    pub fn softmax(&mut self, name: &str, input: NodeId) -> NodeId {
+        let shape = self.output_of(input).shape.clone();
+        self.push(name, Op::Softmax, vec![input], shape)
+    }
+
+    /// Layer normalization over the last dimension.
+    pub fn layer_norm(&mut self, name: &str, input: NodeId) -> NodeId {
+        let shape = self.output_of(input).shape.clone();
+        self.push(name, Op::LayerNorm, vec![input], shape)
+    }
+
+    /// Element-wise add (residual connection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&mut self, name: &str, a: NodeId, b: NodeId) -> NodeId {
+        let sa = self.output_of(a).shape.clone();
+        let sb = self.output_of(b).shape.clone();
+        assert_eq!(sa, sb, "eltwise add requires matching shapes");
+        self.push(name, Op::Eltwise { kind: EltwiseKind::Add }, vec![a, b], sa)
+    }
+
+    /// Element-wise multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul(&mut self, name: &str, a: NodeId, b: NodeId) -> NodeId {
+        let sa = self.output_of(a).shape.clone();
+        let sb = self.output_of(b).shape.clone();
+        assert_eq!(sa, sb, "eltwise mul requires matching shapes");
+        self.push(name, Op::Eltwise { kind: EltwiseKind::Mul }, vec![a, b], sa)
+    }
+
+    /// Channel-wise concatenation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs disagree on non-channel dimensions.
+    pub fn concat(&mut self, name: &str, inputs: &[NodeId]) -> NodeId {
+        assert!(!inputs.is_empty(), "concat needs at least one input");
+        let first = self.output_of(inputs[0]).shape.clone();
+        let mut channels = 0usize;
+        for &i in inputs {
+            let s = &self.output_of(i).shape;
+            assert_eq!(s.rank(), first.rank(), "concat rank mismatch");
+            assert_eq!(
+                &s.dims()[..s.rank() - 1],
+                &first.dims()[..first.rank() - 1],
+                "concat non-channel dims must match"
+            );
+            channels += s.channels();
+        }
+        let mut dims = first.dims().to_vec();
+        let r = dims.len();
+        dims[r - 1] = channels;
+        self.push(name, Op::Concat, inputs.to_vec(), Shape::new(&dims))
+    }
+
+    /// Reshape to an explicit shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if element counts differ.
+    pub fn reshape(&mut self, name: &str, input: NodeId, shape: Shape) -> NodeId {
+        let in_elems = self.output_of(input).shape.elements();
+        assert_eq!(in_elems, shape.elements(), "reshape must preserve element count");
+        self.push(name, Op::Reshape { shape: shape.clone() }, vec![input], shape)
+    }
+
+    /// Bilinear resize to a new spatial extent.
+    pub fn resize_bilinear(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        out_h: usize,
+        out_w: usize,
+    ) -> NodeId {
+        let c = self.output_of(input).shape.channels();
+        let op = Op::ResizeBilinear { out_h, out_w };
+        self.push(name, op, vec![input], Shape::nhwc(out_h, out_w, c))
+    }
+
+    /// Embedding lookup from token ids (the implicit graph input) to
+    /// `[1, seq, hidden]`.
+    pub fn embedding(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        vocab: usize,
+        hidden: usize,
+        seq: usize,
+    ) -> NodeId {
+        let op = Op::Embedding { vocab, hidden, seq };
+        self.push(name, op, vec![input], Shape::seq(seq, hidden))
+    }
+
+    /// SSD box decoding producing `[1, anchors, 4 + classes]`.
+    pub fn box_decode(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        anchors: usize,
+        classes: usize,
+    ) -> NodeId {
+        let op = Op::BoxDecode { anchors, classes };
+        self.push(name, op, vec![input], Shape::new(&[1, anchors, 4 + classes]))
+    }
+
+    /// Non-maximum suppression producing `[1, max_detections, 6]`
+    /// (class, score, 4 box coordinates).
+    pub fn nms(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        anchors: usize,
+        max_detections: usize,
+    ) -> NodeId {
+        let op = Op::Nms { max_detections, anchors };
+        self.push(name, op, vec![input], Shape::new(&[1, max_detections, 6]))
+    }
+
+    /// Adds an arbitrary operator with an explicit output shape — the
+    /// escape hatch graph-rewrite passes use to rebuild graphs node by
+    /// node. The output shape is taken on trust (the op's cost is still
+    /// recomputed from the real inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] when an input id does not exist.
+    pub fn push_raw(
+        &mut self,
+        name: &str,
+        op: Op,
+        inputs: Vec<NodeId>,
+        shape: Shape,
+    ) -> Result<NodeId, GraphError> {
+        let dtype = self.dtype();
+        self.try_push(name, op, inputs, shape, dtype)
+    }
+
+    /// Adds an LSTM layer over a `[1, seq, in]` sequence, producing
+    /// `[1, seq, hidden]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 3.
+    pub fn lstm(&mut self, name: &str, input: NodeId, hidden: usize) -> NodeId {
+        let in_shape = self.output_of(input).shape.clone();
+        assert_eq!(in_shape.rank(), 3, "lstm expects [1, seq, features]");
+        let seq = in_shape.dims()[1];
+        self.push(name, Op::Lstm { hidden }, vec![input], Shape::seq(seq, hidden))
+    }
+
+    /// Finalizes and returns the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if only the implicit input node exists (an empty model).
+    #[must_use]
+    pub fn finish(self) -> Graph {
+        assert!(self.graph.len() > 1, "graph must contain at least one operator");
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::validate;
+
+    #[test]
+    fn builder_infers_conv_shapes() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(224, 224, 3), DataType::F32);
+        let c = b.conv2d("stem", b.input_id(), 3, 2, 32, Activation::Relu6);
+        assert_eq!(b.output_of(c).shape, Shape::nhwc(112, 112, 32));
+        let d = b.depthwise_conv2d("dw", c, 3, 2, Activation::Relu6);
+        assert_eq!(b.output_of(d).shape, Shape::nhwc(56, 56, 32));
+        let g = b.finish();
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(16, 16, 8), DataType::F32);
+        let a = b.conv2d("a", b.input_id(), 1, 1, 4, Activation::None);
+        let c = b.conv2d("c", b.input_id(), 1, 1, 12, Activation::None);
+        let cat = b.concat("cat", &[a, c]);
+        assert_eq!(b.output_of(cat).shape.channels(), 16);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn matmul_shape_inference() {
+        let mut b = GraphBuilder::new("t", Shape::seq(4, 8), DataType::F32);
+        let q = b.seq_dense("q", b.input_id(), 16, Activation::None);
+        let kx = b.seq_dense("k", b.input_id(), 16, Activation::None);
+        let kt = b.reshape("kt", kx, Shape::new(&[1, 16, 4]));
+        let scores = b.matmul("scores", q, kt);
+        assert_eq!(b.output_of(scores).shape.dims(), &[1, 4, 4]);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "matching shapes")]
+    fn add_rejects_mismatched() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(8, 8, 4), DataType::F32);
+        let a = b.conv2d("a", b.input_id(), 1, 1, 4, Activation::None);
+        let c = b.conv2d("c", b.input_id(), 1, 2, 4, Activation::None);
+        let _ = b.add("bad", a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve element count")]
+    fn reshape_rejects_bad_count() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(4, 4, 4), DataType::F32);
+        let _ = b.reshape("bad", b.input_id(), Shape::new(&[1, 5]));
+    }
+
+    #[test]
+    fn global_pool_reduces_to_1x1() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(7, 7, 1280), DataType::F32);
+        let p = b.global_avg_pool("gap", b.input_id());
+        assert_eq!(b.output_of(p).shape, Shape::nhwc(1, 1, 1280));
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn resize_changes_spatial_only() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(64, 64, 19), DataType::F32);
+        let r = b.resize_bilinear("up", b.input_id(), 512, 512, );
+        assert_eq!(b.output_of(r).shape, Shape::nhwc(512, 512, 19));
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn detection_head_shapes() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(19, 19, 576), DataType::F32);
+        let raw = b.conv2d("head", b.input_id(), 3, 1, 24, Activation::None);
+        let flat = b.reshape("flat", raw, Shape::new(&[1, 19 * 19 * 24]));
+        let dec = b.box_decode("decode", flat, 1917, 91);
+        assert_eq!(b.output_of(dec).shape.dims(), &[1, 1917, 95]);
+        let det = b.nms("nms", dec, 1917, 100);
+        assert_eq!(b.output_of(det).shape.dims(), &[1, 100, 6]);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn dtype_propagates() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(8, 8, 3), DataType::U8);
+        let c = b.conv2d("c", b.input_id(), 3, 1, 8, Activation::Relu6);
+        assert_eq!(b.output_of(c).dtype, DataType::U8);
+        let _ = b.finish();
+    }
+}

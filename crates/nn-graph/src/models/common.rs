@@ -1,0 +1,148 @@
+//! Shared building blocks for the reference models: inverted bottlenecks
+//! (MobileNet v2), fused inverted bottlenecks (MobileNetEdgeTPU, MobileDets)
+//! and depthwise-separable convolutions (SSDLite, DeepLab decoder).
+
+use crate::builder::GraphBuilder;
+use crate::graph::NodeId;
+use crate::op::Activation;
+
+/// Inverted bottleneck (MobileNet v2 "MBConv"): 1x1 expand → depthwise →
+/// 1x1 linear project, with a residual when stride is 1 and channels match.
+pub fn inverted_bottleneck(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: NodeId,
+    expand: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+) -> NodeId {
+    let in_channels = b.output_of(input).shape.channels();
+    let mid = in_channels * expand;
+    let mut x = input;
+    if expand != 1 {
+        x = b.conv2d(&format!("{name}/expand"), x, 1, 1, mid, Activation::Relu6);
+    }
+    x = b.depthwise_conv2d(&format!("{name}/dw"), x, kernel, stride, Activation::Relu6);
+    let projected = b.conv2d(&format!("{name}/project"), x, 1, 1, out_channels, Activation::None);
+    if stride == 1 && in_channels == out_channels {
+        b.add(&format!("{name}/residual"), input, projected)
+    } else {
+        projected
+    }
+}
+
+/// Fused inverted bottleneck (MobileNetEdgeTPU / MobileDets): a regular
+/// `k x k` expansion convolution replaces the 1x1-expand + depthwise pair,
+/// trading MACs for hardware utilization on wide accelerators.
+pub fn fused_inverted_bottleneck(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: NodeId,
+    expand: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+) -> NodeId {
+    let in_channels = b.output_of(input).shape.channels();
+    let mid = in_channels * expand;
+    let x = b.conv2d(&format!("{name}/fused"), input, kernel, stride, mid, Activation::Relu6);
+    let projected = b.conv2d(&format!("{name}/project"), x, 1, 1, out_channels, Activation::None);
+    if stride == 1 && in_channels == out_channels {
+        b.add(&format!("{name}/residual"), input, projected)
+    } else {
+        projected
+    }
+}
+
+/// Depthwise-separable convolution (SSDLite prediction layers, DeepLab
+/// decoder): depthwise `k x k` followed by a 1x1 projection.
+pub fn separable_conv(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: NodeId,
+    kernel: usize,
+    stride: usize,
+    out_channels: usize,
+    activation: Activation,
+) -> NodeId {
+    let x = b.depthwise_conv2d(&format!("{name}/dw"), input, kernel, stride, Activation::Relu6);
+    b.conv2d(&format!("{name}/pw"), x, 1, 1, out_channels, activation)
+}
+
+/// Atrous depthwise-separable convolution for the DeepLab ASPP branches.
+pub fn atrous_separable_conv(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: NodeId,
+    rate: usize,
+    out_channels: usize,
+) -> NodeId {
+    // Depthwise with dilation is modeled as a dilated regular conv per
+    // channel; cost-wise a depthwise conv's MACs do not change with
+    // dilation, so we use the depthwise op and note the rate in the name.
+    let x = b.depthwise_conv2d(&format!("{name}/dw_rate{rate}"), input, 3, 1, Activation::Relu6);
+    b.conv2d(&format!("{name}/pw"), x, 1, 1, out_channels, Activation::Relu6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::{DataType, Shape};
+
+    #[test]
+    fn ibn_residual_when_stride1_same_channels() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(14, 14, 64), DataType::F32);
+        let inp = b.input_id();
+        let out = inverted_bottleneck(&mut b, "blk", inp, 6, 64, 3, 1);
+        // Residual add means the output node is an eltwise add.
+        assert_eq!(b.output_of(out).shape, Shape::nhwc(14, 14, 64));
+        let g = b.finish();
+        assert_eq!(g.output_node().op.mnemonic(), "add");
+    }
+
+    #[test]
+    fn ibn_no_residual_on_stride2() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(14, 14, 64), DataType::F32);
+        let inp = b.input_id();
+        let out = inverted_bottleneck(&mut b, "blk", inp, 6, 96, 3, 2);
+        assert_eq!(b.output_of(out).shape, Shape::nhwc(7, 7, 96));
+        let g = b.finish();
+        assert_eq!(g.output_node().op.mnemonic(), "conv2d");
+    }
+
+    #[test]
+    fn ibn_expand1_skips_expansion() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(112, 112, 32), DataType::F32);
+        let inp = b.input_id();
+        let _ = inverted_bottleneck(&mut b, "blk", inp, 1, 16, 3, 1);
+        let g = b.finish();
+        // input + dw + project = 3 nodes (no expand, no residual).
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn fused_block_uses_regular_conv() {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(56, 56, 24), DataType::F32);
+        let inp = b.input_id();
+        let _ = fused_inverted_bottleneck(&mut b, "blk", inp, 4, 32, 3, 2);
+        let g = b.finish();
+        let convs: Vec<_> = g.iter().filter(|n| n.op.mnemonic() == "conv2d").collect();
+        assert_eq!(convs.len(), 2); // fused kxk + 1x1 project
+        assert!(g.iter().all(|n| n.op.mnemonic() != "dwconv2d"));
+    }
+
+    #[test]
+    fn separable_halves_params_vs_dense() {
+        let mut b1 = GraphBuilder::new("sep", Shape::nhwc(19, 19, 576), DataType::F32);
+        let i1 = b1.input_id();
+        let _ = separable_conv(&mut b1, "p", i1, 3, 1, 24, Activation::None);
+        let sep = b1.finish().parameter_count();
+
+        let mut b2 = GraphBuilder::new("dense", Shape::nhwc(19, 19, 576), DataType::F32);
+        let i2 = b2.input_id();
+        let _ = b2.conv2d("p", i2, 3, 1, 24, Activation::None);
+        let dense = b2.finish().parameter_count();
+        assert!(sep * 2 < dense, "separable {sep} should be far below dense {dense}");
+    }
+}

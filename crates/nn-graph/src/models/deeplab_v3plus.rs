@@ -1,0 +1,133 @@
+//! DeepLab v3+ (MobileNet v2 backbone) — the semantic-segmentation
+//! reference model.
+//!
+//! Encoder/decoder with atrous spatial pyramid pooling (ASPP) at output
+//! stride 16, MobileNet v2 feature extractor, and a 32-class head (the 31
+//! most frequent ADE20K classes plus an "other" bucket, per the paper's
+//! Section 3.2). 512x512 input, ~2M parameters.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::models::common::{atrous_separable_conv, inverted_bottleneck, separable_conv};
+use crate::op::Activation;
+use crate::tensor::{DataType, Shape};
+
+/// ADE20K crop resolution used by the benchmark.
+pub const INPUT_SIZE: usize = 512;
+/// Predicted classes: 31 frequent ADE20K classes + 1 "other".
+pub const NUM_CLASSES: usize = 32;
+
+/// Builds the DeepLab v3+ graph at FP32.
+#[must_use]
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new(
+        "deeplab_v3plus_mnv2",
+        Shape::nhwc(INPUT_SIZE, INPUT_SIZE, 3),
+        DataType::F32,
+    );
+    let mut x = b.conv2d("stem", b.input_id(), 3, 2, 32, Activation::Relu6); // 256
+
+    // MobileNet v2 backbone at output stride 16: the last stride-2 stage
+    // runs at stride 1 with (conceptually) dilated depthwise convs.
+    // (expand, channels, repeats, stride)
+    let stages: &[(usize, usize, usize, usize)] = &[
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),  // 128 — low-level decoder tap after this stage
+        (6, 32, 3, 2),  // 64
+        (6, 64, 4, 2),  // 32 (= output stride 16)
+        (6, 96, 3, 1),
+        (6, 160, 3, 1), // stride 1 instead of 2: atrous, keeps 32x32
+        (6, 320, 1, 1),
+    ];
+    let mut low_level = None;
+    let mut blk = 0usize;
+    for (stage, &(e, c, n, s)) in stages.iter().enumerate() {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            x = inverted_bottleneck(&mut b, &format!("ibn{blk}"), x, e, c, 3, stride);
+            blk += 1;
+        }
+        if stage == 1 {
+            low_level = Some(x);
+        }
+    }
+    let low_level = low_level.expect("low-level tap exists");
+
+    // ASPP over the 32x32x320 encoder output: 1x1 branch, three atrous
+    // separable branches (rates 6/12/18), and global image pooling.
+    let aspp_c = 192;
+    let b0 = b.conv2d("aspp/b0", x, 1, 1, aspp_c, Activation::Relu6);
+    let b1 = atrous_separable_conv(&mut b, "aspp/b1", x, 6, aspp_c);
+    let b2 = atrous_separable_conv(&mut b, "aspp/b2", x, 12, aspp_c);
+    let b3 = atrous_separable_conv(&mut b, "aspp/b3", x, 18, aspp_c);
+    let pooled = b.global_avg_pool("aspp/pool", x);
+    let pooled = b.conv2d("aspp/pool_proj", pooled, 1, 1, aspp_c, Activation::Relu6);
+    let pooled = b.resize_bilinear("aspp/pool_up", pooled, 32, 32);
+    let aspp = b.concat("aspp/concat", &[b0, b1, b2, b3, pooled]);
+    let enc = b.conv2d("aspp/project", aspp, 1, 1, aspp_c, Activation::Relu6);
+
+    // Decoder: upsample x4, fuse with the reduced low-level feature, refine
+    // with separable convs, classify, upsample to full resolution.
+    let up4 = b.resize_bilinear("decoder/up4", enc, 128, 128);
+    let low = b.conv2d("decoder/low_proj", low_level, 1, 1, 48, Activation::Relu6);
+    let fused = b.concat("decoder/concat", &[up4, low]);
+    let r1 = separable_conv(&mut b, "decoder/refine1", fused, 3, 1, 160, Activation::Relu6);
+    let r2 = separable_conv(&mut b, "decoder/refine2", r1, 3, 1, 160, Activation::Relu6);
+    let logits = b.conv2d("classifier", r2, 1, 1, NUM_CLASSES, Activation::None);
+    let _out = b.resize_bilinear("upsample_out", logits, INPUT_SIZE, INPUT_SIZE);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::validate;
+    use crate::op::OpClass;
+
+    #[test]
+    fn builds_and_validates() {
+        let g = build();
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn parameter_count_matches_paper() {
+        // Paper Table 1: 2M params.
+        let g = build();
+        let params = g.parameter_count() as f64 / 1e6;
+        assert!((1.2..3.5).contains(&params), "params {params:.2}M out of range");
+    }
+
+    #[test]
+    fn output_is_per_pixel_classes() {
+        let g = build();
+        let out = &g.output_node().output.shape;
+        assert_eq!(out.dims(), &[1, INPUT_SIZE, INPUT_SIZE, NUM_CLASSES]);
+    }
+
+    #[test]
+    fn aspp_has_atrous_and_pooling_branches() {
+        let g = build();
+        assert!(g.iter().any(|n| n.name.contains("aspp/b1")));
+        assert!(g.iter().any(|n| n.name.contains("aspp/pool")));
+        // Decoder performs bilinear upsampling twice plus the ASPP pool-up.
+        let resizes = g.iter().filter(|n| n.class() == OpClass::Resize).count();
+        assert_eq!(resizes, 3);
+    }
+
+    #[test]
+    fn heaviest_vision_model() {
+        // Segmentation at 512x512 out-computes classification and detection.
+        let seg = build().gmacs();
+        let cls = crate::models::mobilenet_edgetpu::build().gmacs();
+        assert!(seg > 3.0 * cls, "seg {seg:.2} vs cls {cls:.2}");
+    }
+
+    #[test]
+    fn large_activation_footprint() {
+        // The full-resolution output map dominates peak activations: 512*512*32.
+        let g = build();
+        let peak = crate::graph::peak_activation_elements(&g);
+        assert_eq!(peak, (INPUT_SIZE * INPUT_SIZE * NUM_CLASSES) as u64);
+    }
+}

@@ -1,0 +1,112 @@
+//! EDSR-mobile — the 2x super-resolution model for the task the paper
+//! lists as future work (Appendix E: "super-resolution and
+//! high-resolution models are important use cases... heavy-duty").
+//!
+//! A compact EDSR-style network: 640x360 input, 32-channel trunk with four
+//! residual blocks, pixel-shuffle x2 upsampling to 1280x720. Tiny
+//! parameter count (~0.3M) but enormous computation (~26 GMACs) — the
+//! opposite corner of the design space from the classification model, and
+//! exactly the "heavyweight" end the paper's Section 3.1 describes.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::op::Activation;
+use crate::tensor::{DataType, Shape};
+
+/// Input (low-resolution) height.
+pub const LR_HEIGHT: usize = 360;
+/// Input (low-resolution) width.
+pub const LR_WIDTH: usize = 640;
+/// Upscaling factor.
+pub const SCALE: usize = 2;
+/// Trunk channel width.
+pub const CHANNELS: usize = 32;
+/// Residual blocks in the trunk.
+pub const BLOCKS: usize = 4;
+
+fn res_block(b: &mut GraphBuilder, name: &str, input: NodeId) -> NodeId {
+    let c1 = b.conv2d(&format!("{name}/conv1"), input, 3, 1, CHANNELS, Activation::Relu);
+    let c2 = b.conv2d(&format!("{name}/conv2"), c1, 3, 1, CHANNELS, Activation::None);
+    b.add(&format!("{name}/residual"), input, c2)
+}
+
+/// Builds the EDSR-mobile 2x graph at FP32.
+#[must_use]
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new(
+        "edsr_mobile_x2",
+        Shape::nhwc(LR_HEIGHT, LR_WIDTH, 3),
+        DataType::F32,
+    );
+    let stem = b.conv2d("stem", b.input_id(), 3, 1, CHANNELS, Activation::None);
+    let mut x = stem;
+    for blk in 0..BLOCKS {
+        x = res_block(&mut b, &format!("block{blk}"), x);
+    }
+    let trunk = b.conv2d("trunk_out", x, 3, 1, CHANNELS, Activation::None);
+    let skip = b.add("global_skip", stem, trunk);
+
+    // Upsample: conv to scale^2 * C channels, then pixel shuffle (a pure
+    // data-movement reshape) to the high-resolution grid.
+    let expanded = b.conv2d("upsample/conv", skip, 3, 1, CHANNELS * SCALE * SCALE, Activation::None);
+    let shuffled = b.reshape(
+        "upsample/pixel_shuffle",
+        expanded,
+        Shape::nhwc(LR_HEIGHT * SCALE, LR_WIDTH * SCALE, CHANNELS),
+    );
+    let _out = b.conv2d("reconstruct", shuffled, 3, 1, 3, Activation::None);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::validate;
+
+    #[test]
+    fn builds_and_validates() {
+        let g = build();
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn output_is_720p_rgb() {
+        let g = build();
+        assert_eq!(
+            g.output_node().output.shape.dims(),
+            &[1, LR_HEIGHT * SCALE, LR_WIDTH * SCALE, 3]
+        );
+    }
+
+    #[test]
+    fn tiny_params_huge_compute() {
+        let g = build();
+        let params = g.parameter_count() as f64 / 1e6;
+        let gmacs = g.gmacs();
+        assert!(params < 0.5, "params {params:.2}M should be tiny");
+        assert!(gmacs > 15.0, "gmacs {gmacs:.1} should dwarf the core suite");
+        // Heavier than every core-suite model.
+        let seg = crate::models::deeplab_v3plus::build().gmacs();
+        assert!(gmacs > 2.0 * seg);
+    }
+
+    #[test]
+    fn pixel_shuffle_preserves_elements() {
+        let g = build();
+        let shuffle = g.iter().find(|n| n.name.contains("pixel_shuffle")).unwrap();
+        let producer = g.node(shuffle.inputs[0]);
+        assert_eq!(
+            shuffle.output.shape.elements(),
+            producer.output.shape.elements()
+        );
+        assert_eq!(shuffle.cost.flops, 0);
+    }
+
+    #[test]
+    fn activation_footprint_is_massive() {
+        // 720p x 32 channels intermediate: memory-bound territory.
+        let g = build();
+        let peak = crate::graph::peak_activation_elements(&g);
+        assert!(peak >= (720 * 1280 * 32) as u64);
+    }
+}

@@ -1,0 +1,122 @@
+//! Mobile RNN-T — the on-device speech-recognition model the paper lists
+//! as in-progress future work (Appendix E: "Speech RNN-T is in the works —
+//! we're working with Google and Facebook engineers to build a mobile
+//! model version", citing He et al. 2018).
+//!
+//! A compact streaming transducer: 5 encoder LSTM layers (h=640) over
+//! 300 acoustic frames, a 2-layer prediction network, and a joint network
+//! with a wordpiece softmax. ~23M parameters, LSTM-dominated — an op class
+//! most mobile AI engines cannot run, so like MobileBERT it exercises the
+//! CPU/GPU fallback paths rather than the NPUs.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::op::Activation;
+use crate::tensor::{DataType, Shape};
+
+/// Acoustic frames per utterance (3 s at a 10 ms hop).
+pub const FRAMES: usize = 300;
+/// Log-mel feature bins per frame.
+pub const FEATURES: usize = 80;
+/// LSTM hidden width.
+pub const HIDDEN: usize = 640;
+/// Encoder LSTM layers.
+pub const ENCODER_LAYERS: usize = 5;
+/// Prediction-network LSTM layers.
+pub const PREDICTION_LAYERS: usize = 2;
+/// Wordpiece vocabulary (incl. blank).
+pub const VOCAB: usize = 1024;
+/// Joint-network width.
+pub const JOINT: usize = 512;
+
+/// Builds the mobile RNN-T graph at FP32.
+///
+/// The decoding loop is modeled at its per-utterance cost: the prediction
+/// and joint networks are evaluated once per encoder frame (the greedy
+/// decode upper bound), expressed as sequence ops over the frame axis.
+#[must_use]
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new(
+        "mobile_rnnt",
+        Shape::seq(FRAMES, FEATURES),
+        DataType::F32,
+    );
+    // Encoder: stacked unidirectional LSTMs (streaming).
+    let mut x = b.input_id();
+    for layer in 0..ENCODER_LAYERS {
+        x = b.lstm(&format!("encoder/lstm{layer}"), x, HIDDEN);
+    }
+    let enc = b.seq_dense("encoder/proj", x, JOINT, Activation::None);
+
+    // Prediction network over the decode steps (bounded by frame count).
+    let mut p = enc;
+    for layer in 0..PREDICTION_LAYERS {
+        p = b.lstm(&format!("prediction/lstm{layer}"), p, HIDDEN);
+    }
+    let pred = b.seq_dense("prediction/proj", p, JOINT, Activation::None);
+
+    // Joint network: combine, nonlinearity, wordpiece logits.
+    let joint = b.add("joint/combine", enc, pred);
+    let joint = b.seq_dense("joint/dense", joint, JOINT, Activation::Tanh);
+    let logits = b.seq_dense("joint/logits", joint, VOCAB, Activation::None);
+    let _probs = b.softmax("joint/probs", logits);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::validate;
+    use crate::op::OpClass;
+
+    #[test]
+    fn builds_and_validates() {
+        let g = build();
+        assert!(validate(&g).is_ok());
+        assert_eq!(g.name(), "mobile_rnnt");
+    }
+
+    #[test]
+    fn parameter_count_mobile_scale() {
+        let g = build();
+        let params = g.parameter_count() as f64 / 1e6;
+        assert!((15.0..32.0).contains(&params), "params {params:.1}M");
+    }
+
+    #[test]
+    fn lstm_dominates_compute() {
+        let g = build();
+        let total = g.total_cost().flops;
+        let lstm: u64 = g
+            .iter()
+            .filter(|n| n.class() == OpClass::Lstm)
+            .map(|n| n.cost.flops)
+            .sum();
+        assert!(
+            lstm as f64 > 0.7 * total as f64,
+            "LSTM share {:.2} should dominate",
+            lstm as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn seven_lstm_layers() {
+        let g = build();
+        let lstms = g.iter().filter(|n| n.class() == OpClass::Lstm).count();
+        assert_eq!(lstms, ENCODER_LAYERS + PREDICTION_LAYERS);
+    }
+
+    #[test]
+    fn heavy_like_bert() {
+        let g = build();
+        let gmacs = g.gmacs();
+        assert!((4.0..12.0).contains(&gmacs), "gmacs {gmacs:.1}");
+    }
+
+    #[test]
+    fn output_is_wordpiece_distribution() {
+        let g = build();
+        assert_eq!(g.output_node().output.shape.dims(), &[1, FRAMES, VOCAB]);
+        assert_eq!(g.output_node().op.mnemonic(), "softmax");
+    }
+}

@@ -1,0 +1,140 @@
+//! MobileBERT — the question-answering reference model.
+//!
+//! A compact, task-agnostic BERT (Sun et al., 2020) for resource-limited
+//! devices: 24 transformer layers with 512-wide inter-block features
+//! squeezed through 128-wide intra-block bottlenecks, 4 attention heads and
+//! a stacked 4x feed-forward network. ~25M parameters, maximum sequence
+//! length 384 (paper Section 3.2), SQuAD v1.1 span-extraction head.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::op::Activation;
+use crate::tensor::{DataType, Shape};
+
+/// Maximum sequence length the model was trained with.
+pub const SEQ_LEN: usize = 384;
+/// WordPiece vocabulary size.
+pub const VOCAB: usize = 30522;
+/// Inter-block (outer) hidden width.
+pub const HIDDEN: usize = 512;
+/// Intra-block bottleneck width.
+pub const BOTTLENECK: usize = 128;
+/// Attention heads.
+pub const HEADS: usize = 4;
+/// Transformer layers.
+pub const LAYERS: usize = 24;
+/// Stacked feed-forward sub-layers per block.
+pub const FFN_STACK: usize = 4;
+
+/// Builds the MobileBERT graph at FP32.
+#[must_use]
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new(
+        "mobilebert",
+        Shape::new(&[1, SEQ_LEN]), // token ids
+        DataType::F32,
+    );
+    let emb = b.embedding("embeddings", b.input_id(), VOCAB, BOTTLENECK, SEQ_LEN);
+    let mut x = b.seq_dense("embed_proj", emb, HIDDEN, Activation::None);
+    x = b.layer_norm("embed_ln", x);
+
+    for layer in 0..LAYERS {
+        x = encoder_layer(&mut b, &format!("layer{layer}"), x);
+    }
+
+    // SQuAD head: two logits (answer start, answer end) per token.
+    let span = b.seq_dense("qa_outputs", x, 2, Activation::None);
+    let _probs = b.softmax("span_probs", span);
+    b.finish()
+}
+
+/// One MobileBERT encoder block.
+fn encoder_layer(b: &mut GraphBuilder, name: &str, input: NodeId) -> NodeId {
+    let head_dim = BOTTLENECK / HEADS;
+
+    // Bottleneck in: 512 -> 128.
+    let bn = b.seq_dense(&format!("{name}/bottleneck_in"), input, BOTTLENECK, Activation::None);
+
+    // Multi-head self-attention in the bottleneck width.
+    let q = b.seq_dense(&format!("{name}/q"), bn, BOTTLENECK, Activation::None);
+    let k = b.seq_dense(&format!("{name}/k"), bn, BOTTLENECK, Activation::None);
+    let v = b.seq_dense(&format!("{name}/v"), bn, BOTTLENECK, Activation::None);
+    let qh = b.reshape(&format!("{name}/q_heads"), q, Shape::new(&[HEADS, SEQ_LEN, head_dim]));
+    let kt = b.reshape(&format!("{name}/k_t"), k, Shape::new(&[HEADS, head_dim, SEQ_LEN]));
+    let vh = b.reshape(&format!("{name}/v_heads"), v, Shape::new(&[HEADS, SEQ_LEN, head_dim]));
+    let scores = b.matmul(&format!("{name}/scores"), qh, kt);
+    let attn = b.softmax(&format!("{name}/attn"), scores);
+    let ctx = b.matmul(&format!("{name}/context"), attn, vh);
+    let merged = b.reshape(&format!("{name}/merge"), ctx, Shape::seq(SEQ_LEN, BOTTLENECK));
+    let proj = b.seq_dense(&format!("{name}/attn_out"), merged, BOTTLENECK, Activation::None);
+    let res1 = b.add(&format!("{name}/attn_res"), bn, proj);
+    let mut y = b.layer_norm(&format!("{name}/attn_ln"), res1);
+
+    // Stacked FFN: 4x (128 -> 512 -> 128) with residuals.
+    for i in 0..FFN_STACK {
+        let up = b.seq_dense(&format!("{name}/ffn{i}/up"), y, HIDDEN, Activation::Gelu);
+        let down = b.seq_dense(&format!("{name}/ffn{i}/down"), up, BOTTLENECK, Activation::None);
+        let res = b.add(&format!("{name}/ffn{i}/res"), y, down);
+        y = b.layer_norm(&format!("{name}/ffn{i}/ln"), res);
+    }
+
+    // Bottleneck out: 128 -> 512, residual with the 512-wide block input.
+    let up = b.seq_dense(&format!("{name}/bottleneck_out"), y, HIDDEN, Activation::None);
+    let res = b.add(&format!("{name}/block_res"), input, up);
+    b.layer_norm(&format!("{name}/block_ln"), res)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::validate;
+    use crate::op::OpClass;
+
+    #[test]
+    fn builds_and_validates() {
+        let g = build();
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn parameter_count_matches_paper() {
+        // Paper Table 1: 25M params.
+        let g = build();
+        let params = g.parameter_count() as f64 / 1e6;
+        assert!((18.0..28.0).contains(&params), "params {params:.2}M out of range");
+    }
+
+    #[test]
+    fn heaviest_model_in_the_suite() {
+        let bert = build().gmacs();
+        let seg = crate::models::deeplab_v3plus::build().gmacs();
+        assert!(bert > seg, "MobileBERT {bert:.2} should exceed DeepLab {seg:.2}");
+        assert!((4.0..12.0).contains(&bert), "gmacs {bert:.2} out of range");
+    }
+
+    #[test]
+    fn has_24_layers_of_attention() {
+        let g = build();
+        let softmaxes = g
+            .iter()
+            .filter(|n| n.class() == OpClass::Softmax && n.name.contains("attn"))
+            .count();
+        assert_eq!(softmaxes, LAYERS);
+        let layernorms = g.iter().filter(|n| n.class() == OpClass::LayerNorm).count();
+        // Per layer: attn_ln + 4 ffn ln + block_ln = 6, plus embed_ln.
+        assert_eq!(layernorms, LAYERS * (2 + FFN_STACK) + 1);
+    }
+
+    #[test]
+    fn span_output_shape() {
+        let g = build();
+        assert_eq!(g.output_node().output.shape.dims(), &[1, SEQ_LEN, 2]);
+    }
+
+    #[test]
+    fn embedding_table_dominates_single_tensor_weights() {
+        let g = build();
+        let emb = g.iter().find(|n| n.class() == OpClass::Embedding).unwrap();
+        assert_eq!(emb.cost.weight_elements, (VOCAB * BOTTLENECK) as u64);
+    }
+}

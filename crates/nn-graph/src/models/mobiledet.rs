@@ -1,0 +1,147 @@
+//! MobileDets-SSD — the v1.0 object-detection reference model.
+//!
+//! MobileDets (Xiong et al., CVPR 2021) inject *regular* convolutions
+//! between inverted bottlenecks, found by NAS to improve the
+//! accuracy-latency trade-off on mobile accelerators (EdgeTPU, DSP). The
+//! benchmark variant pairs the backbone with an SSDLite (depthwise
+//! separable) head at 320x320: fewer parameters than SSD-MobileNet v2 (~4M
+//! per paper Table 1) but more computation from the larger input.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::models::common::{fused_inverted_bottleneck, inverted_bottleneck, separable_conv};
+use crate::op::Activation;
+use crate::tensor::{DataType, Shape};
+
+/// COCO input resolution for the v1.0 model.
+pub const INPUT_SIZE: usize = 320;
+/// COCO classes + background.
+pub const NUM_CLASSES: usize = 91;
+/// Total anchors across the six feature maps (20x20 grid base).
+pub const NUM_ANCHORS: usize = 2034;
+/// Maximum detections emitted by NMS.
+pub const MAX_DETECTIONS: usize = 100;
+
+/// Builds the MobileDets-SSD graph at FP32.
+#[must_use]
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new(
+        "mobiledet_ssd",
+        Shape::nhwc(INPUT_SIZE, INPUT_SIZE, 3),
+        DataType::F32,
+    );
+    let mut x = b.conv2d("stem", b.input_id(), 3, 2, 32, Activation::Relu6);
+
+    // MobileDets-DSP-flavored backbone: fused blocks early, regular convs
+    // injected mid-network, inverted bottlenecks late.
+    x = fused_inverted_bottleneck(&mut b, "fused0", x, 4, 24, 3, 2); // 80x80
+    x = fused_inverted_bottleneck(&mut b, "fused1", x, 4, 24, 3, 1);
+    x = fused_inverted_bottleneck(&mut b, "fused2", x, 4, 40, 3, 2); // 40x40
+    x = fused_inverted_bottleneck(&mut b, "fused3", x, 4, 40, 3, 1);
+    // NAS-injected regular convolution block.
+    x = b.conv2d("reg0", x, 3, 1, 64, Activation::Relu6);
+    x = inverted_bottleneck(&mut b, "ibn0", x, 4, 64, 3, 2); // 20x20
+    x = inverted_bottleneck(&mut b, "ibn1", x, 4, 64, 3, 1);
+    x = b.conv2d("reg1", x, 3, 1, 96, Activation::Relu6);
+    x = inverted_bottleneck(&mut b, "ibn2", x, 4, 96, 3, 1);
+    x = inverted_bottleneck(&mut b, "ibn3", x, 4, 96, 3, 1);
+    let feature_20 = x;
+    x = inverted_bottleneck(&mut b, "ibn4", x, 8, 160, 5, 2); // 10x10
+    x = inverted_bottleneck(&mut b, "ibn5", x, 4, 160, 5, 1);
+    let feature_10 = b.conv2d("reg2", x, 3, 1, 240, Activation::Relu6);
+
+    // SSDLite extra layers: separable stride-2 convs.
+    let extra = |b: &mut GraphBuilder, name: &str, input: NodeId, out: usize| {
+        separable_conv(b, name, input, 3, 2, out, Activation::Relu6)
+    };
+    let feature_5 = extra(&mut b, "extra1", feature_10, 256);
+    let feature_3 = extra(&mut b, "extra2", feature_5, 256);
+    let feature_2 = extra(&mut b, "extra3", feature_3, 128);
+    let feature_1 = extra(&mut b, "extra4", feature_2, 128);
+
+    // SSDLite box predictors: depthwise-separable heads.
+    let per_anchor = 4 + NUM_CLASSES;
+    let mut heads = Vec::new();
+    let taps: &[(NodeId, usize, &str)] = &[
+        (feature_20, 3, "pred0"),
+        (feature_10, 6, "pred1"),
+        (feature_5, 6, "pred2"),
+        (feature_3, 6, "pred3"),
+        (feature_2, 6, "pred4"),
+        (feature_1, 6, "pred5"),
+    ];
+    for &(tap, anchors_per_loc, name) in taps {
+        let shape = b.output_of(tap).shape.clone();
+        let (h, w) = (shape.height(), shape.width());
+        let raw = separable_conv(&mut b, name, tap, 3, 1, anchors_per_loc * per_anchor, Activation::None);
+        let n_anchors = h * w * anchors_per_loc;
+        let r = b.reshape(
+            &format!("{name}/flatten"),
+            raw,
+            Shape::new(&[1, per_anchor, n_anchors]),
+        );
+        heads.push(r);
+    }
+    let all = b.concat("anchors", &heads);
+    debug_assert_eq!(b.output_of(all).shape.channels(), NUM_ANCHORS);
+    let decoded = b.box_decode("decode", all, NUM_ANCHORS, NUM_CLASSES);
+    let _det = b.nms("nms", decoded, NUM_ANCHORS, MAX_DETECTIONS);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::validate;
+    use crate::op::{Op, OpClass};
+
+    #[test]
+    fn builds_and_validates() {
+        let g = build();
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn anchor_arithmetic() {
+        // 20x20x3 + 10x10x6 + 5x5x6 + 3x3x6 + 2x2x6 + 1x1x6 = 2034.
+        assert_eq!(
+            20 * 20 * 3 + 100 * 6 + 25 * 6 + 9 * 6 + 4 * 6 + 6,
+            NUM_ANCHORS
+        );
+    }
+
+    #[test]
+    fn parameter_count_matches_paper() {
+        // Paper Table 1: 4M params — far fewer than SSD-MobileNet v2.
+        let g = build();
+        let params = g.parameter_count() as f64 / 1e6;
+        assert!((2.0..6.0).contains(&params), "params {params:.2}M out of range");
+        let v2 = crate::models::ssd_mobilenet_v2::build().parameter_count();
+        assert!(g.parameter_count() * 2 < v2, "MobileDets must be much smaller");
+    }
+
+    #[test]
+    fn injects_regular_convolutions() {
+        // The defining MobileDets property: standalone regular convs exist
+        // between bottleneck blocks.
+        let g = build();
+        let regs: Vec<_> = g.iter().filter(|n| n.name.starts_with("reg")).collect();
+        assert!(regs.len() >= 3);
+        for r in regs {
+            assert!(matches!(r.op, Op::Conv2d { .. }));
+        }
+    }
+
+    #[test]
+    fn higher_resolution_than_v07_model() {
+        assert_eq!(INPUT_SIZE, 320);
+        assert_eq!(crate::models::ssd_mobilenet_v2::INPUT_SIZE, 300);
+    }
+
+    #[test]
+    fn postprocessing_present() {
+        let g = build();
+        assert!(g.iter().any(|n| n.class() == OpClass::Nms));
+        assert_eq!(g.output_node().output.shape.dims(), &[1, MAX_DETECTIONS, 6]);
+    }
+}

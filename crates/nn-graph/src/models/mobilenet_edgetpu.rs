@@ -1,0 +1,125 @@
+//! MobileNetEdgeTPU — the v0.7/v1.0 image-classification reference model.
+//!
+//! A MobileNet-v2 descendant optimized for mobile accelerators: early stages
+//! use *fused* inverted bottlenecks (regular convolutions improve hardware
+//! utilization), hard-swish and squeeze-excite are removed, later stages use
+//! classic inverted bottlenecks. ~4M parameters, 224x224 input, 1001-way
+//! classifier (ImageNet + background class).
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::models::common::{fused_inverted_bottleneck, inverted_bottleneck};
+use crate::op::Activation;
+use crate::tensor::{DataType, Shape};
+
+/// ImageNet input resolution used by the benchmark.
+pub const INPUT_SIZE: usize = 224;
+/// Classifier width (1000 classes + background).
+pub const NUM_CLASSES: usize = 1001;
+
+/// Builds the MobileNetEdgeTPU graph at FP32.
+#[must_use]
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new(
+        "mobilenet_edgetpu",
+        Shape::nhwc(INPUT_SIZE, INPUT_SIZE, 3),
+        DataType::F32,
+    );
+    let mut x = b.conv2d("stem", b.input_id(), 3, 2, 32, Activation::Relu6);
+
+    // Stage 1-2: fused inverted bottlenecks (regular convs, accelerator
+    // friendly). (expand, out, kernel, stride, repeats)
+    let fused_stages: &[(usize, usize, usize, usize, usize)] = &[
+        (4, 24, 3, 2, 1),
+        (4, 32, 3, 2, 1),
+        (4, 32, 3, 1, 2),
+    ];
+    let mut blk = 0usize;
+    for &(e, c, k, s, n) in fused_stages {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            x = fused_inverted_bottleneck(&mut b, &format!("fused{blk}"), x, e, c, k, stride);
+            blk += 1;
+        }
+    }
+
+    // Stage 3+: classic inverted bottlenecks.
+    let ibn_stages: &[(usize, usize, usize, usize, usize)] = &[
+        (8, 64, 3, 2, 1),
+        (4, 64, 3, 1, 3),
+        (8, 96, 3, 1, 1),
+        (4, 96, 3, 1, 3),
+        (8, 160, 5, 2, 1),
+        (4, 160, 5, 1, 3),
+        (8, 192, 3, 1, 1),
+    ];
+    for &(e, c, k, s, n) in ibn_stages {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            x = inverted_bottleneck(&mut b, &format!("ibn{blk}"), x, e, c, k, stride);
+            blk += 1;
+        }
+    }
+
+    let head = b.conv2d("head", x, 1, 1, 1280, Activation::Relu6);
+    let pooled = b.global_avg_pool("gap", head);
+    let logits = b.fully_connected("logits", pooled, NUM_CLASSES, Activation::None);
+    let _probs = b.softmax("probs", logits);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::validate;
+
+    #[test]
+    fn builds_and_validates() {
+        let g = build();
+        assert!(validate(&g).is_ok());
+        assert_eq!(g.name(), "mobilenet_edgetpu");
+    }
+
+    #[test]
+    fn parameter_count_matches_paper() {
+        // Paper Table 1: 4M params.
+        let g = build();
+        let params = g.parameter_count() as f64 / 1e6;
+        assert!((3.0..5.5).contains(&params), "params {params:.2}M out of range");
+    }
+
+    #[test]
+    fn mac_count_plausible() {
+        let g = build();
+        let gmacs = g.gmacs();
+        assert!((0.3..0.7).contains(&gmacs), "gmacs {gmacs:.3} out of range");
+    }
+
+    #[test]
+    fn output_is_class_distribution() {
+        let g = build();
+        let out = &g.output_node().output;
+        assert_eq!(out.shape.dims(), &[1, NUM_CLASSES]);
+        assert_eq!(g.output_node().op.mnemonic(), "softmax");
+    }
+
+    #[test]
+    fn no_hard_swish_anywhere() {
+        // MobileNetEdgeTPU removed hard-swish for accelerator friendliness.
+        use crate::op::{Activation, Op};
+        let g = build();
+        for n in &g {
+            if let Op::Conv2d { activation, .. } | Op::DepthwiseConv2d { activation, .. } = n.op {
+                assert_ne!(activation, Activation::HardSwish, "{} uses hard-swish", n.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_blocks_precede_ibn_blocks() {
+        let g = build();
+        let first_dw = g.iter().position(|n| n.op.mnemonic() == "dwconv2d").unwrap();
+        let fused = g.iter().position(|n| n.name.contains("fused")).unwrap();
+        assert!(fused < first_dw, "fused stages must come before depthwise stages");
+    }
+}

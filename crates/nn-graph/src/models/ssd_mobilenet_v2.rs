@@ -1,0 +1,152 @@
+//! SSD-MobileNet v2 — the v0.7 object-detection reference model.
+//!
+//! MobileNet v2 backbone (300x300 input) feeding a six-scale SSD head with
+//! regular-convolution box predictors over 1917 anchors and 91 COCO classes
+//! (~17M parameters, matching paper Table 1), followed by box decoding and
+//! non-maximum suppression — the post-processing stages that typically fall
+//! back to the CPU on mobile accelerators.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::models::common::inverted_bottleneck;
+use crate::op::Activation;
+use crate::tensor::{DataType, Shape};
+
+/// COCO input resolution for the v0.7 model.
+pub const INPUT_SIZE: usize = 300;
+/// COCO classes + background.
+pub const NUM_CLASSES: usize = 91;
+/// Total anchor count across the six feature maps.
+pub const NUM_ANCHORS: usize = 1917;
+/// Maximum detections emitted by NMS.
+pub const MAX_DETECTIONS: usize = 100;
+
+/// MobileNet v2 inverted-residual table: (expand, channels, repeats, stride).
+const MOBILENET_V2: &[(usize, usize, usize, usize)] = &[
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+];
+
+/// Builds the SSD-MobileNet v2 graph at FP32.
+#[must_use]
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new(
+        "ssd_mobilenet_v2",
+        Shape::nhwc(INPUT_SIZE, INPUT_SIZE, 3),
+        DataType::F32,
+    );
+    let mut x = b.conv2d("stem", b.input_id(), 3, 2, 32, Activation::Relu6);
+
+    // Backbone, capturing the 19x19 intermediate (expansion of the first
+    // stride-16 block group end) used as the first SSD feature map.
+    let mut feature_19: Option<NodeId> = None;
+    let mut blk = 0usize;
+    for (stage, &(e, c, n, s)) in MOBILENET_V2.iter().enumerate() {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            x = inverted_bottleneck(&mut b, &format!("ibn{blk}"), x, e, c, 3, stride);
+            blk += 1;
+        }
+        // End of the 96-channel stage is the classic 19x19 SSD tap.
+        if stage == 4 {
+            feature_19 = Some(x);
+        }
+    }
+    let feature_19 = feature_19.expect("stage 4 tap exists");
+    let feature_10 = b.conv2d("head_1280", x, 1, 1, 1280, Activation::Relu6);
+
+    // Extra feature layers: 1x1 squeeze then 3x3 stride-2 expand.
+    let extra = |b: &mut GraphBuilder, name: &str, input: NodeId, squeeze: usize, expand_c: usize| {
+        let s = b.conv2d(&format!("{name}/squeeze"), input, 1, 1, squeeze, Activation::Relu6);
+        b.conv2d(&format!("{name}/expand"), s, 3, 2, expand_c, Activation::Relu6)
+    };
+    let feature_5 = extra(&mut b, "extra1", feature_10, 256, 512);
+    let feature_3 = extra(&mut b, "extra2", feature_5, 128, 256);
+    let feature_2 = extra(&mut b, "extra3", feature_3, 128, 256);
+    let feature_1 = extra(&mut b, "extra4", feature_2, 64, 128);
+
+    // Box predictor per feature map: regular 3x3 conv producing
+    // anchors_per_location * (4 + classes) channels, reshaped to
+    // [1, 4+classes, n_anchors] for anchor-axis concatenation.
+    let per_anchor = 4 + NUM_CLASSES;
+    let mut heads = Vec::new();
+    let taps: &[(NodeId, usize, &str)] = &[
+        (feature_19, 3, "pred0"),
+        (feature_10, 6, "pred1"),
+        (feature_5, 6, "pred2"),
+        (feature_3, 6, "pred3"),
+        (feature_2, 6, "pred4"),
+        (feature_1, 6, "pred5"),
+    ];
+    for &(tap, anchors_per_loc, name) in taps {
+        let shape = b.output_of(tap).shape.clone();
+        let (h, w) = (shape.height(), shape.width());
+        let raw = b.conv2d(name, tap, 3, 1, anchors_per_loc * per_anchor, Activation::None);
+        let n_anchors = h * w * anchors_per_loc;
+        let r = b.reshape(
+            &format!("{name}/flatten"),
+            raw,
+            Shape::new(&[1, per_anchor, n_anchors]),
+        );
+        heads.push(r);
+    }
+    let all = b.concat("anchors", &heads);
+    debug_assert_eq!(b.output_of(all).shape.channels(), NUM_ANCHORS);
+    let decoded = b.box_decode("decode", all, NUM_ANCHORS, NUM_CLASSES);
+    let _det = b.nms("nms", decoded, NUM_ANCHORS, MAX_DETECTIONS);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::validate;
+    use crate::op::OpClass;
+
+    #[test]
+    fn builds_and_validates() {
+        let g = build();
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn anchor_count_is_1917() {
+        // 19x19x3 + 10x10x6 + 5x5x6 + 3x3x6 + 2x2x6 + 1x1x6 = 1917.
+        assert_eq!(
+            19 * 19 * 3 + 100 * 6 + 25 * 6 + 9 * 6 + 4 * 6 + 6,
+            NUM_ANCHORS
+        );
+        // And the graph actually produces that many.
+        let g = build();
+        let decode = g.iter().find(|n| n.name == "decode").unwrap();
+        assert_eq!(decode.output.shape.dims()[1], NUM_ANCHORS);
+    }
+
+    #[test]
+    fn parameter_count_matches_paper() {
+        // Paper Table 1: 17M params.
+        let g = build();
+        let params = g.parameter_count() as f64 / 1e6;
+        assert!((14.0..20.0).contains(&params), "params {params:.2}M out of range");
+    }
+
+    #[test]
+    fn postprocessing_present() {
+        let g = build();
+        assert!(g.iter().any(|n| n.class() == OpClass::Nms));
+        assert!(g.iter().any(|n| n.class() == OpClass::BoxDecode));
+        assert_eq!(g.output_node().output.shape.dims(), &[1, MAX_DETECTIONS, 6]);
+    }
+
+    #[test]
+    fn macs_heavier_than_classifier() {
+        let det = build().gmacs();
+        let cls = crate::models::mobilenet_edgetpu::build().gmacs();
+        assert!(det > cls, "SSD ({det:.2}) must out-weigh classifier ({cls:.2})");
+    }
+}

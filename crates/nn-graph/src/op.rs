@@ -1,0 +1,361 @@
+//! Operator definitions for the graph IR.
+//!
+//! Operators carry the attributes needed to compute output shapes and
+//! arithmetic/memory cost. They are deliberately at the granularity the
+//! mobile frameworks schedule at (a fused conv+BN+ReLU is one `Conv2d`),
+//! because that is the unit vendor compilers place onto engines.
+
+use crate::tensor::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Padding policy for spatial ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Padding {
+    /// Output spatial size = ceil(input / stride) ("SAME").
+    Same,
+    /// No padding; output = floor((input - kernel) / stride) + 1 ("VALID").
+    Valid,
+}
+
+impl Padding {
+    /// Output spatial extent for one dimension.
+    #[must_use]
+    pub fn output_extent(self, input: usize, kernel: usize, stride: usize, dilation: usize) -> usize {
+        let effective_kernel = dilation * (kernel - 1) + 1;
+        match self {
+            Padding::Same => input.div_ceil(stride),
+            Padding::Valid => {
+                assert!(
+                    input >= effective_kernel,
+                    "VALID padding: input {input} smaller than effective kernel {effective_kernel}"
+                );
+                (input - effective_kernel) / stride + 1
+            }
+        }
+    }
+}
+
+/// Activation fused into a compute op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// No activation.
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// ReLU clamped at 6, the mobile default.
+    Relu6,
+    /// Hard swish (MobileNet v3 family; *removed* in MobileNetEdgeTPU).
+    HardSwish,
+    /// Gaussian error linear unit (MobileBERT).
+    Gelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+/// Pooling flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Average pooling (global average pooling when kernel == input).
+    Average,
+    /// Max pooling.
+    Max,
+}
+
+/// Element-wise binary op flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EltwiseKind {
+    /// Addition — residual connections.
+    Add,
+    /// Multiplication — attention masking, SE-style scaling.
+    Mul,
+}
+
+/// Coarse operator class used by backends' op-support tables.
+///
+/// A vendor engine advertises support per class (e.g. an NPU supports
+/// `Conv` and `DepthwiseConv` but not `Nms`, which falls back to the CPU) —
+/// this is exactly the fragmentation the paper's Section 2.2 describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Regular convolution (incl. atrous).
+    Conv,
+    /// Depthwise convolution.
+    DepthwiseConv,
+    /// Fully connected / dense.
+    FullyConnected,
+    /// Batched matrix multiply (attention score/context).
+    MatMul,
+    /// Pooling.
+    Pool,
+    /// Softmax.
+    Softmax,
+    /// Layer normalization.
+    LayerNorm,
+    /// Element-wise binary ops.
+    Eltwise,
+    /// Concatenation.
+    Concat,
+    /// Reshape / transpose / squeeze — data movement only.
+    Shape,
+    /// Bilinear resize (DeepLab decoder upsampling).
+    Resize,
+    /// Embedding table lookup (MobileBERT input).
+    Embedding,
+    /// Non-maximum suppression (SSD post-processing).
+    Nms,
+    /// SSD anchor decode (box regression to corners).
+    BoxDecode,
+    /// Long short-term memory recurrence (speech models). Few mobile AI
+    /// engines support it — the same support gap that pushes NLP off the
+    /// NPUs (paper Insight 5).
+    Lstm,
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An operator with its attributes.
+///
+/// Shapes of inputs/outputs live on the graph nodes; the op holds only the
+/// parameters that are intrinsic to the operator itself.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// 2-D convolution, optionally dilated (atrous), with fused activation.
+    Conv2d {
+        /// Square kernel extent.
+        kernel: usize,
+        /// Stride in both spatial dimensions.
+        stride: usize,
+        /// Output channel count.
+        out_channels: usize,
+        /// Dilation rate (1 = dense; >1 = atrous, used by DeepLab ASPP).
+        dilation: usize,
+        /// Padding policy.
+        padding: Padding,
+        /// Fused activation.
+        activation: Activation,
+    },
+    /// Depthwise 2-D convolution with fused activation.
+    DepthwiseConv2d {
+        /// Square kernel extent.
+        kernel: usize,
+        /// Stride in both spatial dimensions.
+        stride: usize,
+        /// Dilation rate.
+        dilation: usize,
+        /// Padding policy.
+        padding: Padding,
+        /// Fused activation.
+        activation: Activation,
+    },
+    /// Fully connected layer.
+    FullyConnected {
+        /// Output feature count.
+        out_features: usize,
+        /// Fused activation.
+        activation: Activation,
+    },
+    /// Batched matrix multiply: `[.., m, k] x [.., k, n] -> [.., m, n]`.
+    MatMul {
+        /// Inner (contraction) dimension.
+        k: usize,
+        /// Output columns.
+        n: usize,
+    },
+    /// Spatial pooling.
+    Pool {
+        /// Pooling flavor.
+        kind: PoolKind,
+        /// Square kernel extent.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Softmax over the last dimension.
+    Softmax,
+    /// Layer normalization over the last dimension.
+    LayerNorm,
+    /// Element-wise binary operation between two same-shaped tensors.
+    Eltwise {
+        /// Flavor.
+        kind: EltwiseKind,
+    },
+    /// Channel-wise concatenation of the inputs.
+    Concat,
+    /// Pure data-movement reshape/transpose to an explicit output shape.
+    Reshape {
+        /// Target shape (element count must match the input).
+        shape: Shape,
+    },
+    /// Bilinear resize to a new spatial extent.
+    ResizeBilinear {
+        /// Output height.
+        out_h: usize,
+        /// Output width.
+        out_w: usize,
+    },
+    /// Embedding lookup producing `[1, seq, hidden]`.
+    Embedding {
+        /// Vocabulary size.
+        vocab: usize,
+        /// Embedding width.
+        hidden: usize,
+        /// Sequence length.
+        seq: usize,
+    },
+    /// Non-maximum suppression over decoded boxes.
+    Nms {
+        /// Maximum detections kept.
+        max_detections: usize,
+        /// Anchor count evaluated.
+        anchors: usize,
+    },
+    /// SSD anchor box decoding.
+    BoxDecode {
+        /// Anchor count.
+        anchors: usize,
+        /// Classes scored per anchor.
+        classes: usize,
+    },
+    /// LSTM layer over a `[1, seq, in]` sequence producing `[1, seq, h]`:
+    /// input and recurrent projections into the four gates plus the cell
+    /// update (weights `(in + h) * 4h`, strictly sequential over time).
+    Lstm {
+        /// Hidden (and cell) width.
+        hidden: usize,
+    },
+}
+
+impl Op {
+    /// The coarse class used by backend op-support tables.
+    #[must_use]
+    pub fn class(&self) -> OpClass {
+        match self {
+            Op::Conv2d { .. } => OpClass::Conv,
+            Op::DepthwiseConv2d { .. } => OpClass::DepthwiseConv,
+            Op::FullyConnected { .. } => OpClass::FullyConnected,
+            Op::MatMul { .. } => OpClass::MatMul,
+            Op::Pool { .. } => OpClass::Pool,
+            Op::Softmax => OpClass::Softmax,
+            Op::LayerNorm => OpClass::LayerNorm,
+            Op::Eltwise { .. } => OpClass::Eltwise,
+            Op::Concat => OpClass::Concat,
+            Op::Reshape { .. } => OpClass::Shape,
+            Op::ResizeBilinear { .. } => OpClass::Resize,
+            Op::Embedding { .. } => OpClass::Embedding,
+            Op::Nms { .. } => OpClass::Nms,
+            Op::BoxDecode { .. } => OpClass::BoxDecode,
+            Op::Lstm { .. } => OpClass::Lstm,
+        }
+    }
+
+    /// Short human-readable mnemonic, used in schedules and logs.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Conv2d { dilation, .. } if *dilation > 1 => "atrous_conv2d",
+            Op::Conv2d { .. } => "conv2d",
+            Op::DepthwiseConv2d { .. } => "dwconv2d",
+            Op::FullyConnected { .. } => "fc",
+            Op::MatMul { .. } => "matmul",
+            Op::Pool { kind: PoolKind::Average, .. } => "avgpool",
+            Op::Pool { kind: PoolKind::Max, .. } => "maxpool",
+            Op::Softmax => "softmax",
+            Op::LayerNorm => "layernorm",
+            Op::Eltwise { kind: EltwiseKind::Add } => "add",
+            Op::Eltwise { kind: EltwiseKind::Mul } => "mul",
+            Op::Concat => "concat",
+            Op::Reshape { .. } => "reshape",
+            Op::ResizeBilinear { .. } => "resize_bilinear",
+            Op::Embedding { .. } => "embedding",
+            Op::Nms { .. } => "nms",
+            Op::BoxDecode { .. } => "box_decode",
+            Op::Lstm { .. } => "lstm",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_same() {
+        assert_eq!(Padding::Same.output_extent(224, 3, 2, 1), 112);
+        assert_eq!(Padding::Same.output_extent(7, 3, 1, 1), 7);
+    }
+
+    #[test]
+    fn padding_valid() {
+        assert_eq!(Padding::Valid.output_extent(224, 3, 2, 1), 111);
+        assert_eq!(Padding::Valid.output_extent(7, 7, 1, 1), 1);
+    }
+
+    #[test]
+    fn padding_valid_with_dilation() {
+        // effective kernel = 2*(3-1)+1 = 5
+        assert_eq!(Padding::Valid.output_extent(9, 3, 1, 2), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "VALID padding")]
+    fn padding_valid_too_small() {
+        let _ = Padding::Valid.output_extent(2, 3, 1, 1);
+    }
+
+    #[test]
+    fn op_classes() {
+        let conv = Op::Conv2d {
+            kernel: 3,
+            stride: 1,
+            out_channels: 8,
+            dilation: 1,
+            padding: Padding::Same,
+            activation: Activation::Relu6,
+        };
+        assert_eq!(conv.class(), OpClass::Conv);
+        assert_eq!(conv.mnemonic(), "conv2d");
+
+        let atrous = Op::Conv2d {
+            kernel: 3,
+            stride: 1,
+            out_channels: 8,
+            dilation: 12,
+            padding: Padding::Same,
+            activation: Activation::None,
+        };
+        assert_eq!(atrous.mnemonic(), "atrous_conv2d");
+        assert_eq!(atrous.class(), OpClass::Conv);
+
+        assert_eq!(Op::Softmax.class(), OpClass::Softmax);
+        assert_eq!(
+            Op::Nms { max_detections: 10, anchors: 1917 }.class(),
+            OpClass::Nms
+        );
+    }
+
+    #[test]
+    fn mnemonics_are_stable() {
+        assert_eq!(Op::LayerNorm.mnemonic(), "layernorm");
+        assert_eq!(
+            Op::Eltwise { kind: EltwiseKind::Add }.mnemonic(),
+            "add"
+        );
+        assert_eq!(
+            Op::Pool { kind: PoolKind::Average, kernel: 7, stride: 1 }.to_string(),
+            "avgpool"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Graph serialization.
+//!
+//! Submissions ship their (possibly optimized) deployed models for audit
+//! review (paper Section 6.2: "all of the results are independently
+//! audited, along with any modified models and code"). Graphs serialize to
+//! JSON with full structural fidelity so the equivalence checker can run
+//! on the wire format.
+
+use crate::graph::Graph;
+
+/// Serializes a graph to JSON.
+///
+/// # Errors
+///
+/// Returns the underlying serializer error (practically unreachable for
+/// these types).
+pub fn to_json(graph: &Graph) -> Result<String, serde_json::Error> {
+    serde_json::to_string(graph)
+}
+
+/// Deserializes a graph from JSON and re-validates its DAG invariants.
+///
+/// # Errors
+///
+/// Returns a JSON error for malformed input, or a custom error when the
+/// parsed graph violates the topological invariants (a tampered file).
+pub fn from_json(text: &str) -> Result<Graph, Box<dyn std::error::Error + Send + Sync>> {
+    let graph: Graph = serde_json::from_str(text)?;
+    crate::graph::validate(&graph)?;
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelId;
+
+    #[test]
+    fn round_trip_every_model() {
+        for model in ModelId::ALL {
+            let g = model.build();
+            let text = to_json(&g).unwrap();
+            let parsed = from_json(&text).unwrap();
+            assert_eq!(parsed.len(), g.len(), "{model}");
+            assert_eq!(parsed.total_cost(), g.total_cost(), "{model}");
+            assert_eq!(parsed.name(), g.name(), "{model}");
+            assert_eq!(parsed.input(), g.input(), "{model}");
+        }
+    }
+
+    #[test]
+    fn costs_survive_serialization_exactly() {
+        let g = ModelId::MobileNetEdgeTpu.build();
+        let parsed = from_json(&to_json(&g).unwrap()).unwrap();
+        for (a, b) in g.iter().zip(parsed.iter()) {
+            assert_eq!(a.cost, b.cost, "{}", a.name);
+            assert_eq!(a.output, b.output, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn tampered_topology_rejected() {
+        let g = ModelId::MobileNetEdgeTpu.build();
+        let mut text = to_json(&g).unwrap();
+        // Forge a forward reference: make node 1 consume node 9999.
+        text = text.replacen("\"inputs\":[0]", "\"inputs\":[9999]", 1);
+        let result = from_json(&text);
+        assert!(result.is_err(), "forward reference must be rejected");
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(from_json("{\"not\": \"a graph\"}").is_err());
+        assert!(from_json("").is_err());
+    }
+
+    #[test]
+    fn serialized_size_is_sane() {
+        // MobileBERT is the largest graph (~800 nodes); its JSON should be
+        // well under a few megabytes.
+        let g = ModelId::MobileBert.build();
+        let text = to_json(&g).unwrap();
+        assert!(text.len() < 2_000_000, "{} bytes", text.len());
+    }
+}

@@ -1,0 +1,195 @@
+//! Affine (scale + zero-point) quantization arithmetic.
+//!
+//! Real quantize/dequantize math over `f32` buffers, used by the
+//! calibration pipeline and the property tests that pin down round-trip
+//! error bounds.
+
+use nn_graph::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Affine quantization parameters mapping real values to integers:
+/// `q = round(x / scale) + zero_point`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Real-value step represented by one integer step. Always positive.
+    pub scale: f32,
+    /// Integer representing real zero.
+    pub zero_point: i32,
+    /// Target integer type (`I8` or `U8`).
+    pub dtype: DataType,
+}
+
+impl QuantParams {
+    /// Integer range of the target type.
+    #[must_use]
+    pub fn range(dtype: DataType) -> (i32, i32) {
+        match dtype {
+            DataType::I8 => (-128, 127),
+            DataType::U8 => (0, 255),
+            _ => panic!("quantization target must be 8-bit, got {dtype}"),
+        }
+    }
+
+    /// Derives parameters covering `[min, max]` with an asymmetric scheme.
+    ///
+    /// The range is widened to include zero so that zero-padding stays
+    /// exact, matching TFLite's convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`, either bound is non-finite, or `dtype` is not
+    /// an 8-bit type.
+    #[must_use]
+    pub fn from_range(min: f32, max: f32, dtype: DataType) -> Self {
+        assert!(min.is_finite() && max.is_finite(), "bounds must be finite");
+        assert!(min <= max, "min {min} must not exceed max {max}");
+        let (qmin, qmax) = Self::range(dtype);
+        // Ensure representable zero.
+        let min = min.min(0.0);
+        let max = max.max(0.0);
+        let span = (max - min).max(f32::EPSILON);
+        let scale = span / (qmax - qmin) as f32;
+        let zero_point = (qmin as f32 - min / scale).round() as i32;
+        let zero_point = zero_point.clamp(qmin, qmax);
+        QuantParams { scale, zero_point, dtype }
+    }
+
+    /// Symmetric signed parameters (`zero_point = 0`), the weight layout
+    /// most NPUs require.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `abs_max` is not finite and positive.
+    #[must_use]
+    pub fn symmetric(abs_max: f32) -> Self {
+        assert!(abs_max.is_finite() && abs_max > 0.0, "abs_max must be positive");
+        QuantParams { scale: abs_max / 127.0, zero_point: 0, dtype: DataType::I8 }
+    }
+
+    /// Quantizes one value, saturating to the representable range.
+    #[must_use]
+    pub fn quantize(&self, x: f32) -> i32 {
+        let (qmin, qmax) = Self::range(self.dtype);
+        let q = (x / self.scale).round() as i32 + self.zero_point;
+        q.clamp(qmin, qmax)
+    }
+
+    /// Dequantizes one integer back to a real value.
+    #[must_use]
+    pub fn dequantize(&self, q: i32) -> f32 {
+        (q - self.zero_point) as f32 * self.scale
+    }
+
+    /// Quantizes a slice.
+    #[must_use]
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<i32> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Round-trips a slice through quantization and returns the result.
+    #[must_use]
+    pub fn round_trip(&self, xs: &[f32]) -> Vec<f32> {
+        xs.iter().map(|&x| self.dequantize(self.quantize(x))).collect()
+    }
+}
+
+impl fmt::Display for QuantParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(scale={:.6}, zp={})", self.dtype, self.scale, self.zero_point)
+    }
+}
+
+/// Mean squared error between a buffer and its quantized round trip —
+/// the objective calibration minimizes.
+#[must_use]
+pub fn quantization_mse(params: &QuantParams, xs: &[f32]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0f64;
+    for &x in xs {
+        let e = f64::from(x - params.dequantize(params.quantize(x)));
+        acc += e * e;
+    }
+    acc / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_is_exact() {
+        let p = QuantParams::from_range(-3.7, 11.2, DataType::U8);
+        assert_eq!(p.dequantize(p.quantize(0.0)), 0.0);
+    }
+
+    #[test]
+    fn saturation_at_bounds() {
+        let p = QuantParams::from_range(-1.0, 1.0, DataType::I8);
+        assert_eq!(p.quantize(100.0), 127);
+        assert_eq!(p.quantize(-100.0), -128);
+    }
+
+    #[test]
+    fn symmetric_has_zero_zp() {
+        let p = QuantParams::symmetric(6.0);
+        assert_eq!(p.zero_point, 0);
+        assert!((p.scale - 6.0 / 127.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn mse_small_within_range() {
+        let p = QuantParams::from_range(0.0, 6.0, DataType::U8);
+        let xs: Vec<f32> = (0..=600).map(|i| i as f32 / 100.0).collect();
+        let mse = quantization_mse(&p, &xs);
+        // Uniform quantization noise is ~ scale^2 / 12.
+        let bound = f64::from(p.scale) * f64::from(p.scale) / 12.0 * 4.0;
+        assert!(mse < bound, "mse {mse} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn mse_empty_is_zero() {
+        let p = QuantParams::symmetric(1.0);
+        assert_eq!(quantization_mse(&p, &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "8-bit")]
+    fn rejects_wide_targets() {
+        let _ = QuantParams::from_range(0.0, 1.0, DataType::F16);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_error_bounded(
+            vals in proptest::collection::vec(-100.0f32..100.0, 1..200),
+        ) {
+            let min = vals.iter().copied().fold(f32::INFINITY, f32::min);
+            let max = vals.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let p = QuantParams::from_range(min, max, DataType::U8);
+            for (&x, &y) in vals.iter().zip(p.round_trip(&vals).iter()) {
+                // In-range values err by at most one step.
+                prop_assert!((x - y).abs() <= p.scale * 1.01,
+                    "x={x} y={y} scale={}", p.scale);
+            }
+        }
+
+        #[test]
+        fn quantize_is_monotone(a in -50.0f32..50.0, b in -50.0f32..50.0) {
+            let p = QuantParams::from_range(-50.0, 50.0, DataType::I8);
+            if a <= b {
+                prop_assert!(p.quantize(a) <= p.quantize(b));
+            }
+        }
+
+        #[test]
+        fn quantized_values_in_range(x in -1e6f32..1e6) {
+            let p = QuantParams::from_range(-10.0, 10.0, DataType::U8);
+            let q = p.quantize(x);
+            prop_assert!((0..=255).contains(&q));
+        }
+    }
+}

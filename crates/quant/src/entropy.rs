@@ -1,0 +1,171 @@
+//! Entropy (KL-divergence) calibration.
+//!
+//! The third classic PTQ range-estimation strategy beside min/max and
+//! percentile clipping: choose the clip threshold whose quantized
+//! distribution minimizes the KL divergence to the original — the
+//! TensorRT-style calibrator vendor toolchains implement. Real algorithm
+//! over a histogram, exercised against the other methods.
+
+use crate::affine::QuantParams;
+use nn_graph::DataType;
+
+/// Histogram bins used to model the activation distribution.
+const BINS: usize = 512;
+/// Quantization levels of the symmetric INT8 target.
+const LEVELS: usize = 128;
+
+/// Builds a magnitude histogram of the observations.
+fn histogram(values: &[f32], abs_max: f32) -> Vec<f64> {
+    let mut hist = vec![0.0f64; BINS];
+    if abs_max <= 0.0 {
+        return hist;
+    }
+    for &v in values {
+        let m = v.abs();
+        let bin = ((m / abs_max) * BINS as f32) as usize;
+        hist[bin.min(BINS - 1)] += 1.0;
+    }
+    hist
+}
+
+/// KL divergence `sum(p * ln(p/q))` between (unnormalized) distributions,
+/// skipping empty reference bins and smoothing empty candidate bins.
+fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    let sp: f64 = p.iter().sum();
+    let sq: f64 = q.iter().sum();
+    if sp == 0.0 || sq == 0.0 {
+        return f64::INFINITY;
+    }
+    let mut kl = 0.0;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        if pi <= 0.0 {
+            continue;
+        }
+        let pn = pi / sp;
+        let qn = (qi / sq).max(1e-12);
+        kl += pn * (pn / qn).ln();
+    }
+    kl
+}
+
+/// Simulates quantizing the first `clip_bins` of a histogram into
+/// [`LEVELS`] levels (values past the clip saturate into the last level),
+/// then expands back to histogram resolution.
+fn quantized_distribution(hist: &[f64], clip_bins: usize) -> Vec<f64> {
+    let mut q = vec![0.0f64; hist.len()];
+    let bins_per_level = (clip_bins as f64 / LEVELS as f64).max(1.0);
+    for level in 0..LEVELS {
+        let start = (level as f64 * bins_per_level) as usize;
+        let end = (((level + 1) as f64) * bins_per_level) as usize;
+        let end = end.min(clip_bins).max(start + 1);
+        let mut mass: f64 = hist[start..end.min(hist.len())].iter().sum();
+        // Saturation: everything past the clip lands in the top level.
+        if level == LEVELS - 1 {
+            mass += hist[clip_bins.min(hist.len())..].iter().sum::<f64>();
+        }
+        let occupied = (end.min(hist.len())).saturating_sub(start).max(1);
+        for slot in q.iter_mut().skip(start).take(occupied) {
+            *slot += mass / occupied as f64;
+        }
+    }
+    q
+}
+
+/// Finds the symmetric clip threshold minimizing KL divergence and returns
+/// the resulting quantization parameters.
+///
+/// # Panics
+///
+/// Panics on empty input.
+#[must_use]
+pub fn entropy_calibrate(values: &[f32]) -> QuantParams {
+    assert!(!values.is_empty(), "no calibration values");
+    let abs_max = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if abs_max == 0.0 {
+        return QuantParams { scale: f32::MIN_POSITIVE, zero_point: 0, dtype: DataType::I8 };
+    }
+    let hist = histogram(values, abs_max);
+    let mut best_clip = BINS;
+    let mut best_kl = f64::INFINITY;
+    // Candidate thresholds from 25% to 100% of the observed range.
+    let mut clip = BINS / 4;
+    while clip <= BINS {
+        let q = quantized_distribution(&hist, clip);
+        let kl = kl_divergence(&hist, &q);
+        if kl < best_kl {
+            best_kl = kl;
+            best_clip = clip;
+        }
+        clip += BINS / 64;
+    }
+    let threshold = abs_max * best_clip as f32 / BINS as f32;
+    QuantParams {
+        scale: (threshold / 127.0).max(f32::MIN_POSITIVE),
+        zero_point: 0,
+        dtype: DataType::I8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::quantization_mse;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn gaussian_with_outliers(n: usize, outliers: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v: Vec<f32> = (0..n)
+            .map(|_| {
+                // Approximate normal via sum of uniforms.
+                (0..12).map(|_| rng.gen_range(-0.5f32..0.5)).sum::<f32>()
+            })
+            .collect();
+        for _ in 0..outliers {
+            v.push(rng.gen_range(40.0f32..60.0));
+        }
+        v
+    }
+
+    #[test]
+    fn entropy_clips_outliers() {
+        let data = gaussian_with_outliers(20_000, 5, 7);
+        let p = entropy_calibrate(&data);
+        // The threshold (127 * scale) should sit far below the 40-60
+        // outlier magnitudes.
+        let threshold = p.scale * 127.0;
+        assert!(threshold < 30.0, "threshold {threshold} should ignore outliers");
+    }
+
+    #[test]
+    fn entropy_beats_minmax_under_outliers() {
+        let data = gaussian_with_outliers(20_000, 5, 11);
+        let bulk = &data[..20_000];
+        let entropy = entropy_calibrate(&data);
+        let abs_max = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let minmax = QuantParams { scale: abs_max / 127.0, zero_point: 0, dtype: DataType::I8 };
+        let mse_e = quantization_mse(&entropy, bulk);
+        let mse_m = quantization_mse(&minmax, bulk);
+        assert!(
+            mse_e * 5.0 < mse_m,
+            "entropy {mse_e:.3e} should beat minmax {mse_m:.3e} on the bulk"
+        );
+    }
+
+    #[test]
+    fn clean_distribution_keeps_full_range() {
+        let data = gaussian_with_outliers(20_000, 0, 13);
+        let p = entropy_calibrate(&data);
+        let abs_max = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let threshold = p.scale * 127.0;
+        // Without outliers, the chosen clip stays near the true range.
+        assert!(threshold > abs_max * 0.4, "threshold {threshold} vs max {abs_max}");
+    }
+
+    #[test]
+    fn all_zero_input_is_safe() {
+        let p = entropy_calibrate(&[0.0; 100]);
+        assert!(p.scale > 0.0);
+        assert_eq!(p.quantize(0.0), 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Reference QAT model agreements.
+//!
+//! Paper Section 5.1: quantization-aware training is banned — except that
+//! "depending on submitter needs, we provide QAT versions of the model.
+//! All participants mutually agree on these QAT models as being comparable
+//! to the PTQ models." This module implements that governance: a QAT
+//! checkpoint only becomes legal once *every* participating organization
+//! has signed off.
+
+use nn_graph::models::ModelId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A proposed reference QAT checkpoint awaiting mutual agreement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QatProposal {
+    /// Which reference model it quantizes.
+    pub model: ModelId,
+    /// Content digest of the checkpoint (what submitters verify against).
+    pub checkpoint_digest: u64,
+    /// Organizations that have signed off.
+    approvals: BTreeSet<String>,
+}
+
+/// Errors from the agreement workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgreementError {
+    /// The approving organization is not a registered participant.
+    UnknownParticipant(String),
+    /// The checkpoint is not yet agreed by everyone.
+    NotAgreed {
+        /// Approvals so far.
+        approvals: usize,
+        /// Participants required.
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for AgreementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgreementError::UnknownParticipant(p) => write!(f, "{p} is not a participant"),
+            AgreementError::NotAgreed { approvals, required } => {
+                write!(f, "only {approvals}/{required} participants have agreed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AgreementError {}
+
+/// The round's participant roster plus proposed QAT checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QatRegistry {
+    participants: BTreeSet<String>,
+    proposals: Vec<QatProposal>,
+}
+
+impl QatRegistry {
+    /// Creates a registry with the round's participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty roster.
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = String>>(participants: I) -> Self {
+        let participants: BTreeSet<String> = participants.into_iter().collect();
+        assert!(!participants.is_empty(), "a round needs participants");
+        QatRegistry { participants, proposals: Vec::new() }
+    }
+
+    /// Proposes a QAT checkpoint; returns its proposal index.
+    pub fn propose(&mut self, model: ModelId, checkpoint_digest: u64) -> usize {
+        self.proposals.push(QatProposal {
+            model,
+            checkpoint_digest,
+            approvals: BTreeSet::new(),
+        });
+        self.proposals.len() - 1
+    }
+
+    /// Records one participant's approval.
+    ///
+    /// # Errors
+    ///
+    /// Rejects approvals from non-participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range proposal index.
+    pub fn approve(&mut self, proposal: usize, participant: &str) -> Result<(), AgreementError> {
+        if !self.participants.contains(participant) {
+            return Err(AgreementError::UnknownParticipant(participant.to_owned()));
+        }
+        self.proposals[proposal].approvals.insert(participant.to_owned());
+        Ok(())
+    }
+
+    /// Whether a proposal has unanimous agreement.
+    #[must_use]
+    pub fn is_agreed(&self, proposal: usize) -> bool {
+        self.proposals[proposal].approvals == self.participants
+    }
+
+    /// Validates that a submission's QAT checkpoint is a mutually-agreed
+    /// reference for the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::NotAgreed`] if no matching checkpoint has
+    /// unanimous approval.
+    pub fn validate_submission(
+        &self,
+        model: ModelId,
+        checkpoint_digest: u64,
+    ) -> Result<(), AgreementError> {
+        let best = self
+            .proposals
+            .iter()
+            .filter(|p| p.model == model && p.checkpoint_digest == checkpoint_digest)
+            .map(|p| p.approvals.len())
+            .max()
+            .unwrap_or(0);
+        if self
+            .proposals
+            .iter()
+            .any(|p| {
+                p.model == model
+                    && p.checkpoint_digest == checkpoint_digest
+                    && p.approvals == self.participants
+            })
+        {
+            Ok(())
+        } else {
+            Err(AgreementError::NotAgreed { approvals: best, required: self.participants.len() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+
+    fn roster() -> QatRegistry {
+        QatRegistry::new(
+            ["MediaTek", "Samsung", "Qualcomm", "Intel"]
+                .into_iter()
+                .map(String::from),
+        )
+    }
+
+    #[test]
+    fn unanimous_agreement_legalizes_qat() {
+        let mut reg = roster();
+        let p = reg.propose(ModelId::MobileNetEdgeTpu, 0xABCD);
+        for org in ["MediaTek", "Samsung", "Qualcomm", "Intel"] {
+            assert!(!reg.is_agreed(p), "not agreed before {org}");
+            reg.approve(p, org).unwrap();
+        }
+        assert!(reg.is_agreed(p));
+        assert!(reg.validate_submission(ModelId::MobileNetEdgeTpu, 0xABCD).is_ok());
+        // The scheme-level rule agrees: a reference QAT model is legal.
+        assert!(Scheme::QatInt8 { reference_model: true }.is_submission_legal());
+    }
+
+    #[test]
+    fn partial_agreement_is_rejected() {
+        let mut reg = roster();
+        let p = reg.propose(ModelId::MobileBert, 0x1111);
+        reg.approve(p, "Samsung").unwrap();
+        reg.approve(p, "Intel").unwrap();
+        let err = reg.validate_submission(ModelId::MobileBert, 0x1111).unwrap_err();
+        assert_eq!(err, AgreementError::NotAgreed { approvals: 2, required: 4 });
+    }
+
+    #[test]
+    fn home_grown_checkpoint_rejected() {
+        // A submitter's own retrained checkpoint (different digest) is not
+        // the agreed reference — the anti-retraining rule.
+        let mut reg = roster();
+        let p = reg.propose(ModelId::MobileNetEdgeTpu, 0xABCD);
+        for org in ["MediaTek", "Samsung", "Qualcomm", "Intel"] {
+            reg.approve(p, org).unwrap();
+        }
+        assert!(reg.validate_submission(ModelId::MobileNetEdgeTpu, 0xDEAD).is_err());
+    }
+
+    #[test]
+    fn outsiders_cannot_vote() {
+        let mut reg = roster();
+        let p = reg.propose(ModelId::MobileNetEdgeTpu, 1);
+        assert!(matches!(
+            reg.approve(p, "RandomVendor"),
+            Err(AgreementError::UnknownParticipant(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_approvals_idempotent() {
+        let mut reg = roster();
+        let p = reg.propose(ModelId::DeepLabV3Plus, 7);
+        reg.approve(p, "Samsung").unwrap();
+        reg.approve(p, "Samsung").unwrap();
+        assert!(!reg.is_agreed(p));
+    }
+}

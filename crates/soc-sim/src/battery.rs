@@ -1,0 +1,167 @@
+//! Battery model.
+//!
+//! The run rules (paper Section 6.1) state "the benchmark runs while the
+//! phone is battery powered, but we recommend a full charge beforehand to
+//! avoid entering power-saving mode". This module models exactly that
+//! hazard: a finite-capacity battery whose state of charge, once below the
+//! power-saving threshold, caps the DVFS frequency — silently degrading
+//! scores. It also supports the energy-per-query reporting the paper lists
+//! as future work (Appendix E, "power measurement").
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Static battery description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatterySpec {
+    /// Usable capacity in watt-hours (a 4500 mAh / 3.85 V phone pack is
+    /// ~17 Wh).
+    pub capacity_wh: f64,
+    /// State of charge below which the OS enters power-saving mode.
+    pub power_save_threshold: f64,
+    /// Frequency cap applied in power-saving mode.
+    pub power_save_freq_cap: f64,
+}
+
+impl Default for BatterySpec {
+    fn default() -> Self {
+        BatterySpec {
+            capacity_wh: 17.0,
+            power_save_threshold: 0.20,
+            power_save_freq_cap: 0.70,
+        }
+    }
+}
+
+/// Mutable battery state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatteryState {
+    spec: BatterySpec,
+    remaining_wh: f64,
+}
+
+impl BatteryState {
+    /// A battery at the given state of charge in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive capacity or out-of-range state of charge.
+    #[must_use]
+    pub fn new(spec: BatterySpec, state_of_charge: f64) -> Self {
+        assert!(spec.capacity_wh > 0.0, "capacity must be positive");
+        assert!((0.0..=1.0).contains(&state_of_charge), "SoC out of range");
+        assert!((0.0..=1.0).contains(&spec.power_save_threshold));
+        assert!((0.0..=1.0).contains(&spec.power_save_freq_cap));
+        BatteryState { spec, remaining_wh: spec.capacity_wh * state_of_charge }
+    }
+
+    /// A fully-charged battery — what the run rules recommend.
+    #[must_use]
+    pub fn full(spec: BatterySpec) -> Self {
+        BatteryState::new(spec, 1.0)
+    }
+
+    /// Current state of charge in `[0, 1]`.
+    #[must_use]
+    pub fn state_of_charge(&self) -> f64 {
+        (self.remaining_wh / self.spec.capacity_wh).clamp(0.0, 1.0)
+    }
+
+    /// Remaining energy in watt-hours.
+    #[must_use]
+    pub fn remaining_wh(&self) -> f64 {
+        self.remaining_wh
+    }
+
+    /// Whether the OS is in power-saving mode.
+    #[must_use]
+    pub fn power_saving(&self) -> bool {
+        self.state_of_charge() < self.spec.power_save_threshold
+    }
+
+    /// The frequency cap this battery state imposes (1.0 when healthy).
+    #[must_use]
+    pub fn freq_cap(&self) -> f64 {
+        if self.power_saving() {
+            self.spec.power_save_freq_cap
+        } else {
+            1.0
+        }
+    }
+
+    /// Drains the battery by `power_w` over `dt`. Clamps at empty.
+    pub fn drain(&mut self, power_w: f64, dt: SimDuration) {
+        let joules = power_w * dt.as_secs_f64();
+        self.remaining_wh = (self.remaining_wh - joules / 3600.0).max(0.0);
+    }
+
+    /// Drains a fixed energy amount in joules. Clamps at empty.
+    pub fn drain_joules(&mut self, joules: f64) {
+        self.remaining_wh = (self.remaining_wh - joules / 3600.0).max(0.0);
+    }
+
+    /// Whether the battery is flat.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.remaining_wh <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_battery_no_cap() {
+        let b = BatteryState::full(BatterySpec::default());
+        assert_eq!(b.state_of_charge(), 1.0);
+        assert!(!b.power_saving());
+        assert_eq!(b.freq_cap(), 1.0);
+    }
+
+    #[test]
+    fn drain_arithmetic() {
+        let mut b = BatteryState::full(BatterySpec::default());
+        // 17 W for one hour empties a 17 Wh pack.
+        b.drain(17.0, SimDuration::from_secs(3600));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn low_battery_enters_power_saving() {
+        let spec = BatterySpec::default();
+        let mut b = BatteryState::new(spec, 0.25);
+        assert!(!b.power_saving());
+        // Drain 10% of capacity: 1.7 Wh = 6120 J.
+        b.drain_joules(0.06 * spec.capacity_wh * 3600.0);
+        assert!(b.power_saving(), "SoC {:.2}", b.state_of_charge());
+        assert!((b.freq_cap() - spec.power_save_freq_cap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn benchmark_energy_is_negligible_on_full_charge() {
+        // A full suite run burns a few hundred joules; a charged pack
+        // barely notices — the run rule exists for *low* batteries.
+        let mut b = BatteryState::full(BatterySpec::default());
+        b.drain_joules(500.0);
+        assert!(b.state_of_charge() > 0.99);
+    }
+
+    proptest! {
+        #[test]
+        fn soc_never_negative(joules in 0.0f64..1e6) {
+            let mut b = BatteryState::full(BatterySpec::default());
+            b.drain_joules(joules);
+            prop_assert!(b.state_of_charge() >= 0.0);
+            prop_assert!(b.remaining_wh() >= 0.0);
+        }
+
+        #[test]
+        fn freq_cap_is_binary(soc in 0.0f64..1.0) {
+            let b = BatteryState::new(BatterySpec::default(), soc);
+            let cap = b.freq_cap();
+            prop_assert!(cap == 1.0 || (cap - 0.70).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Discrete DVFS operating points.
+//!
+//! Real governors do not scale frequency continuously: they step through a
+//! ladder of voltage/frequency operating points (OPPs). The thermal
+//! governor's continuous target is snapped *down* to the nearest available
+//! point — which is why throttling on real phones shows up as visible
+//! latency plateaus rather than smooth drift.
+
+use serde::{Deserialize, Serialize};
+
+/// A ladder of frequency factors, descending from 1.0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsLadder {
+    factors: Vec<f64>,
+}
+
+impl Default for DvfsLadder {
+    /// A typical six-point mobile ladder.
+    fn default() -> Self {
+        DvfsLadder::new(vec![1.0, 0.9, 0.8, 0.7, 0.6, 0.45])
+    }
+}
+
+impl DvfsLadder {
+    /// Creates a ladder from descending frequency factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty, unsorted (must strictly descend), or any factor is
+    /// outside `(0, 1]`.
+    #[must_use]
+    pub fn new(factors: Vec<f64>) -> Self {
+        assert!(!factors.is_empty(), "ladder needs at least one point");
+        assert!(
+            factors.windows(2).all(|w| w[0] > w[1]),
+            "ladder must strictly descend"
+        );
+        assert!(factors.iter().all(|&f| f > 0.0 && f <= 1.0));
+        DvfsLadder { factors }
+    }
+
+    /// The operating points, descending.
+    #[must_use]
+    pub fn factors(&self) -> &[f64] {
+        &self.factors
+    }
+
+    /// Snaps a continuous governor target to the highest OPP that does not
+    /// exceed it; saturates at the lowest point.
+    #[must_use]
+    pub fn snap(&self, target: f64) -> f64 {
+        for &f in &self.factors {
+            if f <= target + 1e-12 {
+                return f;
+            }
+        }
+        *self.factors.last().expect("non-empty ladder")
+    }
+
+    /// Number of operating points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Ladders are never empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn snap_at_full_speed() {
+        let l = DvfsLadder::default();
+        assert_eq!(l.snap(1.0), 1.0);
+        assert_eq!(l.snap(0.99), 0.9);
+    }
+
+    #[test]
+    fn snap_between_points_goes_down() {
+        let l = DvfsLadder::default();
+        assert_eq!(l.snap(0.85), 0.8);
+        assert_eq!(l.snap(0.70), 0.7);
+        assert_eq!(l.snap(0.65), 0.6);
+    }
+
+    #[test]
+    fn snap_saturates_at_floor() {
+        let l = DvfsLadder::default();
+        assert_eq!(l.snap(0.1), 0.45);
+        assert_eq!(l.snap(0.0), 0.45);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly descend")]
+    fn unsorted_rejected() {
+        let _ = DvfsLadder::new(vec![1.0, 0.5, 0.8]);
+    }
+
+    proptest! {
+        #[test]
+        fn snap_never_exceeds_target_above_floor(target in 0.45f64..1.0) {
+            let l = DvfsLadder::default();
+            let snapped = l.snap(target);
+            prop_assert!(snapped <= target + 1e-9);
+            prop_assert!(l.factors().contains(&snapped));
+        }
+
+        #[test]
+        fn snap_is_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let l = DvfsLadder::default();
+            if a <= b {
+                prop_assert!(l.snap(a) <= l.snap(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! Discrete-event execution of scheduled graphs on a simulated SoC.
+//!
+//! Two entry points mirror the benchmark's scenarios:
+//! - [`run_query`] executes one inference end-to-end (single-stream), and
+//! - [`run_offline`] executes many samples across concurrent engine
+//!   streams (offline, exercising accelerator-level parallelism), with
+//!   thermal state integrated throughout.
+
+use crate::schedule::Schedule;
+use crate::soc::{Soc, SocState};
+use crate::time::SimDuration;
+use nn_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Timing decomposition of one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryBreakdown {
+    /// Pure op execution time per stage.
+    pub stage_compute: Vec<SimDuration>,
+    /// Inter-engine tensor transfer time.
+    pub transfer: SimDuration,
+    /// Launch + framework synchronization overhead.
+    pub overhead: SimDuration,
+}
+
+/// Result of one simulated inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// End-to-end latency.
+    pub latency: SimDuration,
+    /// DVFS frequency factor in effect (1.0 = unthrottled).
+    pub freq_factor: f64,
+    /// Decomposition.
+    pub breakdown: QueryBreakdown,
+}
+
+/// Per-(compute, memory) seconds for one stream, used by the offline loop
+/// to re-evaluate latency as the frequency factor changes.
+#[derive(Debug, Clone)]
+struct StreamProfile {
+    /// (compute_secs_at_full_freq, memory_secs, scheduling_secs) per op.
+    ops: Vec<(f64, f64, f64)>,
+    /// Per-sample overhead at full batch amortization (seconds).
+    overhead_secs: f64,
+    /// Transfers between engines (seconds, frequency independent).
+    transfer_secs: f64,
+    /// Mean active power of the engines this stream occupies (watts).
+    power_w: f64,
+}
+
+impl StreamProfile {
+    fn sample_secs(&self, freq: f64, batch: usize) -> f64 {
+        let ops: f64 = self.ops.iter().map(|&(c, m, s)| (c / freq).max(m) + s).sum();
+        ops + self.transfer_secs + self.overhead_secs / batch.max(1) as f64
+    }
+}
+
+fn build_profile(soc: &Soc, graph: &Graph, schedule: &Schedule) -> StreamProfile {
+    let cross_bytes = schedule.cross_engine_bytes(graph);
+    let mut ops = Vec::with_capacity(graph.len());
+    let mut overhead_secs = 0.0;
+    let mut transfer_secs = 0.0;
+    let mut power_time = 0.0;
+    let mut total_time = 0.0;
+
+    let mut launched: Vec<bool> = vec![false; soc.engines.len()];
+    overhead_secs += schedule.query_overhead_us * 1e-6;
+    for (si, stage) in schedule.stages.iter().enumerate() {
+        let engine = soc.engine(stage.engine);
+        // Launch (runtime init) is paid once per engine per query; the
+        // per-stage framework synchronization is paid on every partition.
+        if !launched[stage.engine.0] {
+            overhead_secs += engine.launch_overhead_us * 1e-6;
+            launched[stage.engine.0] = true;
+        }
+        overhead_secs += stage.sync_overhead_us * 1e-6;
+        if cross_bytes[si] > 0 {
+            transfer_secs += soc.interconnect.transfer_secs(cross_bytes[si]);
+        }
+        let mut stage_time = 0.0;
+        for &nid in &stage.nodes {
+            let node = graph.node(nid);
+            let compute = if node.cost.flops == 0 {
+                0.0
+            } else {
+                node.cost.flops as f64
+                    / (engine.peak_ops(stage.dtype) * engine.efficiency(node.class()))
+            };
+            let memory = node.cost.total_bytes(stage.dtype) as f64
+                / (engine.mem_bandwidth_gbps * 1e9);
+            // Per-op scheduling cost is frequency-independent.
+            ops.push((compute, memory, engine.per_op_overhead_us * 1e-6));
+            stage_time += compute.max(memory) + engine.per_op_overhead_us * 1e-6;
+        }
+        power_time += engine.active_power_w * stage_time;
+        total_time += stage_time;
+    }
+    let power_w = if total_time > 0.0 { power_time / total_time } else { 0.0 };
+    StreamProfile { ops, overhead_secs, transfer_secs, power_w }
+}
+
+/// Estimates one query's latency in seconds at nominal frequency without
+/// touching any mutable state — used by backends for cost-based placement
+/// decisions (e.g. OpenVINO's CPU-vs-iGPU choice, paper Section 7.4).
+///
+/// # Panics
+///
+/// Panics if the schedule is invalid for the graph.
+#[must_use]
+pub fn estimate_query_secs(soc: &Soc, graph: &Graph, schedule: &Schedule) -> f64 {
+    schedule
+        .validate(graph)
+        .unwrap_or_else(|e| panic!("invalid schedule for {}: {e}", graph.name()));
+    build_profile(soc, graph, schedule).sample_secs(1.0, 1)
+}
+
+/// Executes one inference under `schedule`, advancing the SoC state.
+///
+/// # Examples
+///
+/// ```
+/// use soc_sim::{catalog::ChipId, executor::run_query, schedule::Schedule};
+/// use nn_graph::{graph::retype, models::ModelId, DataType};
+///
+/// let soc = ChipId::Snapdragon888.build();
+/// let graph = retype(&ModelId::MobileNetEdgeTpu.build(), DataType::I8);
+/// let schedule = Schedule::single(&graph, soc.cpu(), DataType::I8, 0.0);
+/// let mut state = soc.new_state(22.0);
+/// let result = run_query(&soc, &graph, &schedule, &mut state);
+/// assert!(result.latency.as_millis_f64() > 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the schedule is invalid for the graph or places work on an
+/// engine that cannot execute it (backends validate before running).
+#[must_use]
+pub fn run_query(soc: &Soc, graph: &Graph, schedule: &Schedule, state: &mut SocState) -> QueryResult {
+    schedule
+        .validate(graph)
+        .unwrap_or_else(|e| panic!("invalid schedule for {}: {e}", graph.name()));
+    for stage in &schedule.stages {
+        let engine = soc.engine(stage.engine);
+        for &nid in &stage.nodes {
+            let node = graph.node(nid);
+            if node.cost.flops > 0 {
+                assert!(
+                    engine.supports(node.class(), stage.dtype),
+                    "{} cannot execute {} ({}) at {}",
+                    engine.name,
+                    node.name,
+                    node.class(),
+                    stage.dtype
+                );
+            }
+        }
+    }
+
+    let freq = state.freq_factor();
+    let cross_bytes = schedule.cross_engine_bytes(graph);
+
+    let mut stage_compute = Vec::with_capacity(schedule.stages.len());
+    let mut transfer = 0.0f64;
+    let mut overhead = 0.0f64;
+    let mut energy_terms = 0.0f64;
+
+    let mut launched: Vec<bool> = vec![false; soc.engines.len()];
+    overhead += schedule.query_overhead_us * 1e-6;
+    for (si, stage) in schedule.stages.iter().enumerate() {
+        let engine = soc.engine(stage.engine);
+        if !launched[stage.engine.0] {
+            overhead += engine.launch_overhead_us * 1e-6;
+            launched[stage.engine.0] = true;
+        }
+        overhead += stage.sync_overhead_us * 1e-6;
+        if cross_bytes[si] > 0 {
+            transfer += soc.interconnect.transfer_secs(cross_bytes[si]);
+        }
+        let mut t = 0.0f64;
+        for &nid in &stage.nodes {
+            let node = graph.node(nid);
+            let compute = if node.cost.flops == 0 {
+                0.0
+            } else {
+                node.cost.flops as f64
+                    / (engine.peak_ops(stage.dtype) * engine.efficiency(node.class()) * freq)
+            };
+            let memory =
+                node.cost.total_bytes(stage.dtype) as f64 / (engine.mem_bandwidth_gbps * 1e9);
+            t += compute.max(memory) + engine.per_op_overhead_us * 1e-6;
+        }
+        energy_terms += engine.active_power_w * t;
+        stage_compute.push(SimDuration::from_secs_f64(t));
+    }
+
+    let total = stage_compute.iter().copied().sum::<SimDuration>()
+        + SimDuration::from_secs_f64(transfer)
+        + SimDuration::from_secs_f64(overhead);
+
+    // Thermal/energy bookkeeping over the query duration.
+    let avg_power = if total > SimDuration::ZERO {
+        energy_terms / total.as_secs_f64()
+    } else {
+        0.0
+    };
+    state.thermal.advance(avg_power, total);
+    state.energy.record_active(avg_power, total);
+    if let Some(battery) = state.battery.as_mut() {
+        battery.drain(avg_power, total);
+    }
+
+    QueryResult {
+        latency: total,
+        freq_factor: freq,
+        breakdown: QueryBreakdown {
+            stage_compute,
+            transfer: SimDuration::from_secs_f64(transfer),
+            overhead: SimDuration::from_secs_f64(overhead),
+        },
+    }
+}
+
+/// Result of an offline (batched, multi-stream) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OfflineResult {
+    /// Wall-clock (simulated) duration of the whole run.
+    pub duration: SimDuration,
+    /// Samples per second.
+    pub throughput_fps: f64,
+    /// Fraction of the run spent thermally throttled.
+    pub throttled_fraction: f64,
+    /// Samples processed per stream.
+    pub per_stream_samples: Vec<u64>,
+}
+
+/// Simulation step for the offline loop.
+const OFFLINE_CHUNK: SimDuration = SimDuration::from_millis(250);
+
+/// Executes `total_samples` inferences spread across concurrent engine
+/// streams (accelerator-level parallelism, paper Insight 3).
+///
+/// Each stream is an independent `Schedule`; samples are dispatched to
+/// whichever stream frees up first (modeled fluidly: each stream consumes
+/// samples at its own rate). Overheads amortize over `batch_size`.
+///
+/// # Panics
+///
+/// Panics if `streams` is empty, any schedule is invalid, or
+/// `total_samples == 0`.
+#[must_use]
+pub fn run_offline(
+    soc: &Soc,
+    graph: &Graph,
+    streams: &[Schedule],
+    state: &mut SocState,
+    total_samples: u64,
+    batch_size: usize,
+) -> OfflineResult {
+    assert!(!streams.is_empty(), "offline needs at least one stream");
+    assert!(total_samples > 0, "offline needs samples");
+    for s in streams {
+        s.validate(graph)
+            .unwrap_or_else(|e| panic!("invalid offline schedule: {e}"));
+    }
+    let profiles: Vec<StreamProfile> =
+        streams.iter().map(|s| build_profile(soc, graph, s)).collect();
+    let total_power: f64 = profiles.iter().map(|p| p.power_w).sum::<f64>() + soc.idle_power_w;
+
+    let mut remaining = total_samples as f64;
+    let mut per_stream = vec![0.0f64; streams.len()];
+    let mut elapsed = SimDuration::ZERO;
+    let mut throttled = SimDuration::ZERO;
+
+    while remaining > 0.0 {
+        let freq = state.freq_factor();
+        if freq < 1.0 {
+            throttled += OFFLINE_CHUNK;
+        }
+        let chunk_secs = OFFLINE_CHUNK.as_secs_f64();
+        let mut processed_this_chunk = 0.0;
+        for (i, p) in profiles.iter().enumerate() {
+            let rate = 1.0 / p.sample_secs(freq, batch_size);
+            let done = (rate * chunk_secs).min(remaining);
+            per_stream[i] += done;
+            processed_this_chunk += done;
+            remaining -= done;
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+        // All streams active concurrently: total power dissipates together.
+        state.thermal.advance(total_power, OFFLINE_CHUNK);
+        state.energy.record_active(total_power - soc.idle_power_w, OFFLINE_CHUNK);
+        if let Some(battery) = state.battery.as_mut() {
+            battery.drain(total_power, OFFLINE_CHUNK);
+        }
+        elapsed += OFFLINE_CHUNK;
+        assert!(
+            processed_this_chunk > 0.0,
+            "offline run stalled: no stream makes progress"
+        );
+    }
+
+    let fps = total_samples as f64 / elapsed.as_secs_f64();
+    OfflineResult {
+        duration: elapsed,
+        throughput_fps: fps,
+        throttled_fraction: throttled.as_secs_f64() / elapsed.as_secs_f64(),
+        per_stream_samples: per_stream.iter().map(|&s| s.round() as u64).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineId, EngineKind, EngineSpecBuilder};
+    use crate::soc::InterconnectSpec;
+    use crate::thermal::ThermalSpec;
+    use nn_graph::builder::GraphBuilder;
+    use nn_graph::{Activation, DataType, OpClass, Shape};
+
+    fn soc() -> Soc {
+        Soc {
+            name: "TestChip".into(),
+            vendor: "Acme".into(),
+            engines: vec![
+                EngineSpecBuilder::new("cpu", EngineKind::CpuBig, 100.0, 100.0, 50.0)
+                    .bandwidth(15.0)
+                    .launch_us(5.0)
+                    .power_w(2.0)
+                    .eff_all(&[OpClass::Conv, OpClass::FullyConnected], 0.4)
+                    .build(),
+                EngineSpecBuilder::new("npu", EngineKind::Npu, 2000.0, 500.0, 0.0)
+                    .bandwidth(25.0)
+                    .launch_us(80.0)
+                    .power_w(1.5)
+                    .eff(OpClass::Conv, 0.5)
+                    .build(),
+            ],
+            interconnect: InterconnectSpec { transfer_gbps: 8.0, handoff_latency_us: 120.0 },
+            thermal: ThermalSpec::default(),
+            idle_power_w: 0.3,
+            is_laptop: false,
+        }
+    }
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(56, 56, 32), DataType::F32);
+        let c1 = b.conv2d("c1", b.input_id(), 3, 1, 64, Activation::Relu6);
+        let c2 = b.conv2d("c2", c1, 3, 1, 64, Activation::Relu6);
+        let p = b.global_avg_pool("gap", c2);
+        let _ = b.fully_connected("fc", p, 10, Activation::None);
+        b.finish()
+    }
+
+    #[test]
+    fn single_stage_query_runs() {
+        let soc = soc();
+        let g = graph();
+        let sched = Schedule::single(&g, EngineId(0), DataType::I8, 0.0);
+        let mut state = soc.new_state(22.0);
+        let r = run_query(&soc, &g, &sched, &mut state);
+        assert!(r.latency > SimDuration::ZERO);
+        assert_eq!(r.freq_factor, 1.0);
+        assert_eq!(r.breakdown.stage_compute.len(), 1);
+        assert_eq!(r.breakdown.transfer, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn npu_is_faster_than_cpu_for_convs() {
+        let soc = soc();
+        let g = graph();
+        let mut s1 = soc.new_state(22.0);
+        let mut s2 = soc.new_state(22.0);
+        let cpu = run_query(&soc, &g, &Schedule::single(&g, EngineId(0), DataType::I8, 0.0), &mut s1);
+        let npu = run_query(&soc, &g, &Schedule::single(&g, EngineId(1), DataType::I8, 0.0), &mut s2);
+        assert!(npu.latency < cpu.latency);
+    }
+
+    #[test]
+    fn cross_engine_split_pays_transfer() {
+        let soc = soc();
+        let g = graph();
+        let all: Vec<_> = g.iter().map(|n| n.id).collect();
+        let split = Schedule {
+            query_overhead_us: 0.0,
+            stages: vec![
+                crate::schedule::Stage {
+                    engine: EngineId(1),
+                    dtype: DataType::I8,
+                    nodes: all[..3].to_vec(),
+                    sync_overhead_us: 0.0,
+                },
+                crate::schedule::Stage {
+                    engine: EngineId(0),
+                    dtype: DataType::I8,
+                    nodes: all[3..].to_vec(),
+                    sync_overhead_us: 0.0,
+                },
+            ],
+        };
+        let mut state = soc.new_state(22.0);
+        let r = run_query(&soc, &g, &split, &mut state);
+        assert!(r.breakdown.transfer > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sync_overhead_adds_latency() {
+        let soc = soc();
+        let g = graph();
+        let mut s1 = soc.new_state(22.0);
+        let mut s2 = soc.new_state(22.0);
+        let plain = run_query(&soc, &g, &Schedule::single(&g, EngineId(1), DataType::I8, 0.0), &mut s1);
+        let nnapi = run_query(&soc, &g, &Schedule::single(&g, EngineId(1), DataType::I8, 500.0), &mut s2);
+        let delta = nnapi.latency - plain.latency;
+        assert!((delta.as_secs_f64() - 500e-6).abs() < 1e-9, "delta {delta}");
+    }
+
+    #[test]
+    fn sustained_load_throttles_and_slows() {
+        let mut hot_soc = soc();
+        // Make the chip hot-headed: high power, tiny thermal mass.
+        hot_soc.engines[1].active_power_w = 12.0;
+        hot_soc.thermal = ThermalSpec {
+            resistance_c_per_w: 12.0,
+            capacitance_j_per_c: 0.5,
+            throttle_onset_c: 65.0,
+            throttle_full_c: 85.0,
+            min_freq_factor: 0.45,
+        };
+        let g = graph();
+        let sched = Schedule::single(&g, EngineId(1), DataType::I8, 0.0);
+        let mut state = hot_soc.new_state(25.0);
+        let first = run_query(&hot_soc, &g, &sched, &mut state);
+        // Hammer the device for a while.
+        for _ in 0..20_000 {
+            let _ = run_query(&hot_soc, &g, &sched, &mut state);
+        }
+        let later = run_query(&hot_soc, &g, &sched, &mut state);
+        assert!(state.thermal.is_throttling(), "temp {}", state.thermal.temperature_c());
+        assert!(later.latency > first.latency);
+        assert!(later.freq_factor < 1.0);
+    }
+
+    #[test]
+    fn offline_alp_beats_single_stream() {
+        let soc = soc();
+        let g = graph();
+        let npu = Schedule::single(&g, EngineId(1), DataType::I8, 0.0);
+        let cpu = Schedule::single(&g, EngineId(0), DataType::I8, 0.0);
+
+        let mut s1 = soc.new_state(22.0);
+        let solo = run_offline(&soc, &g, std::slice::from_ref(&npu), &mut s1, 24_576, 32);
+        let mut s2 = soc.new_state(22.0);
+        let alp = run_offline(&soc, &g, &[npu, cpu], &mut s2, 24_576, 32);
+        assert!(
+            alp.throughput_fps > solo.throughput_fps,
+            "ALP {:.1} fps must beat solo {:.1} fps",
+            alp.throughput_fps,
+            solo.throughput_fps
+        );
+        assert_eq!(alp.per_stream_samples.len(), 2);
+        assert!(alp.per_stream_samples[0] > alp.per_stream_samples[1]);
+    }
+
+    #[test]
+    fn offline_batching_amortizes_overhead() {
+        let soc = soc();
+        let g = graph();
+        let sched = Schedule::single(&g, EngineId(1), DataType::I8, 300.0);
+        let mut s1 = soc.new_state(22.0);
+        let b1 = run_offline(&soc, &g, std::slice::from_ref(&sched), &mut s1, 4096, 1);
+        let mut s2 = soc.new_state(22.0);
+        let b64 = run_offline(&soc, &g, &[sched], &mut s2, 4096, 64);
+        assert!(b64.throughput_fps > b1.throughput_fps);
+    }
+
+    #[test]
+    fn energy_accounted() {
+        let soc = soc();
+        let g = graph();
+        let sched = Schedule::single(&g, EngineId(1), DataType::I8, 0.0);
+        let mut state = soc.new_state(22.0);
+        let _ = run_query(&soc, &g, &sched, &mut state);
+        assert!(state.energy.total_joules() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot execute")]
+    fn fp32_on_int_only_npu_panics() {
+        let soc = soc();
+        let g = graph();
+        let sched = Schedule::single(&g, EngineId(1), DataType::F32, 0.0);
+        let mut state = soc.new_state(22.0);
+        let _ = run_query(&soc, &g, &sched, &mut state);
+    }
+}

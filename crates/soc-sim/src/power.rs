@@ -1,0 +1,100 @@
+//! Energy accounting.
+//!
+//! Power measurement is future work in the paper (Appendix E), but the
+//! thermal model needs dissipation, and the accounting is exposed so
+//! experiments can report energy per inference (most smartphone chipsets
+//! are capped at a ~3 W TDP).
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Running energy/power accounting for a simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    total_joules: f64,
+    busy_time: SimDuration,
+    idle_power_w: f64,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with the given baseline (idle/rail) power.
+    #[must_use]
+    pub fn new(idle_power_w: f64) -> Self {
+        EnergyMeter { total_joules: 0.0, busy_time: SimDuration::ZERO, idle_power_w }
+    }
+
+    /// Records a busy interval at `active_power_w` (idle power is added on
+    /// top — rails stay up).
+    pub fn record_active(&mut self, active_power_w: f64, dt: SimDuration) {
+        self.total_joules += (active_power_w + self.idle_power_w) * dt.as_secs_f64();
+        self.busy_time += dt;
+    }
+
+    /// Records an idle interval.
+    pub fn record_idle(&mut self, dt: SimDuration) {
+        self.total_joules += self.idle_power_w * dt.as_secs_f64();
+    }
+
+    /// Total energy consumed, in joules.
+    #[must_use]
+    pub fn total_joules(&self) -> f64 {
+        self.total_joules
+    }
+
+    /// Total busy time recorded.
+    #[must_use]
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Average power over `elapsed`, in watts.
+    #[must_use]
+    pub fn average_power_w(&self, elapsed: SimDuration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total_joules / secs
+        }
+    }
+
+    /// Energy per inference given a completed query count.
+    #[must_use]
+    pub fn joules_per_query(&self, queries: u64) -> f64 {
+        if queries == 0 {
+            0.0
+        } else {
+            self.total_joules / queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_accumulates() {
+        let mut m = EnergyMeter::new(0.5);
+        m.record_active(2.5, SimDuration::from_secs(10)); // (2.5+0.5)*10 = 30 J
+        m.record_idle(SimDuration::from_secs(20)); // 0.5*20 = 10 J
+        assert!((m.total_joules() - 40.0).abs() < 1e-9);
+        assert_eq!(m.busy_time(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn average_power() {
+        let mut m = EnergyMeter::new(0.0);
+        m.record_active(3.0, SimDuration::from_secs(30));
+        assert!((m.average_power_w(SimDuration::from_secs(60)) - 1.5).abs() < 1e-9);
+        assert_eq!(m.average_power_w(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn per_query_energy() {
+        let mut m = EnergyMeter::new(0.0);
+        m.record_active(2.0, SimDuration::from_secs(5));
+        assert!((m.joules_per_query(100) - 0.1).abs() < 1e-9);
+        assert_eq!(m.joules_per_query(0), 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Execution schedules: the partition/placement a backend produces.
+//!
+//! A schedule assigns every graph node to a stage; each stage runs on one
+//! engine at one precision. The stage list is ordered (stages execute
+//! sequentially for a single query), and carries the per-partition
+//! framework synchronization overhead — the HAL cost that makes NNAPI
+//! slower than vendor delegates (paper Table 3).
+
+use crate::engine::EngineId;
+use nn_graph::{DataType, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One contiguous partition of the graph placed on a single engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Engine executing this partition.
+    pub engine: EngineId,
+    /// Deployment precision of this partition.
+    pub dtype: DataType,
+    /// Nodes executed, in topological order.
+    pub nodes: Vec<NodeId>,
+    /// Framework synchronization overhead paid once per stage per query
+    /// (µs) — e.g. the NNAPI hardware-abstraction-layer hop.
+    pub sync_overhead_us: f64,
+}
+
+/// A complete placement of a graph.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Ordered stages.
+    pub stages: Vec<Stage>,
+    /// One-time per-query framework overhead (µs) — e.g. the NNAPI HAL's
+    /// request setup, paid once per inference regardless of partitioning.
+    pub query_overhead_us: f64,
+}
+
+/// Schedule validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A node appears in no stage.
+    MissingNode(NodeId),
+    /// A node appears in more than one stage.
+    DuplicateNode(NodeId),
+    /// Stage node lists are not in global topological order.
+    OrderViolation(NodeId),
+    /// Schedule has no stages.
+    Empty,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::MissingNode(n) => write!(f, "node {n} is not scheduled"),
+            ScheduleError::DuplicateNode(n) => write!(f, "node {n} scheduled twice"),
+            ScheduleError::OrderViolation(n) => write!(f, "node {n} breaks topological order"),
+            ScheduleError::Empty => write!(f, "schedule has no stages"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Single-stage schedule: the whole graph on one engine.
+    #[must_use]
+    pub fn single(graph: &Graph, engine: EngineId, dtype: DataType, sync_overhead_us: f64) -> Self {
+        Schedule {
+            stages: vec![Stage {
+                engine,
+                dtype,
+                nodes: graph.iter().map(|n| n.id).collect(),
+                sync_overhead_us,
+            }],
+            query_overhead_us: 0.0,
+        }
+    }
+
+    /// Number of stages (partitions).
+    #[must_use]
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Number of engine transitions (boundaries where the engine changes).
+    #[must_use]
+    pub fn num_transitions(&self) -> usize {
+        self.stages
+            .windows(2)
+            .filter(|w| w[0].engine != w[1].engine)
+            .count()
+    }
+
+    /// Map from node index to stage index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node id exceeds the graph size implied by the maximum id.
+    #[must_use]
+    pub fn stage_of(&self, graph: &Graph) -> Vec<usize> {
+        let mut map = vec![usize::MAX; graph.len()];
+        for (si, stage) in self.stages.iter().enumerate() {
+            for &n in &stage.nodes {
+                map[n.index()] = si;
+            }
+        }
+        map
+    }
+
+    /// Validates that the schedule covers the graph exactly once, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, graph: &Graph) -> Result<(), ScheduleError> {
+        if self.stages.is_empty() {
+            return Err(ScheduleError::Empty);
+        }
+        let mut seen = vec![false; graph.len()];
+        let mut last: Option<NodeId> = None;
+        for stage in &self.stages {
+            for &n in &stage.nodes {
+                if seen[n.index()] {
+                    return Err(ScheduleError::DuplicateNode(n));
+                }
+                seen[n.index()] = true;
+                if let Some(prev) = last {
+                    if n <= prev {
+                        return Err(ScheduleError::OrderViolation(n));
+                    }
+                }
+                last = Some(n);
+            }
+        }
+        if let Some(idx) = seen.iter().position(|&s| !s) {
+            return Err(ScheduleError::MissingNode(
+                graph.iter().nth(idx).expect("index in range").id,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Bytes crossing each stage boundary where the engine changes:
+    /// tensors produced in one stage and consumed in a *different-engine*
+    /// stage. Returned per consuming stage index.
+    #[must_use]
+    pub fn cross_engine_bytes(&self, graph: &Graph) -> Vec<u64> {
+        let stage_of = self.stage_of(graph);
+        let mut bytes = vec![0u64; self.stages.len()];
+        for node in graph {
+            let ns = stage_of[node.id.index()];
+            for &inp in &node.inputs {
+                let ps = stage_of[inp.index()];
+                if ps != ns && self.stages[ps].engine != self.stages[ns].engine {
+                    let producer = graph.node(inp);
+                    bytes[ns] += producer.output.shape.byte_size(self.stages[ps].dtype) as u64;
+                }
+            }
+        }
+        bytes
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.stages.iter().enumerate() {
+            writeln!(
+                f,
+                "stage {i}: {} nodes on {} @ {} (sync {:.0}us)",
+                s.nodes.len(),
+                s.engine,
+                s.dtype,
+                s.sync_overhead_us
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn_graph::builder::GraphBuilder;
+    use nn_graph::{Activation, Shape};
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new("t", Shape::nhwc(8, 8, 3), DataType::F32);
+        let c1 = b.conv2d("c1", b.input_id(), 3, 1, 16, Activation::Relu6);
+        let c2 = b.conv2d("c2", c1, 3, 1, 16, Activation::Relu6);
+        let p = b.global_avg_pool("gap", c2);
+        let _ = b.fully_connected("fc", p, 10, Activation::None);
+        b.finish()
+    }
+
+    fn ids(graph: &Graph) -> Vec<NodeId> {
+        graph.iter().map(|n| n.id).collect()
+    }
+
+    #[test]
+    fn single_schedule_validates() {
+        let g = graph();
+        let s = Schedule::single(&g, EngineId(0), DataType::I8, 0.0);
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.num_stages(), 1);
+        assert_eq!(s.num_transitions(), 0);
+    }
+
+    #[test]
+    fn split_schedule_counts_transitions() {
+        let g = graph();
+        let all = ids(&g);
+        let s = Schedule {
+            stages: vec![
+                Stage { engine: EngineId(1), dtype: DataType::I8, nodes: all[..3].to_vec(), sync_overhead_us: 10.0 },
+                Stage { engine: EngineId(0), dtype: DataType::F32, nodes: all[3..].to_vec(), sync_overhead_us: 10.0 },
+            ],
+            query_overhead_us: 0.0,
+        };
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.num_transitions(), 1);
+    }
+
+    #[test]
+    fn missing_node_detected() {
+        let g = graph();
+        let all = ids(&g);
+        let s = Schedule {
+            stages: vec![Stage {
+                engine: EngineId(0),
+                dtype: DataType::F32,
+                nodes: all[..3].to_vec(),
+                sync_overhead_us: 0.0,
+            }],
+            query_overhead_us: 0.0,
+        };
+        assert!(matches!(s.validate(&g), Err(ScheduleError::MissingNode(_))));
+    }
+
+    #[test]
+    fn duplicate_node_detected() {
+        let g = graph();
+        let all = ids(&g);
+        let mut nodes = all.clone();
+        nodes.push(all[0]);
+        let s = Schedule {
+            stages: vec![Stage { engine: EngineId(0), dtype: DataType::F32, nodes, sync_overhead_us: 0.0 }],
+            query_overhead_us: 0.0,
+        };
+        assert!(matches!(s.validate(&g), Err(ScheduleError::DuplicateNode(_))));
+    }
+
+    #[test]
+    fn order_violation_detected() {
+        let g = graph();
+        let mut nodes = ids(&g);
+        nodes.swap(1, 2);
+        let s = Schedule {
+            stages: vec![Stage { engine: EngineId(0), dtype: DataType::F32, nodes, sync_overhead_us: 0.0 }],
+            query_overhead_us: 0.0,
+        };
+        assert!(matches!(s.validate(&g), Err(ScheduleError::OrderViolation(_))));
+    }
+
+    #[test]
+    fn empty_schedule_rejected() {
+        let g = graph();
+        assert_eq!(Schedule::default().validate(&g), Err(ScheduleError::Empty));
+    }
+
+    #[test]
+    fn cross_engine_bytes_counts_cut_tensors() {
+        let g = graph();
+        let all = ids(&g);
+        // Cut after c2 (node index 2): the 8x8x16 tensor crosses engines at I8.
+        let s = Schedule {
+            stages: vec![
+                Stage { engine: EngineId(1), dtype: DataType::I8, nodes: all[..3].to_vec(), sync_overhead_us: 0.0 },
+                Stage { engine: EngineId(0), dtype: DataType::I8, nodes: all[3..].to_vec(), sync_overhead_us: 0.0 },
+            ],
+            query_overhead_us: 0.0,
+        };
+        let bytes = s.cross_engine_bytes(&g);
+        assert_eq!(bytes[0], 0);
+        assert_eq!(bytes[1], 8 * 8 * 16);
+    }
+
+    #[test]
+    fn same_engine_split_transfers_nothing() {
+        let g = graph();
+        let all = ids(&g);
+        let s = Schedule {
+            stages: vec![
+                Stage { engine: EngineId(0), dtype: DataType::I8, nodes: all[..3].to_vec(), sync_overhead_us: 0.0 },
+                Stage { engine: EngineId(0), dtype: DataType::I8, nodes: all[3..].to_vec(), sync_overhead_us: 0.0 },
+            ],
+            query_overhead_us: 0.0,
+        };
+        assert_eq!(s.cross_engine_bytes(&g), vec![0, 0]);
+    }
+}

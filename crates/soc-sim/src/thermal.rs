@@ -1,0 +1,225 @@
+//! Lumped-RC thermal model with a throttling governor.
+//!
+//! ML workloads are computationally heavy and trigger run-time thermal
+//! throttling (paper Section 6.1), which is why the run rules require
+//! 20–25 °C ambient, an air gap, and cooldown intervals between tests.
+//! The model integrates dissipated power into die temperature through a
+//! single thermal resistance/capacitance pair; the governor converts
+//! temperature into a DVFS frequency factor.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Thermal parameters of a device (die + enclosure lump).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalSpec {
+    /// Thermal resistance junction→ambient in °C/W.
+    pub resistance_c_per_w: f64,
+    /// Thermal capacitance in J/°C.
+    pub capacitance_j_per_c: f64,
+    /// Die temperature where throttling begins (°C).
+    pub throttle_onset_c: f64,
+    /// Die temperature of maximum throttling (°C).
+    pub throttle_full_c: f64,
+    /// Frequency factor at (and beyond) full throttle.
+    pub min_freq_factor: f64,
+}
+
+impl Default for ThermalSpec {
+    /// A typical passively-cooled smartphone: ~3 W sustained at the 3 W TDP
+    /// ceiling the paper's Appendix E mentions.
+    fn default() -> Self {
+        ThermalSpec {
+            resistance_c_per_w: 12.0,
+            capacitance_j_per_c: 3.0,
+            throttle_onset_c: 65.0,
+            throttle_full_c: 85.0,
+            min_freq_factor: 0.45,
+        }
+    }
+}
+
+impl ThermalSpec {
+    /// Steady-state die temperature under constant `power_w` at `ambient_c`.
+    #[must_use]
+    pub fn steady_state_c(&self, power_w: f64, ambient_c: f64) -> f64 {
+        ambient_c + power_w * self.resistance_c_per_w
+    }
+}
+
+/// Mutable thermal state of a running device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalState {
+    spec: ThermalSpec,
+    ambient_c: f64,
+    temperature_c: f64,
+}
+
+impl ThermalState {
+    /// Starts at thermal equilibrium with the ambient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (non-positive R or C, or onset
+    /// above full-throttle temperature).
+    #[must_use]
+    pub fn new(spec: ThermalSpec, ambient_c: f64) -> Self {
+        assert!(spec.resistance_c_per_w > 0.0 && spec.capacitance_j_per_c > 0.0);
+        assert!(spec.throttle_onset_c < spec.throttle_full_c);
+        assert!((0.0..=1.0).contains(&spec.min_freq_factor));
+        ThermalState { spec, ambient_c, temperature_c: ambient_c }
+    }
+
+    /// Current die temperature (°C).
+    #[must_use]
+    pub fn temperature_c(&self) -> f64 {
+        self.temperature_c
+    }
+
+    /// Ambient temperature (°C).
+    #[must_use]
+    pub fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+
+    /// Whether the governor is currently limiting frequency.
+    #[must_use]
+    pub fn is_throttling(&self) -> bool {
+        self.freq_factor() < 1.0
+    }
+
+    /// DVFS frequency factor in `[min_freq_factor, 1.0]`.
+    ///
+    /// 1.0 below onset; linear ramp down to `min_freq_factor` at the
+    /// full-throttle temperature.
+    #[must_use]
+    pub fn freq_factor(&self) -> f64 {
+        let s = &self.spec;
+        if self.temperature_c <= s.throttle_onset_c {
+            1.0
+        } else if self.temperature_c >= s.throttle_full_c {
+            s.min_freq_factor
+        } else {
+            let frac =
+                (self.temperature_c - s.throttle_onset_c) / (s.throttle_full_c - s.throttle_onset_c);
+            1.0 - frac * (1.0 - s.min_freq_factor)
+        }
+    }
+
+    /// Integrates the RC model over `dt` with dissipation `power_w`.
+    ///
+    /// Uses the exact exponential solution of the first-order ODE, so the
+    /// result is step-size independent — important because query durations
+    /// vary over five orders of magnitude across the suite.
+    pub fn advance(&mut self, power_w: f64, dt: SimDuration) {
+        let s = &self.spec;
+        let tau = s.resistance_c_per_w * s.capacitance_j_per_c;
+        let target = s.steady_state_c(power_w, self.ambient_c);
+        let alpha = (-dt.as_secs_f64() / tau).exp();
+        self.temperature_c = target + (self.temperature_c - target) * alpha;
+    }
+
+    /// Passive cooldown: advance with zero power.
+    pub fn cooldown(&mut self, dt: SimDuration) {
+        self.advance(0.0, dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn state() -> ThermalState {
+        ThermalState::new(ThermalSpec::default(), 22.0)
+    }
+
+    #[test]
+    fn starts_at_ambient_unthrottled() {
+        let s = state();
+        assert_eq!(s.temperature_c(), 22.0);
+        assert_eq!(s.freq_factor(), 1.0);
+        assert!(!s.is_throttling());
+    }
+
+    #[test]
+    fn heats_toward_steady_state() {
+        let mut s = state();
+        // 3 W for a long time: steady state = 22 + 3*12 = 58 °C.
+        s.advance(3.0, SimDuration::from_secs(10_000));
+        assert!((s.temperature_c() - 58.0).abs() < 0.1);
+        assert!(!s.is_throttling(), "3 W must stay under the 65 °C onset");
+    }
+
+    #[test]
+    fn heavy_load_throttles() {
+        let mut s = state();
+        // 6 W steady state = 94 °C: will pass onset and reach full throttle.
+        s.advance(6.0, SimDuration::from_secs(10_000));
+        assert!(s.is_throttling());
+        assert_eq!(s.freq_factor(), ThermalSpec::default().min_freq_factor);
+    }
+
+    #[test]
+    fn cooldown_restores_full_frequency() {
+        let mut s = state();
+        s.advance(6.0, SimDuration::from_secs(10_000));
+        assert!(s.is_throttling());
+        // Paper run rules: up to 5-minute cooldown between tests.
+        s.cooldown(SimDuration::from_secs(300));
+        assert!(!s.is_throttling(), "temp {}", s.temperature_c());
+    }
+
+    #[test]
+    fn linear_ramp_between_onset_and_full() {
+        let mut s = state();
+        // Drive exactly to midway: (65+85)/2 = 75 °C.
+        s.temperature_c = 75.0;
+        let expected = 1.0 - 0.5 * (1.0 - ThermalSpec::default().min_freq_factor);
+        assert!((s.freq_factor() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integration_is_step_size_independent() {
+        let mut coarse = state();
+        coarse.advance(4.0, SimDuration::from_secs(100));
+        let mut fine = state();
+        for _ in 0..10_000 {
+            fine.advance(4.0, SimDuration::from_millis(10));
+        }
+        assert!((coarse.temperature_c() - fine.temperature_c()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hot_ambient_throttles_sooner() {
+        // Paper requires 20-25 °C ambient; a 45 °C car dashboard changes results.
+        let mut cool = ThermalState::new(ThermalSpec::default(), 22.0);
+        let mut hot = ThermalState::new(ThermalSpec::default(), 45.0);
+        for s in [&mut cool, &mut hot] {
+            s.advance(4.0, SimDuration::from_secs(600));
+        }
+        assert!(hot.freq_factor() < cool.freq_factor());
+    }
+
+    proptest! {
+        #[test]
+        fn temperature_never_exceeds_steady_state(
+            power in 0.0f64..10.0,
+            secs in 1u64..5000,
+        ) {
+            let mut s = state();
+            s.advance(power, SimDuration::from_secs(secs));
+            let ss = ThermalSpec::default().steady_state_c(power, 22.0);
+            prop_assert!(s.temperature_c() <= ss.max(22.0) + 1e-9);
+            prop_assert!(s.temperature_c() >= 22.0 - 1e-9);
+        }
+
+        #[test]
+        fn freq_factor_bounded(temp in 0.0f64..150.0) {
+            let mut s = state();
+            s.temperature_c = temp;
+            let f = s.freq_factor();
+            prop_assert!((ThermalSpec::default().min_freq_factor..=1.0).contains(&f));
+        }
+    }
+}

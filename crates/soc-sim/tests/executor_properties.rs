@@ -1,0 +1,125 @@
+//! Property tests over the executor: physical invariants the simulator
+//! must never violate regardless of workload or device.
+
+use nn_graph::builder::GraphBuilder;
+use nn_graph::graph::retype;
+use nn_graph::models::ModelId;
+use nn_graph::{Activation, DataType, Graph, Shape};
+use proptest::prelude::*;
+use soc_sim::catalog::ChipId;
+use soc_sim::executor::{estimate_query_secs, run_offline, run_query};
+use soc_sim::schedule::Schedule;
+use soc_sim::time::SimDuration;
+
+fn small_graph(channels: usize) -> Graph {
+    let mut b = GraphBuilder::new("t", Shape::nhwc(16, 16, 3), DataType::F32);
+    let c = b.conv2d("c", b.input_id(), 3, 1, channels, Activation::Relu6);
+    let p = b.global_avg_pool("gap", c);
+    let _ = b.fully_connected("fc", p, 10, Activation::None);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn latency_positive_and_finite_on_every_chip(
+        chip_idx in 0usize..8,
+        channels in 4usize..64,
+    ) {
+        let soc = ChipId::ALL[chip_idx].build();
+        let graph = retype(&small_graph(channels), DataType::I8);
+        let sched = Schedule::single(&graph, soc.cpu(), DataType::I8, 0.0);
+        let mut state = soc.new_state(22.0);
+        let r = run_query(&soc, &graph, &sched, &mut state);
+        prop_assert!(r.latency > SimDuration::ZERO);
+        prop_assert!(r.latency < SimDuration::from_secs(10), "absurd latency {}", r.latency);
+    }
+
+    #[test]
+    fn wider_convs_never_get_faster(
+        chip_idx in 0usize..8,
+        base in 4usize..32,
+        extra in 1usize..32,
+    ) {
+        let soc = ChipId::ALL[chip_idx].build();
+        let narrow = retype(&small_graph(base), DataType::I8);
+        let wide = retype(&small_graph(base + extra), DataType::I8);
+        let sn = Schedule::single(&narrow, soc.cpu(), DataType::I8, 0.0);
+        let sw = Schedule::single(&wide, soc.cpu(), DataType::I8, 0.0);
+        prop_assert!(
+            estimate_query_secs(&soc, &wide, &sw)
+                >= estimate_query_secs(&soc, &narrow, &sn) * 0.999
+        );
+    }
+
+    #[test]
+    fn hotter_start_never_faster(
+        ambient in 20.0f64..45.0,
+        hotter in 1.0f64..40.0,
+    ) {
+        let soc = ChipId::Snapdragon888.build();
+        let graph = retype(&small_graph(32), DataType::I8);
+        let sched = Schedule::single(&graph, soc.cpu(), DataType::I8, 0.0);
+        let mut cool = soc.new_state(ambient);
+        let mut hot = soc.new_state(ambient + hotter);
+        let rc = run_query(&soc, &graph, &sched, &mut cool);
+        let rh = run_query(&soc, &graph, &sched, &mut hot);
+        prop_assert!(rh.latency >= rc.latency);
+        prop_assert!(rh.freq_factor <= rc.freq_factor);
+    }
+
+    #[test]
+    fn offline_duration_scales_with_samples(
+        samples in 64u64..2048,
+    ) {
+        let soc = ChipId::Exynos2100.build();
+        let graph = retype(&small_graph(16), DataType::I8);
+        let sched = Schedule::single(&graph, soc.cpu(), DataType::I8, 0.0);
+        let mut s1 = soc.new_state(22.0);
+        let r1 = run_offline(&soc, &graph, std::slice::from_ref(&sched), &mut s1, samples, 32);
+        let mut s2 = soc.new_state(22.0);
+        let r2 = run_offline(&soc, &graph, &[sched], &mut s2, samples * 2, 32);
+        prop_assert!(r2.duration >= r1.duration);
+        // Throughput is roughly sample-count independent (steady state).
+        let ratio = r2.throughput_fps / r1.throughput_fps;
+        prop_assert!((0.4..2.5).contains(&ratio), "ratio {ratio}");
+    }
+}
+
+#[test]
+fn estimator_matches_cold_run_query() {
+    // The estimator must agree with an actual cold (unthrottled) query.
+    for chip in ChipId::ALL {
+        let soc = chip.build();
+        let graph = retype(&ModelId::MobileNetEdgeTpu.build(), DataType::I8);
+        let sched = Schedule::single(&graph, soc.cpu(), DataType::I8, 0.0);
+        let est = estimate_query_secs(&soc, &graph, &sched);
+        let mut state = soc.new_state(22.0);
+        let r = run_query(&soc, &graph, &sched, &mut state);
+        let measured = r.latency.as_secs_f64();
+        assert!(
+            (est - measured).abs() / measured < 1e-6,
+            "{chip:?}: estimate {est} vs cold run {measured}"
+        );
+    }
+}
+
+#[test]
+fn energy_conservation_across_modes() {
+    // Energy recorded must equal average power x time within rounding,
+    // regardless of scenario.
+    let soc = ChipId::Snapdragon888.build();
+    let graph = retype(&small_graph(32), DataType::I8);
+    let sched = Schedule::single(&graph, soc.cpu(), DataType::I8, 0.0);
+    let mut state = soc.new_state(22.0);
+    for _ in 0..100 {
+        let _ = run_query(&soc, &graph, &sched, &mut state);
+    }
+    let joules = state.energy.total_joules();
+    let busy = state.energy.busy_time().as_secs_f64();
+    assert!(joules > 0.0 && busy > 0.0);
+    let avg_w = joules / busy;
+    // CPU active power is 2.8 W + idle share; average must be in a sane band.
+    assert!((1.0..10.0).contains(&avg_w), "avg power {avg_w} W");
+}

@@ -1,0 +1,120 @@
+//! Custom silicon: evaluate a hypothetical SoC before it exists — the
+//! "model designer / OEM" use case from paper Appendix B.
+//!
+//! Builds a fictional chipset with the public API, runs the v1.0 vision
+//! models against catalog flagships, and shows where it would land.
+//!
+//! ```sh
+//! cargo run --release --example custom_soc
+//! ```
+
+use mobile_backend::backend::Backend;
+use mobile_backend::backends::Nnapi;
+use nn_graph::models::ModelId;
+use nn_graph::OpClass;
+use soc_sim::catalog::ChipId;
+use soc_sim::engine::{EngineKind, EngineSpecBuilder};
+use soc_sim::soc::{InterconnectSpec, Soc};
+use soc_sim::thermal::ThermalSpec;
+
+const ALL_CLASSES: &[OpClass] = &[
+    OpClass::Conv,
+    OpClass::DepthwiseConv,
+    OpClass::FullyConnected,
+    OpClass::MatMul,
+    OpClass::Pool,
+    OpClass::Softmax,
+    OpClass::LayerNorm,
+    OpClass::Eltwise,
+    OpClass::Concat,
+    OpClass::Shape,
+    OpClass::Resize,
+    OpClass::Embedding,
+    OpClass::Nms,
+    OpClass::BoxDecode,
+];
+
+fn hypothetical_soc() -> Soc {
+    Soc {
+        name: "Falcon X1 (hypothetical)".into(),
+        vendor: "Acme Silicon".into(),
+        engines: vec![
+            EngineSpecBuilder::new("big CPU x4", EngineKind::CpuBig, 140.0, 80.0, 60.0)
+                .bandwidth(14.0)
+                .launch_us(20.0)
+                .per_op_us(1.0)
+                .power_w(2.6)
+                .eff_all(ALL_CLASSES, 0.35)
+                .build(),
+            EngineSpecBuilder::new("GPU", EngineKind::Gpu, 1600.0, 1800.0, 900.0)
+                .bandwidth(20.0)
+                .launch_us(140.0)
+                .power_w(2.3)
+                .eff(OpClass::Conv, 0.25)
+                .eff(OpClass::FullyConnected, 0.3)
+                .eff(OpClass::MatMul, 0.22)
+                .eff(OpClass::Resize, 0.3)
+                .eff(OpClass::Nms, 0.0)
+                .eff(OpClass::BoxDecode, 0.0)
+                .build(),
+            // A big NPU with unusually good depthwise support.
+            EngineSpecBuilder::new("TurboNPU", EngineKind::Npu, 8000.0, 3200.0, 0.0)
+                .bandwidth(40.0)
+                .launch_us(200.0)
+                .per_op_us(4.0)
+                .power_w(2.4)
+                .eff(OpClass::Conv, 0.14)
+                .eff(OpClass::FullyConnected, 0.14)
+                .eff(OpClass::DepthwiseConv, 0.12)
+                .eff_all(
+                    &[OpClass::Pool, OpClass::Softmax, OpClass::Eltwise, OpClass::Concat, OpClass::Shape],
+                    0.1,
+                )
+                .eff_all(
+                    &[
+                        OpClass::MatMul,
+                        OpClass::LayerNorm,
+                        OpClass::Resize,
+                        OpClass::Embedding,
+                        OpClass::Nms,
+                        OpClass::BoxDecode,
+                    ],
+                    0.0,
+                )
+                .build(),
+        ],
+        interconnect: InterconnectSpec { transfer_gbps: 12.0, handoff_latency_us: 100.0 },
+        thermal: ThermalSpec::default(),
+        idle_power_w: 0.5,
+        is_laptop: false,
+    }
+}
+
+fn main() {
+    let falcon = hypothetical_soc();
+    let rivals = [ChipId::Dimensity1100, ChipId::Exynos2100, ChipId::Snapdragon888];
+
+    println!("hypothetical {} vs the v1.0 flagships (NNAPI path, estimates)\n", falcon.name);
+    for model in [ModelId::MobileNetEdgeTpu, ModelId::MobileDetSsd, ModelId::DeepLabV3Plus] {
+        let reference = model.build();
+        println!("{model}:");
+        let dep = Nnapi::default().compile(&reference, &falcon).expect("falcon compiles");
+        println!(
+            "  {:18} {:8.2} ms on {}",
+            "Falcon X1",
+            dep.estimate_ms(&falcon),
+            dep.accelerator_summary(&falcon)
+        );
+        for chip in rivals {
+            let soc = chip.build();
+            let dep = Nnapi::default().compile(&reference, &soc).expect("catalog compiles");
+            println!(
+                "  {:18} {:8.2} ms on {}",
+                chip.to_string(),
+                dep.estimate_ms(&soc),
+                dep.accelerator_summary(&soc)
+            );
+        }
+        println!();
+    }
+}

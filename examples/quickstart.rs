@@ -1,0 +1,43 @@
+//! Quickstart: run the full MLPerf Mobile suite on one device and print
+//! the results — the headless equivalent of tapping "Go" in the app.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mlperf_mobile::app::{run_suite, AppConfig};
+use mlperf_mobile::report::format_report;
+use mlperf_mobile::sut_impl::DatasetScale;
+use mlperf_mobile::task::SuiteVersion;
+use soc_sim::catalog::ChipId;
+
+fn main() {
+    // Pick a device; every platform from the paper's two rounds is in the
+    // catalog.
+    let chip = ChipId::Dimensity1100;
+    let config = AppConfig::default();
+
+    println!("running MLPerf Mobile {} on {} ...", SuiteVersion::V1_0, chip);
+    let report = run_suite(
+        chip,
+        SuiteVersion::V1_0,
+        &config,
+        // Reduced datasets keep the example snappy; DatasetScale::Full
+        // reproduces the paper-sized validation splits.
+        DatasetScale::Reduced(512),
+    )
+    .expect("suite runs on catalog devices");
+
+    println!("{}", format_report(&report));
+
+    // Each score carries the full decomposition.
+    for s in &report.scores {
+        println!(
+            "{:22} {:6} queries, {:>9} total, {:.2} mJ/query",
+            s.def.task.to_string(),
+            s.single_stream.queries,
+            s.single_stream.duration.to_string(),
+            s.joules_per_query * 1e3,
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Thermal throttling: why the run rules demand 20-25 degC ambient, an air
+//! gap, and cooldown intervals (paper Section 6.1).
+//!
+//! Hammers a phone with sustained segmentation inference, plots the
+//! temperature/frequency/latency trajectory, then shows a cooldown
+//! restoring performance — and what a hot ambient does to scores.
+//!
+//! ```sh
+//! cargo run --release --example thermal_throttling
+//! ```
+
+use mlperf_mobile::task::{suite, SuiteVersion, Task};
+use mobile_backend::backend::Backend;
+use mobile_backend::backends::Snpe;
+use soc_sim::catalog::ChipId;
+use soc_sim::executor::run_query;
+use soc_sim::time::SimDuration;
+
+fn main() {
+    let chip = ChipId::Snapdragon888;
+    let soc = chip.build();
+    let def = suite(SuiteVersion::V1_0)
+        .into_iter()
+        .find(|d| d.task == Task::ImageSegmentation)
+        .expect("segmentation is in the suite");
+    let deployment = Snpe.compile(&def.model.build(), &soc).expect("SNPE targets Snapdragon");
+
+    for ambient in [22.0, 38.0] {
+        println!("=== sustained segmentation on {chip}, ambient {ambient:.0} degC ===");
+        println!("{:>8} {:>10} {:>8} {:>12}", "time", "temp degC", "freq", "latency ms");
+        let mut state = soc.new_state(ambient);
+        let mut elapsed = SimDuration::ZERO;
+        let mut next_print = SimDuration::ZERO;
+        // Ten simulated minutes of back-to-back inference.
+        while elapsed < SimDuration::from_secs(600) {
+            let r = run_query(&soc, &deployment.graph, &deployment.schedule, &mut state);
+            elapsed += r.latency;
+            if elapsed >= next_print {
+                println!(
+                    "{:>8} {:>10.1} {:>8.2} {:>12.2}",
+                    format!("{:.0}s", elapsed.as_secs_f64()),
+                    state.thermal.temperature_c(),
+                    r.freq_factor,
+                    r.latency.as_millis_f64(),
+                );
+                next_print += SimDuration::from_secs(60);
+            }
+        }
+        // The rules allow a 0-5 minute cooldown between tests.
+        println!("-- 5 minute cooldown --");
+        state.thermal.cooldown(SimDuration::from_secs(300));
+        let r = run_query(&soc, &deployment.graph, &deployment.schedule, &mut state);
+        println!(
+            "after cooldown: temp {:.1} degC, freq {:.2}, latency {:.2} ms",
+            state.thermal.temperature_c(),
+            r.freq_factor,
+            r.latency.as_millis_f64(),
+        );
+        println!();
+    }
+}

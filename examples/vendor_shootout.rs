@@ -1,0 +1,58 @@
+//! Vendor shootout: the same model on the same silicon through every
+//! available code path (paper Figure 1 / Insight 4).
+//!
+//! Shows why "state-of-the-art should compare against vendor backends":
+//! the generic NNAPI route pays HAL overhead, and a buggy driver can be
+//! several times slower than the vendor delegate.
+//!
+//! ```sh
+//! cargo run --release --example vendor_shootout
+//! ```
+
+use mobile_backend::backend::Backend;
+use mobile_backend::backends::{Neuron, Nnapi, TfliteCpu, TfliteGpu};
+use mobile_backend::registry::available_backends;
+use nn_graph::models::ModelId;
+use nn_graph::OpClass;
+use soc_sim::catalog::ChipId;
+
+fn main() {
+    let chip = ChipId::Dimensity1100;
+    let soc = chip.build();
+    println!("code paths available on {}: ", chip);
+    for b in available_backends(&soc) {
+        println!("  - {b}");
+    }
+    println!();
+
+    for model in [ModelId::MobileNetEdgeTpu, ModelId::MobileDetSsd, ModelId::DeepLabV3Plus] {
+        let reference = model.build();
+        println!("{model} ({:.2} GMACs):", reference.gmacs());
+        let backends: Vec<(&str, Box<dyn Backend>)> = vec![
+            ("TFLite CPU", Box::new(TfliteCpu)),
+            ("TFLite GPU delegate", Box::new(TfliteGpu)),
+            ("NNAPI", Box::new(Nnapi::default())),
+            ("NNAPI (buggy dwconv driver)", Box::new(Nnapi::buggy(vec![OpClass::DepthwiseConv]))),
+            ("Neuron delegate (vendor)", Box::new(Neuron)),
+        ];
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        for (name, backend) in backends {
+            match backend.compile(&reference, &soc) {
+                Ok(dep) => rows.push((
+                    format!(
+                        "{name} [{} on {}]",
+                        dep.scheme,
+                        dep.accelerator_summary(&soc)
+                    ),
+                    dep.estimate_ms(&soc),
+                )),
+                Err(e) => println!("  {name:45} unavailable: {e}"),
+            }
+        }
+        let best = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+        for (name, ms) in rows {
+            println!("  {name:55} {ms:8.2} ms  ({:>5.2}x of best)", ms / best);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,239 @@
+//! Reproduction assertions: the paper's quantitative claims hold in the
+//! simulation, within stated tolerances (see EXPERIMENTS.md).
+
+use mobile_backend::backend::Backend;
+use mobile_backend::backends::{Enn, Neuron, Nnapi, OpenVino, Snpe, TfliteGpu};
+use mobile_backend::registry::{create, vendor_backend};
+use nn_graph::models::ModelId;
+use soc_sim::catalog::ChipId;
+use soc_sim::engine::EngineKind;
+use soc_sim::executor::run_offline;
+
+fn vendor_latency_ms(chip: ChipId, model: ModelId) -> f64 {
+    let soc = chip.build();
+    let backend = create(vendor_backend(&soc).unwrap());
+    backend.compile(&model.build(), &soc).unwrap().estimate_ms(&soc)
+}
+
+fn nlp_latency_ms(chip: ChipId) -> f64 {
+    // Phones run MobileBERT through the TFLite GPU delegate (Table 2),
+    // except Samsung (ENN drives the GPU directly).
+    let soc = chip.build();
+    let reference = ModelId::MobileBert.build();
+    let dep = if soc.vendor == "Samsung" {
+        Enn.compile(&reference, &soc).unwrap()
+    } else {
+        TfliteGpu.compile(&reference, &soc).unwrap()
+    };
+    dep.estimate_ms(&soc)
+}
+
+/// Paper Table 3: Dimensity 1100, NNAPI vs Neuron delegate.
+#[test]
+fn table3_neuron_vs_nnapi() {
+    let soc = ChipId::Dimensity1100.build();
+    // (model, neuron_ms, nnapi_ms, improvement_pct) from the paper.
+    let rows = [
+        (ModelId::MobileNetEdgeTpu, 2.23, 2.48, 10.08),
+        (ModelId::MobileDetSsd, 4.77, 5.05, 5.54),
+        (ModelId::DeepLabV3Plus, 20.02, 20.56, 2.70),
+    ];
+    for (model, paper_neuron, paper_nnapi, paper_pct) in rows {
+        let reference = model.build();
+        let neuron = Neuron.compile(&reference, &soc).unwrap().estimate_ms(&soc);
+        let nnapi = Nnapi::default().compile(&reference, &soc).unwrap().estimate_ms(&soc);
+        // Absolute latencies within 10% of the published values.
+        assert!(
+            (neuron / paper_neuron - 1.0).abs() < 0.10,
+            "{model:?} neuron {neuron:.2} vs paper {paper_neuron}"
+        );
+        assert!(
+            (nnapi / paper_nnapi - 1.0).abs() < 0.10,
+            "{model:?} nnapi {nnapi:.2} vs paper {paper_nnapi}"
+        );
+        // And the NNAPI penalty within 4 percentage points.
+        let pct = (nnapi / neuron - 1.0) * 100.0;
+        assert!(
+            (pct - paper_pct).abs() < 4.0,
+            "{model:?} improvement {pct:.2}% vs paper {paper_pct}%"
+        );
+        assert!(nnapi > neuron, "{model:?}: vendor delegate must win");
+    }
+}
+
+/// Paper Figure 7 orderings (v0.7 single-stream).
+#[test]
+fn figure7_orderings() {
+    let dim = ChipId::Dimensity820;
+    let exy = ChipId::Exynos990;
+    let sd = ChipId::Snapdragon865Plus;
+
+    // Exynos achieves the best classification score.
+    let cls: Vec<f64> = [exy, dim, sd]
+        .iter()
+        .map(|&c| vendor_latency_ms(c, ModelId::MobileNetEdgeTpu))
+        .collect();
+    assert!(cls[0] < cls[1] && cls[0] < cls[2], "Exynos must win classification: {cls:?}");
+
+    // MediaTek scores highest in detection and segmentation throughput.
+    let det: Vec<f64> = [dim, exy, sd]
+        .iter()
+        .map(|&c| vendor_latency_ms(c, ModelId::SsdMobileNetV2))
+        .collect();
+    assert!(det[0] < det[1] && det[0] < det[2], "Dimensity must win detection: {det:?}");
+
+    let seg: Vec<f64> = [dim, exy, sd]
+        .iter()
+        .map(|&c| vendor_latency_ms(c, ModelId::DeepLabV3Plus))
+        .collect();
+    assert!(seg[0] < seg[1] && seg[0] < seg[2], "Dimensity must win segmentation: {seg:?}");
+
+    // Exynos wins NLP; Snapdragon is competitive (second).
+    let nlp: Vec<f64> = [exy, sd, dim].iter().map(|&c| nlp_latency_ms(c)).collect();
+    assert!(nlp[0] < nlp[1] && nlp[1] < nlp[2], "NLP ordering Exynos < SD < Dim: {nlp:?}");
+}
+
+/// Paper Section 7.1: Exynos 2100 outperforms the 990 by 12.7x on
+/// segmentation; overall v0.7 -> v1.0 improvement averages ~2x.
+#[test]
+fn figure6_generational_improvement() {
+    let seg_990 = vendor_latency_ms(ChipId::Exynos990, ModelId::DeepLabV3Plus);
+    let seg_2100 = vendor_latency_ms(ChipId::Exynos2100, ModelId::DeepLabV3Plus);
+    let ratio = seg_990 / seg_2100;
+    assert!(
+        (10.0..16.0).contains(&ratio),
+        "Exynos seg uplift {ratio:.1} should be ~12.7"
+    );
+
+    // Average latency improvement across smartphone families and tasks ~2x
+    // (paper: "latency improved by 2x on average and by 12x in one case").
+    let pairs = [
+        (ChipId::Dimensity820, ChipId::Dimensity1100),
+        (ChipId::Exynos990, ChipId::Exynos2100),
+        (ChipId::Snapdragon865Plus, ChipId::Snapdragon888),
+    ];
+    let mut ratios = Vec::new();
+    for (old, new) in pairs {
+        // Classification and segmentation keep the same model across
+        // versions; detection upgrades SSD-MNv2 -> MobileDets.
+        ratios.push(
+            vendor_latency_ms(old, ModelId::MobileNetEdgeTpu)
+                / vendor_latency_ms(new, ModelId::MobileNetEdgeTpu),
+        );
+        ratios.push(
+            vendor_latency_ms(old, ModelId::SsdMobileNetV2)
+                / vendor_latency_ms(new, ModelId::MobileDetSsd),
+        );
+        ratios.push(
+            vendor_latency_ms(old, ModelId::DeepLabV3Plus)
+                / vendor_latency_ms(new, ModelId::DeepLabV3Plus),
+        );
+        ratios.push(nlp_latency_ms(old) / nlp_latency_ms(new));
+    }
+    for (i, r) in ratios.iter().enumerate() {
+        assert!(*r > 1.0, "every task must improve generationally (pair {i}: {r:.2})");
+    }
+    let geo_mean =
+        (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    assert!(
+        (1.5..3.2).contains(&geo_mean),
+        "average improvement {geo_mean:.2} should be ~2x"
+    );
+}
+
+/// Paper Section 7.2: offline classification — Exynos 674.4 FPS,
+/// Snapdragon 605.37 FPS.
+#[test]
+fn offline_classification_fps() {
+    let cases = [
+        (ChipId::Exynos990, 674.4),
+        (ChipId::Snapdragon865Plus, 605.37),
+    ];
+    for (chip, paper_fps) in cases {
+        let soc = chip.build();
+        let backend = create(vendor_backend(&soc).unwrap());
+        let dep = backend.compile(&ModelId::MobileNetEdgeTpu.build(), &soc).unwrap();
+        assert!(dep.offline_streams.len() >= 2, "{chip:?} offline must use ALP");
+        let mut state = soc.new_state(22.0);
+        let r = run_offline(&soc, &dep.graph, &dep.offline_streams, &mut state, 24_576, 32);
+        let dev = (r.throughput_fps / paper_fps - 1.0).abs();
+        assert!(
+            dev < 0.10,
+            "{chip:?}: {:.1} FPS vs paper {paper_fps} ({:+.1}%)",
+            r.throughput_fps,
+            dev * 100.0
+        );
+    }
+}
+
+/// Paper Sections 7.1/7.4: laptop engine selection and generational gains.
+#[test]
+fn laptop_behaviour() {
+    let old = ChipId::CoreI7_1165G7.build();
+    let new = ChipId::CoreI7_11375H.build();
+    // Engine choice: classification + detection on CPU, segmentation + NLP
+    // on the iGPU (v0.7).
+    for (model, kind) in [
+        (ModelId::MobileNetEdgeTpu, EngineKind::CpuLaptop),
+        (ModelId::SsdMobileNetV2, EngineKind::CpuLaptop),
+        (ModelId::DeepLabV3Plus, EngineKind::IntegratedGpu),
+        (ModelId::MobileBert, EngineKind::IntegratedGpu),
+    ] {
+        let dep = OpenVino.compile(&model.build(), &old).unwrap();
+        assert_eq!(old.engine(dep.schedule.stages[0].engine).kind, kind, "{model:?}");
+    }
+    // CPU-bound tasks gain ~1.1x from the CPU frequency bump.
+    let cls_gain = {
+        let a = OpenVino.compile(&ModelId::MobileNetEdgeTpu.build(), &old).unwrap().estimate_ms(&old);
+        let b = OpenVino.compile(&ModelId::MobileNetEdgeTpu.build(), &new).unwrap().estimate_ms(&new);
+        a / b
+    };
+    assert!((1.02..1.2).contains(&cls_gain), "classification gain {cls_gain:.3} ~ 1.1x");
+    // NLP gains much more (quantized GPU kernel); segmentation only
+    // marginally.
+    let nlp_gain = {
+        let a = OpenVino.compile(&ModelId::MobileBert.build(), &old).unwrap().estimate_ms(&old);
+        let b = OpenVino.compile(&ModelId::MobileBert.build(), &new).unwrap().estimate_ms(&new);
+        a / b
+    };
+    let seg_gain = {
+        let a = OpenVino.compile(&ModelId::DeepLabV3Plus.build(), &old).unwrap().estimate_ms(&old);
+        let b = OpenVino.compile(&ModelId::DeepLabV3Plus.build(), &new).unwrap().estimate_ms(&new);
+        a / b
+    };
+    assert!(nlp_gain > 2.0, "NLP gain {nlp_gain:.2} should be large");
+    assert!(seg_gain < 1.2, "segmentation gain {seg_gain:.2} should be marginal");
+}
+
+/// Paper related work / Buch et al.: buggy NNAPI op support can make the
+/// generic path several times slower than the vendor path.
+#[test]
+fn buggy_nnapi_multiplier() {
+    let soc = ChipId::Dimensity1100.build();
+    let reference = ModelId::MobileNetEdgeTpu.build();
+    let vendor = Neuron.compile(&reference, &soc).unwrap().estimate_ms(&soc);
+    let buggy = Nnapi::buggy(vec![nn_graph::OpClass::DepthwiseConv])
+        .compile(&reference, &soc)
+        .unwrap()
+        .estimate_ms(&soc);
+    let ratio = buggy / vendor;
+    assert!(ratio > 2.0, "buggy NNAPI ratio {ratio:.1} should be large");
+}
+
+/// Insight 3: offline ALP (multiple concurrent accelerators) beats any
+/// single stream.
+#[test]
+fn alp_beats_single_stream_throughput() {
+    let soc = ChipId::Snapdragon865Plus.build();
+    let dep = Snpe.compile(&ModelId::MobileNetEdgeTpu.build(), &soc).unwrap();
+    let mut s1 = soc.new_state(22.0);
+    let solo = run_offline(&soc, &dep.graph, &dep.offline_streams[..1], &mut s1, 8192, 32);
+    let mut s2 = soc.new_state(22.0);
+    let alp = run_offline(&soc, &dep.graph, &dep.offline_streams, &mut s2, 8192, 32);
+    assert!(
+        alp.throughput_fps > solo.throughput_fps * 1.3,
+        "AIP (HTA+HVX) {:.0} fps should clearly beat HTA alone {:.0} fps",
+        alp.throughput_fps,
+        solo.throughput_fps
+    );
+}

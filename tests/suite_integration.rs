@@ -1,0 +1,133 @@
+//! Cross-crate integration: the full suite runs end-to-end on every
+//! catalog platform, produces Table 2-shaped configurations, and passes
+//! every Table 1 quality gate.
+
+use mlperf_mobile::app::{run_suite, AppConfig};
+use mlperf_mobile::harness::RunRules;
+use mlperf_mobile::sut_impl::DatasetScale;
+use mlperf_mobile::task::{SuiteVersion, Task};
+use nn_graph::DataType;
+use soc_sim::catalog::{ChipId, Generation};
+
+fn smoke_config() -> AppConfig {
+    AppConfig { rules: RunRules::smoke_test(), offline_classification: false }
+}
+
+#[test]
+fn every_platform_completes_its_generation_suite() {
+    for chip in ChipId::ALL {
+        let version = match chip.generation() {
+            Generation::V0_7 => SuiteVersion::V0_7,
+            Generation::V1_0 => SuiteVersion::V1_0,
+        };
+        let report = run_suite(chip, version, &smoke_config(), DatasetScale::Reduced(48))
+            .unwrap_or_else(|e| panic!("{chip:?}: {e}"));
+        assert_eq!(report.scores.len(), 4, "{chip:?}");
+        for s in &report.scores {
+            assert!(
+                s.accuracy_passed,
+                "{chip:?}/{}: accuracy {:.4} below target {:.4}",
+                s.def.task, s.accuracy, s.quality_target
+            );
+            assert!(s.latency_ms() > 0.1, "{chip:?}/{}", s.def.task);
+        }
+    }
+}
+
+#[test]
+fn table2_numerics_pattern_holds() {
+    // Paper Table 2 / Insight 5: vision tasks deploy INT8/UINT8 on phones,
+    // NLP deploys FP16; Samsung is INT8, MediaTek/Qualcomm UINT8; laptops
+    // are INT8 everywhere.
+    for (chip, version) in [
+        (ChipId::Dimensity820, SuiteVersion::V0_7),
+        (ChipId::Exynos990, SuiteVersion::V0_7),
+        (ChipId::Snapdragon865Plus, SuiteVersion::V0_7),
+    ] {
+        let report = run_suite(chip, version, &smoke_config(), DatasetScale::Reduced(32)).unwrap();
+        for s in &report.scores {
+            match s.def.task {
+                Task::QuestionAnswering => {
+                    assert_eq!(s.scheme.dtype(), DataType::F16, "{chip:?} NLP should be FP16")
+                }
+                _ => {
+                    assert!(s.scheme.is_quantized(), "{chip:?}/{} should be 8-bit", s.def.task);
+                }
+            }
+        }
+    }
+    // Samsung INT8 vs Qualcomm/MediaTek UINT8.
+    let samsung = run_suite(
+        ChipId::Exynos990,
+        SuiteVersion::V0_7,
+        &smoke_config(),
+        DatasetScale::Reduced(32),
+    )
+    .unwrap();
+    assert_eq!(samsung.scores[0].scheme.dtype(), DataType::I8);
+    let qc = run_suite(
+        ChipId::Snapdragon865Plus,
+        SuiteVersion::V0_7,
+        &smoke_config(),
+        DatasetScale::Reduced(32),
+    )
+    .unwrap();
+    assert_eq!(qc.scores[0].scheme.dtype(), DataType::U8);
+}
+
+#[test]
+fn table2_accelerator_pattern_holds() {
+    // NLP runs on the GPU on every phone; vision runs on the AI
+    // accelerators.
+    let report = run_suite(
+        ChipId::Exynos990,
+        SuiteVersion::V0_7,
+        &smoke_config(),
+        DatasetScale::Reduced(32),
+    )
+    .unwrap();
+    let nlp = report.score(Task::QuestionAnswering).unwrap();
+    assert!(nlp.accelerator.contains("GPU"), "NLP on {}", nlp.accelerator);
+    let cls = report.score(Task::ImageClassification).unwrap();
+    assert!(cls.accelerator.contains("NPU"), "classification on {}", cls.accelerator);
+}
+
+#[test]
+fn quality_gates_fail_with_bad_calibration() {
+    // A deployment whose PTQ calibration used raw min/max on the most
+    // sensitive task (NLP) drops below the 93% gate — the quality model
+    // end-to-end.
+    use mlperf_mobile::task::suite;
+    use quant::{nominal_retention, CalibrationMethod, Scheme, Sensitivity};
+    let def = &suite(SuiteVersion::V1_0)[3];
+    let bad = Scheme::PtqInt8 { method: CalibrationMethod::MinMax, dtype: DataType::I8 };
+    let retention = nominal_retention(bad, Sensitivity::for_model(def.model));
+    assert!(
+        def.fp32_quality * retention < def.quality_target(),
+        "badly calibrated INT8 NLP must fail the gate"
+    );
+}
+
+#[test]
+fn laptop_and_phone_use_disjoint_backends() {
+    let phone = run_suite(
+        ChipId::Snapdragon888,
+        SuiteVersion::V1_0,
+        &smoke_config(),
+        DatasetScale::Reduced(32),
+    )
+    .unwrap();
+    let laptop = run_suite(
+        ChipId::CoreI7_11375H,
+        SuiteVersion::V1_0,
+        &smoke_config(),
+        DatasetScale::Reduced(32),
+    )
+    .unwrap();
+    for s in &laptop.scores {
+        assert_eq!(s.backend, mobile_backend::backend::BackendId::OpenVino);
+    }
+    for s in &phone.scores {
+        assert_ne!(s.backend, mobile_backend::backend::BackendId::OpenVino);
+    }
+}
