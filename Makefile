@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the full local gate: it must be
+# green before every push (the same bar CI holds).
+
+CARGO ?= cargo
+
+.PHONY: check build test clippy bench reproduce clean
+
+## Full gate: release build, tests, and warning-free clippy.
+check: build test clippy
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+clippy:
+	$(CARGO) clippy --all-targets -- -D warnings
+
+## Serial-vs-parallel suite sweep plus the library micro-benches.
+bench:
+	$(CARGO) bench -p mlperf-bench --bench suite_sweep
+
+## Regenerate every paper artifact; writes BENCH_suite.json with
+## per-table wall-clock and compile-cache counters.
+reproduce:
+	$(CARGO) run --release -p mlperf-bench --bin reproduce
+
+clean:
+	$(CARGO) clean

@@ -1,0 +1,45 @@
+//! Criterion bench: the full cross-chip suite sweep, serial vs parallel.
+//!
+//! This measures the tentpole optimisation end-to-end: the same
+//! chips x tasks matrix executed by `SuiteRunner::with_threads(1)` (serial,
+//! but still compile-cached) and by a per-core worker pool. Smoke-scale
+//! rules keep each iteration short; the *ratio* between the two series is
+//! the speedup the parallel runner buys on this host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlperf_mobile::app::AppConfig;
+use mlperf_mobile::harness::RunRules;
+use mlperf_mobile::runner::SuiteRunner;
+use mlperf_mobile::sut_impl::DatasetScale;
+use mlperf_mobile::task::SuiteVersion;
+use soc_sim::catalog::ChipId;
+use std::hint::black_box;
+
+const CHIPS: [ChipId; 3] = [ChipId::Dimensity1100, ChipId::Exynos2100, ChipId::Snapdragon888];
+
+fn smoke_config() -> AppConfig {
+    AppConfig { rules: RunRules::smoke_test(), offline_classification: true }
+}
+
+fn bench_suite_sweep(c: &mut Criterion) {
+    let config = smoke_config();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut group = c.benchmark_group("suite_sweep");
+    for (label, threads) in [("serial", 1), ("parallel", cores)] {
+        group.bench_function(BenchmarkId::new(label, threads), |b| {
+            b.iter(|| {
+                // A fresh runner per iteration so compile work is included
+                // and both series pay it equally.
+                let runner = SuiteRunner::with_threads(threads);
+                let reports = runner
+                    .sweep(&CHIPS, SuiteVersion::V1_0, &config, DatasetScale::Reduced(48))
+                    .expect("sweep compiles");
+                black_box(reports.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite_sweep);
+criterion_main!(benches);

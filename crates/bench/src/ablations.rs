@@ -2,15 +2,16 @@
 //! extension experiments (Appendix E): end-to-end AI tax, energy/battery,
 //! and the extended suite.
 
+use crate::cache;
 use mlperf_mobile::ai_tax::{host_stage_time, EndToEndSut};
-use mlperf_mobile::harness::{run_benchmark, RunRules};
+use mlperf_mobile::harness::{run_benchmark_with, RunRules};
 use mlperf_mobile::report::render_table;
 use mlperf_mobile::sut_impl::{DatasetScale, DeviceSut};
 use mlperf_mobile::task::{suite, SuiteVersion, Task};
-use mobile_backend::backend::Backend;
-use mobile_backend::backends::{Enn, Neuron, Snpe};
+use mobile_backend::backend::{Backend, BackendId};
+use mobile_backend::backends::{Enn, Neuron};
 use mobile_backend::partition::{partition, FallbackPolicy, PartitionPlan, Target};
-use mobile_backend::registry::{create, vendor_backend};
+use mobile_backend::registry::vendor_backend;
 use nn_graph::graph::retype;
 use nn_graph::models::ModelId;
 use nn_graph::DataType;
@@ -174,11 +175,11 @@ pub fn ablation_batch_size() -> String {
 pub fn end_to_end_tax() -> String {
     let mut rows = Vec::new();
     for chip in [ChipId::Dimensity1100, ChipId::Snapdragon888] {
-        let soc = chip.build();
+        let soc = cache().soc(chip);
         for def in suite(SuiteVersion::V1_0) {
             let backend =
-                create(mlperf_mobile::app::submission_backend(chip, SuiteVersion::V1_0, def.task));
-            let Ok(dep) = backend.compile(&def.model.build(), &soc) else {
+                mlperf_mobile::app::submission_backend(chip, SuiteVersion::V1_0, def.task);
+            let Ok(dep) = cache().deployment(chip, backend, def.model) else {
                 continue;
             };
             let model_ms = dep.estimate_ms(&soc);
@@ -205,10 +206,10 @@ pub fn end_to_end_tax() -> String {
 pub fn extensions_report() -> String {
     let mut rows = Vec::new();
     for chip in [ChipId::Dimensity1100, ChipId::Exynos2100, ChipId::Snapdragon888] {
-        let soc = chip.build();
-        let backend = create(vendor_backend(&soc).expect("vendor backend"));
+        let soc = cache().soc(chip);
+        let backend = vendor_backend(&soc).expect("vendor backend");
         for def in mlperf_mobile::extensions::extension_defs() {
-            let Ok(dep) = backend.compile(&def.model.build(), &soc) else {
+            let Ok(dep) = cache().deployment(chip, backend, def.model) else {
                 continue;
             };
             rows.push(vec![
@@ -235,17 +236,19 @@ pub fn power_report() -> String {
     for chip in [ChipId::Exynos2100, ChipId::Snapdragon888] {
         for def in suite(SuiteVersion::V1_0) {
             let backend =
-                create(mlperf_mobile::app::submission_backend(chip, SuiteVersion::V1_0, def.task));
-            let Ok(score) = run_benchmark(
+                mlperf_mobile::app::submission_backend(chip, SuiteVersion::V1_0, def.task);
+            let Ok(dep) = cache().deployment(chip, backend, def.model) else {
+                continue;
+            };
+            let score = run_benchmark_with(
                 chip,
-                backend.as_ref(),
+                cache().soc(chip),
+                dep,
                 &def,
                 &RunRules::smoke_test(),
                 DatasetScale::Reduced(48),
                 false,
-            ) else {
-                continue;
-            };
+            );
             rows.push(vec![
                 chip.to_string(),
                 def.task.to_string(),
@@ -259,24 +262,28 @@ pub fn power_report() -> String {
     let mut low_rules = RunRules::smoke_test();
     low_rules.battery_soc = Some(0.15);
     let def = suite(SuiteVersion::V1_0).remove(0);
-    let full = run_benchmark(
+    let soc = cache().soc(ChipId::Snapdragon888);
+    let dep = cache()
+        .deployment(ChipId::Snapdragon888, BackendId::Snpe, def.model)
+        .expect("SNPE compiles classification");
+    let full = run_benchmark_with(
         ChipId::Snapdragon888,
-        &Snpe,
+        soc.clone(),
+        dep.clone(),
         &def,
         &RunRules::smoke_test(),
         DatasetScale::Reduced(48),
         false,
-    )
-    .expect("runs");
-    let low = run_benchmark(
+    );
+    let low = run_benchmark_with(
         ChipId::Snapdragon888,
-        &Snpe,
+        soc,
+        dep,
         &def,
         &low_rules,
         DatasetScale::Reduced(48),
         false,
-    )
-    .expect("runs");
+    );
     format!(
         "Power / energy (Appendix E extension; most chipsets cap at ~3 W TDP)\n{}\nbattery hazard: classification p90 on a full charge {:.2} ms vs {:.2} ms at 15% charge (power-saving mode entered: {}) — why the rules recommend a full charge\n",
         render_table(&["Chipset", "Task", "Energy/query", "p90", "Avg power"], &rows),

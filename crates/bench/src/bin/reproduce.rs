@@ -4,36 +4,111 @@
 //! cargo run --release -p mlperf-bench --bin reproduce            # everything
 //! cargo run --release -p mlperf-bench --bin reproduce -- table3  # one artifact
 //! ```
+//!
+//! `reproduce all` (or `reproduce` with no argument) also writes
+//! `BENCH_suite.json` to the current directory: the wall-clock spent on
+//! each artifact plus the shared compile-cache hit/miss counters, so perf
+//! regressions in the sweep are visible run over run.
 
+use serde::Serialize;
 use std::env;
+use std::time::Instant;
+
+/// Wall-clock for one artifact, as recorded in `BENCH_suite.json`.
+#[derive(Serialize)]
+struct ArtifactTiming {
+    name: &'static str,
+    wall_ms: f64,
+}
+
+/// Compile-cache counters accumulated over the whole `all` sweep.
+#[derive(Serialize)]
+struct CacheStats {
+    hits: usize,
+    misses: usize,
+}
+
+/// The `BENCH_suite.json` schema.
+#[derive(Serialize)]
+struct SuiteTimings {
+    artifacts: Vec<ArtifactTiming>,
+    total_wall_ms: f64,
+    compile_cache: CacheStats,
+}
+
+/// An artifact name and its generator.
+type Artifact = (&'static str, fn() -> String);
+
+/// Every artifact, in report order. The closure indirection keeps the
+/// timing loop uniform.
+const ARTIFACTS: &[Artifact] = &[
+    ("table1", mlperf_bench::table1),
+    ("table2", mlperf_bench::table2),
+    ("table3", mlperf_bench::table3),
+    ("table4", mlperf_bench::table4),
+    ("figure6", mlperf_bench::figure6),
+    ("figure7", mlperf_bench::figure7),
+    ("offline", mlperf_bench::offline_throughput),
+    ("laptop", mlperf_bench::laptop),
+    ("codepaths", mlperf_bench::codepaths),
+    ("insights", mlperf_bench::all_insights),
+    ("ablations", mlperf_bench::all_ablations),
+];
+
+fn run_one(which: &str) -> Option<String> {
+    match which {
+        "endtoend" => Some(mlperf_bench::end_to_end_tax()),
+        "extensions" => Some(mlperf_bench::extensions_report()),
+        "power" => Some(mlperf_bench::power_report()),
+        _ => ARTIFACTS.iter().find(|(name, _)| *name == which).map(|(_, f)| f()),
+    }
+}
+
+fn run_all() -> String {
+    let mut out = String::new();
+    let mut timings = Vec::new();
+    let total = Instant::now();
+    for (name, f) in ARTIFACTS {
+        let t = Instant::now();
+        out.push_str(&f());
+        out.push('\n');
+        timings.push(ArtifactTiming { name, wall_ms: t.elapsed().as_secs_f64() * 1e3 });
+    }
+    let total_ms = total.elapsed().as_secs_f64() * 1e3;
+    let cache = mlperf_bench::cache();
+    let suite_json = SuiteTimings {
+        artifacts: timings,
+        total_wall_ms: total_ms,
+        compile_cache: CacheStats { hits: cache.hits(), misses: cache.misses() },
+    };
+    match std::fs::write(
+        "BENCH_suite.json",
+        serde_json::to_string_pretty(&suite_json).expect("serializes") + "\n",
+    ) {
+        Ok(()) => eprintln!(
+            "wrote BENCH_suite.json ({total_ms:.0} ms total, compile cache {} hits / {} misses)",
+            cache.hits(),
+            cache.misses()
+        ),
+        Err(e) => eprintln!("could not write BENCH_suite.json: {e}"),
+    }
+    out
+}
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
-    let out = match which {
-        "table1" => mlperf_bench::table1(),
-        "table2" => mlperf_bench::table2(),
-        "table3" => mlperf_bench::table3(),
-        "table4" => mlperf_bench::table4(),
-        "figure6" => mlperf_bench::figure6(),
-        "figure7" => mlperf_bench::figure7(),
-        "offline" => mlperf_bench::offline_throughput(),
-        "laptop" => mlperf_bench::laptop(),
-        "codepaths" => mlperf_bench::codepaths(),
-        "ablations" => mlperf_bench::all_ablations(),
-        "insights" => mlperf_bench::all_insights(),
-        "endtoend" => mlperf_bench::end_to_end_tax(),
-        "extensions" => mlperf_bench::extensions_report(),
-        "power" => mlperf_bench::power_report(),
-        "all" => format!("{}\n{}\n{}", mlperf_bench::all_reports(), mlperf_bench::all_insights(), mlperf_bench::all_ablations()),
-        other => {
+    let out = if which == "all" {
+        run_all()
+    } else {
+        run_one(which).unwrap_or_else(|| {
             eprintln!(
-                "unknown artifact {other:?}; expected one of: table1 table2 table3 table4 \
+                "unknown artifact {which:?}; expected one of: table1 table2 table3 table4 \
                  figure6 figure7 offline laptop codepaths insights ablations endtoend \
                  extensions power all"
             );
             std::process::exit(2);
-        }
+        })
     };
     println!("{out}");
 }

@@ -2,11 +2,12 @@
 //! simulation rather than asserted — the narrative the benchmark data is
 //! supposed to support.
 
+use crate::cache;
 use mlperf_mobile::report::render_table;
 use mlperf_mobile::task::{suite, SuiteVersion, Task};
-use mobile_backend::backend::Backend;
-use mobile_backend::backends::{Neuron, Nnapi, TfliteGpu};
-use mobile_backend::registry::{create, vendor_backend};
+use mobile_backend::backend::{Backend, BackendId};
+use mobile_backend::backends::Nnapi;
+use mobile_backend::registry::vendor_backend;
 use nn_graph::models::ModelId;
 use quant::{nominal_retention, Scheme, Sensitivity};
 use soc_sim::catalog::ChipId;
@@ -43,11 +44,9 @@ pub fn insight1() -> String {
 }
 
 fn vendor_latency(chip: ChipId, model: ModelId) -> f64 {
-    let soc = chip.build();
-    create(vendor_backend(&soc).expect("vendor"))
-        .compile(&model.build(), &soc)
-        .expect("compiles")
-        .estimate_ms(&soc)
+    let soc = cache().soc(chip);
+    let backend = vendor_backend(&soc).expect("vendor");
+    cache().deployment(chip, backend, model).expect("compiles").estimate_ms(&soc)
 }
 
 /// Insight 2: no one size fits all — per-task winners differ.
@@ -63,14 +62,14 @@ pub fn insight2() -> String {
             .model;
         let mut best: Option<(ChipId, f64)> = None;
         for chip in chips {
-            let soc = chip.build();
+            let soc = cache().soc(chip);
             let ms = if task == Task::QuestionAnswering {
-                let dep = if soc.vendor == "Samsung" {
-                    mobile_backend::backends::Enn.compile(&model.build(), &soc).expect("enn")
+                let backend = if soc.vendor == "Samsung" {
+                    BackendId::Enn
                 } else {
-                    TfliteGpu.compile(&model.build(), &soc).expect("gpu delegate")
+                    BackendId::TfliteGpu
                 };
-                dep.estimate_ms(&soc)
+                cache().deployment(chip, backend, model).expect("NLP path").estimate_ms(&soc)
             } else {
                 vendor_latency(chip, model)
             };
@@ -97,9 +96,10 @@ pub fn insight2() -> String {
 pub fn insight3() -> String {
     let mut rows = Vec::new();
     for chip in [ChipId::Exynos990, ChipId::Snapdragon865Plus, ChipId::CoreI7_1165G7] {
-        let soc = chip.build();
-        let dep = create(vendor_backend(&soc).expect("vendor"))
-            .compile(&ModelId::MobileNetEdgeTpu.build(), &soc)
+        let soc = cache().soc(chip);
+        let backend = vendor_backend(&soc).expect("vendor");
+        let dep = cache()
+            .deployment(chip, backend, ModelId::MobileNetEdgeTpu)
             .expect("compiles");
         let mut s1 = soc.new_state(22.0);
         let solo =
@@ -124,12 +124,21 @@ pub fn insight3() -> String {
 /// drivers are catastrophic.
 #[must_use]
 pub fn insight4() -> String {
-    let soc = ChipId::Dimensity1100.build();
-    let reference = ModelId::MobileNetEdgeTpu.build();
-    let neuron = Neuron.compile(&reference, &soc).expect("neuron").estimate_ms(&soc);
-    let nnapi = Nnapi::default().compile(&reference, &soc).expect("nnapi").estimate_ms(&soc);
+    let chip = ChipId::Dimensity1100;
+    let soc = cache().soc(chip);
+    let model = ModelId::MobileNetEdgeTpu;
+    let neuron = cache()
+        .deployment(chip, BackendId::Neuron, model)
+        .expect("neuron")
+        .estimate_ms(&soc);
+    let nnapi = cache()
+        .deployment(chip, BackendId::Nnapi, model)
+        .expect("nnapi")
+        .estimate_ms(&soc);
+    // A buggy driver is a one-off hypothetical, not a catalogued backend —
+    // it deliberately bypasses the compile cache.
     let buggy = Nnapi::buggy(vec![nn_graph::OpClass::DepthwiseConv, nn_graph::OpClass::Pool])
-        .compile(&reference, &soc)
+        .compile(&model.build(), &soc)
         .expect("buggy nnapi")
         .estimate_ms(&soc);
     format!(

@@ -2,11 +2,11 @@
 //! prescribed order with per-vendor backend selection (paper Appendix A
 //! and Table 2), producing a submission-shaped report.
 
-use crate::harness::{run_benchmark, BenchmarkScore, RunRules};
+use crate::harness::{BenchmarkScore, RunRules};
+use crate::runner::SuiteRunner;
 use crate::sut_impl::DatasetScale;
-use crate::task::{suite, SuiteVersion, Task};
+use crate::task::{SuiteVersion, Task};
 use mobile_backend::backend::{BackendId, CompileError};
-use mobile_backend::registry::create;
 use serde::{Deserialize, Serialize};
 use soc_sim::catalog::ChipId;
 
@@ -101,23 +101,21 @@ impl Default for AppConfig {
 /// Runs the full suite on a device, tasks in the prescribed order, with
 /// cooldown between tests, using the per-task submission backends.
 ///
+/// Executes through the parallel [`SuiteRunner`]; results are bit-identical
+/// to a serial [`run_benchmark`][crate::harness::run_benchmark] loop (the
+/// `suite_integration` tests assert exactly that) because every run owns
+/// its mutable state and the shared deployments are immutable.
+///
 /// # Errors
 ///
-/// Propagates the first backend compilation failure.
+/// Propagates the first backend compilation failure (in task order).
 pub fn run_suite(
     chip: ChipId,
     version: SuiteVersion,
     config: &AppConfig,
     scale: DatasetScale,
 ) -> Result<SuiteReport, CompileError> {
-    let mut scores = Vec::new();
-    for def in suite(version) {
-        let backend = create(submission_backend(chip, version, def.task));
-        let with_offline = config.offline_classification && def.task == Task::ImageClassification;
-        let score = run_benchmark(chip, backend.as_ref(), &def, &config.rules, scale, with_offline)?;
-        scores.push(score);
-    }
-    Ok(SuiteReport { chip, version, scores })
+    SuiteRunner::new().suite_report(chip, version, config, scale)
 }
 
 #[cfg(test)]

@@ -8,12 +8,14 @@ use loadgen::checker::{check_log, Violation};
 use loadgen::log::RunLog;
 use loadgen::run::{run_accuracy, run_offline_scenario, run_single_stream, PerformanceResult};
 use loadgen::scenario::TestSettings;
-use mobile_backend::backend::{Backend, BackendId, CompileError};
+use mobile_backend::backend::{Backend, BackendId, CompileError, Deployment};
 
 use serde::{Deserialize, Serialize};
 use soc_sim::battery::{BatterySpec, BatteryState};
 use soc_sim::catalog::ChipId;
+use soc_sim::soc::Soc;
 use soc_sim::time::SimDuration;
+use std::sync::Arc;
 
 /// Run-rule environment (paper Section 6.1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -106,11 +108,18 @@ impl BenchmarkScore {
     /// Headline single-stream latency in milliseconds (p90).
     #[must_use]
     pub fn latency_ms(&self) -> f64 {
-        self.single_stream.latency.score_ms()
+        self.single_stream.score()
     }
 }
 
 /// Scores accuracy-mode predictions with the real metric implementations.
+///
+/// Predictions are scored *by reference*: the metric entry points are
+/// generic over borrowed inputs, so no detection list, label map,
+/// transcript, or reconstructed image is cloned on this path. At full
+/// dataset scale the prediction buffers run to tens of megabytes per
+/// benchmark, and the old clone-per-sample scoring dominated accuracy-mode
+/// allocation.
 #[must_use]
 pub fn score_accuracy(data: &TaskData, predictions: &[(usize, Prediction)]) -> f64 {
     match data {
@@ -127,10 +136,10 @@ pub fn score_accuracy(data: &TaskData, predictions: &[(usize, Prediction)]) -> f
         }
         TaskData::Detection(d) => {
             let gts: Vec<_> = predictions.iter().map(|(i, _)| d.objects(*i)).collect();
-            let preds: Vec<_> = predictions
+            let preds: Vec<&Vec<_>> = predictions
                 .iter()
                 .map(|(_, p)| match p {
-                    Prediction::Detections(v) => v.clone(),
+                    Prediction::Detections(v) => v,
                     other => panic!("expected detections, got {other:?}"),
                 })
                 .collect();
@@ -138,10 +147,10 @@ pub fn score_accuracy(data: &TaskData, predictions: &[(usize, Prediction)]) -> f
         }
         TaskData::Segmentation(d, _) => {
             let gts: Vec<_> = predictions.iter().map(|(i, _)| d.label_map(*i)).collect();
-            let preds: Vec<_> = predictions
+            let preds: Vec<&_> = predictions
                 .iter()
                 .map(|(_, p)| match p {
-                    Prediction::Map(m) => m.clone(),
+                    Prediction::Map(m) => m,
                     other => panic!("expected label map, got {other:?}"),
                 })
                 .collect();
@@ -161,10 +170,10 @@ pub fn score_accuracy(data: &TaskData, predictions: &[(usize, Prediction)]) -> f
         TaskData::Speech(d) => {
             let gts: Vec<Vec<u32>> =
                 predictions.iter().map(|(i, _)| d.utterance(*i).transcript).collect();
-            let preds: Vec<Vec<u32>> = predictions
+            let preds: Vec<&Vec<u32>> = predictions
                 .iter()
                 .map(|(_, p)| match p {
-                    Prediction::Transcript(t) => t.clone(),
+                    Prediction::Transcript(t) => t,
                     other => panic!("expected transcript, got {other:?}"),
                 })
                 .collect();
@@ -172,10 +181,10 @@ pub fn score_accuracy(data: &TaskData, predictions: &[(usize, Prediction)]) -> f
         }
         TaskData::SuperRes(d, _) => {
             let gts: Vec<_> = predictions.iter().map(|(i, _)| d.high_res(*i)).collect();
-            let preds: Vec<_> = predictions
+            let preds: Vec<&_> = predictions
                 .iter()
                 .map(|(_, p)| match p {
-                    Prediction::Reconstruction(img) => img.clone(),
+                    Prediction::Reconstruction(img) => img,
                     other => panic!("expected reconstruction, got {other:?}"),
                 })
                 .collect();
@@ -222,8 +231,30 @@ pub fn run_benchmark(
     scale: DatasetScale,
     with_offline: bool,
 ) -> Result<BenchmarkScore, CompileError> {
-    let soc = chip.build();
-    let deployment = backend.compile(&def.model.build(), &soc)?;
+    let soc = Arc::new(chip.build());
+    let deployment = Arc::new(backend.compile(&def.model.build(), &soc)?);
+    Ok(run_benchmark_with(chip, soc, deployment, def, rules, scale, with_offline))
+}
+
+/// Runs one benchmark on an already-compiled deployment.
+///
+/// This is [`run_benchmark`] minus the compile step: the suite runner's
+/// compilation cache hands the same `Arc<Deployment>` to every run of a
+/// `(chip, backend, model)` triple, so compilation happens once per triple
+/// instead of once per run. All mutable state (thermal, energy, battery)
+/// is created fresh inside this function and the simulated inference is
+/// seeded from `rules.settings.seed`, so a run over a cached deployment is
+/// bit-identical to one over a freshly compiled deployment.
+#[must_use]
+pub fn run_benchmark_with(
+    chip: ChipId,
+    soc: Arc<Soc>,
+    deployment: Arc<Deployment>,
+    def: &BenchmarkDef,
+    rules: &RunRules,
+    scale: DatasetScale,
+    with_offline: bool,
+) -> BenchmarkScore {
     let backend_id = deployment.backend;
     let scheme = deployment.scheme;
     let accelerator = deployment.accelerator_summary(&soc);
@@ -263,7 +294,7 @@ pub fn run_benchmark(
         .as_ref()
         .is_some_and(soc_sim::battery::BatteryState::power_saving);
     let quality_target = def.quality_target();
-    Ok(BenchmarkScore {
+    BenchmarkScore {
         def: def.clone(),
         chip,
         backend: backend_id,
@@ -279,7 +310,7 @@ pub fn run_benchmark(
         joules_per_query,
         power_saving_entered,
         log,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,8 @@
 //! - [`harness`]: the accuracy-then-performance run flow with run rules,
 //! - [`app`]: the full-suite "mobile app" with per-vendor backend
 //!   selection (Table 2),
+//! - [`runner`]: the parallel suite runner with compilation caching
+//!   (bit-identical to the serial app, many times faster on a sweep),
 //! - [`audit`]: submission validation and independent reproduction
 //!   (Section 6.2),
 //! - [`related`]: the Table 4 comparison matrix,
@@ -44,6 +46,7 @@ pub mod extensions;
 pub mod harness;
 pub mod related;
 pub mod report;
+pub mod runner;
 pub mod sim_infer;
 pub mod submission;
 pub mod sut_impl;
@@ -54,6 +57,7 @@ pub use ai_tax::{host_stage_time, EndToEndSut};
 pub use extensions::{extended_suite, extension_defs};
 pub use submission::{Date, SubmissionEntry, SubmissionRegistry};
 pub use audit::{audit, AuditFinding, AuditReport, SubmissionPackage};
-pub use harness::{run_benchmark, BenchmarkScore, RunRules};
+pub use harness::{run_benchmark, run_benchmark_with, BenchmarkScore, RunRules};
+pub use runner::{par_map, CompileCache, RunSpec, SuiteRunner};
 pub use sut_impl::{DatasetScale, DeviceSut, Prediction, TaskData};
 pub use task::{suite, BenchmarkDef, SuiteVersion, Task};

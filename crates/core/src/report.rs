@@ -68,7 +68,11 @@ pub fn format_details(s: &BenchmarkScore) -> String {
         s.quality_target,
         if s.accuracy_passed { "PASS" } else { "FAIL" }
     ));
-    let lat = &s.single_stream.latency;
+    let lat = s
+        .single_stream
+        .latency
+        .as_ref()
+        .expect("single-stream runs record per-query latencies");
     out.push_str(&format!(
         "  single-stream    p50 {:.2} ms | p90 {:.2} ms | p99 {:.2} ms | max {:.2} ms over {} queries\n",
         lat.p50_ns as f64 / 1e6,

@@ -1,0 +1,404 @@
+//! Parallel suite runner with compilation caching.
+//!
+//! The benchmark matrix (chips x backends x tasks) is embarrassingly
+//! parallel: every run owns its mutable state ([`soc_sim::soc::SocState`],
+//! battery, logs) and everything shared — the SoC description and the
+//! compiled deployment — is immutable after construction. The runner
+//! exploits both facts:
+//!
+//! * [`CompileCache`] memoizes `ChipId::build()` and `Backend::compile()`
+//!   per `(chip, backend, model)` triple behind `Arc`s, so a sweep
+//!   compiles each deployment once instead of once per run.
+//! * [`SuiteRunner::run`] executes run specs on a fixed-size worker pool
+//!   (`std::thread::scope` + an atomic work index — no external
+//!   dependencies), merging results back into spec order.
+//!
+//! Determinism: a parallel sweep is bit-identical to a serial loop over
+//! [`crate::harness::run_benchmark`]. Compilation is a pure function of
+//! `(chip, backend, model)`; the simulated inference draws from RNGs
+//! seeded only by run-rule settings and sample indices; and per-run state
+//! is created fresh inside [`crate::harness::run_benchmark_with`]. The
+//! only cross-thread communication is handing out shared immutable
+//! deployments. The `suite_integration` test suite enforces this by
+//! comparing serialized reports.
+
+use crate::app::{submission_backend, AppConfig, SuiteReport};
+use crate::harness::{run_benchmark_with, BenchmarkScore, RunRules};
+use crate::sut_impl::DatasetScale;
+use crate::task::{suite, BenchmarkDef, SuiteVersion, Task};
+use mobile_backend::backend::{BackendId, CompileError, Deployment};
+use mobile_backend::registry::create;
+use nn_graph::models::ModelId;
+use soc_sim::catalog::ChipId;
+use soc_sim::soc::Soc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Memoizes SoC construction and backend compilation.
+///
+/// Deployments are immutable once compiled (all run-time mutation lives in
+/// `SocState`), so a cached `Arc<Deployment>` can back any number of
+/// concurrent runs. Compile *failures* are cached too: the codepath matrix
+/// deliberately probes unsupported (chip, backend) pairs, and re-deriving
+/// the same `CompileError` per run is wasted work.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    socs: Mutex<HashMap<ChipId, Arc<Soc>>>,
+    deployments: Mutex<HashMap<DeploymentKey, CompileOutcome>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// Identity of one compiled deployment.
+type DeploymentKey = (ChipId, BackendId, ModelId);
+
+/// A memoized compile result — failures are first-class cache entries.
+type CompileOutcome = Result<Arc<Deployment>, CompileError>;
+
+impl CompileCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The SoC description for a chip, built at most once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking worker.
+    #[must_use]
+    pub fn soc(&self, chip: ChipId) -> Arc<Soc> {
+        let mut socs = self.socs.lock().unwrap();
+        Arc::clone(socs.entry(chip).or_insert_with(|| Arc::new(chip.build())))
+    }
+
+    /// The compiled deployment for a `(chip, backend, model)` triple,
+    /// compiled at most once via the backend registry.
+    ///
+    /// Compilation runs outside the cache lock so distinct triples never
+    /// wait on each other; when two workers race on the same triple the
+    /// first insert wins (both compiles produce identical deployments, so
+    /// either result is correct).
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's (cached) compile failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking worker.
+    pub fn deployment(
+        &self,
+        chip: ChipId,
+        backend: BackendId,
+        model: ModelId,
+    ) -> Result<Arc<Deployment>, CompileError> {
+        let key = (chip, backend, model);
+        if let Some(cached) = self.deployments.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let soc = self.soc(chip);
+        let compiled = create(backend).compile(&model.build(), &soc).map(Arc::new);
+        self.deployments
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(compiled)
+            .clone()
+    }
+
+    /// Number of deployment lookups answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of deployment lookups that triggered a compile.
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Runs `f` over `items` on up to `threads` workers, returning results in
+/// item order.
+///
+/// Work distribution is a shared atomic index (dynamic scheduling: long
+/// runs — big chips, segmentation — don't straggle behind a static
+/// partition). Each worker tags results with their item index; the merged
+/// output is sorted back to input order, so parallel execution is
+/// invisible to callers.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("suite worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// One cell of the benchmark matrix: which deployment to run on which
+/// chip, and whether the offline scenario follows the single-stream run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Platform.
+    pub chip: ChipId,
+    /// Code path.
+    pub backend: BackendId,
+    /// Benchmark definition (task, model, quality target).
+    pub def: BenchmarkDef,
+    /// Whether to also run the offline scenario.
+    pub with_offline: bool,
+}
+
+impl RunSpec {
+    /// The specs for one suite run on one chip, in the prescribed task
+    /// order, using the per-task submission backends of paper Table 2.
+    #[must_use]
+    pub fn suite(chip: ChipId, version: SuiteVersion, config: &AppConfig) -> Vec<RunSpec> {
+        suite(version)
+            .into_iter()
+            .map(|def| RunSpec {
+                chip,
+                backend: submission_backend(chip, version, def.task),
+                with_offline: config.offline_classification
+                    && def.task == Task::ImageClassification,
+                def,
+            })
+            .collect()
+    }
+}
+
+/// Executes benchmark-matrix runs in parallel over a shared
+/// [`CompileCache`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use mlperf_mobile::app::AppConfig;
+/// use mlperf_mobile::runner::SuiteRunner;
+/// use mlperf_mobile::sut_impl::DatasetScale;
+/// use mlperf_mobile::task::SuiteVersion;
+/// use soc_sim::catalog::ChipId;
+///
+/// let runner = SuiteRunner::new();
+/// let reports = runner.sweep(
+///     &[ChipId::Snapdragon888, ChipId::Exynos2100],
+///     SuiteVersion::V1_0,
+///     &AppConfig::default(),
+///     DatasetScale::Full,
+/// )?;
+/// assert_eq!(reports.len(), 2);
+/// # Ok::<(), mobile_backend::backend::CompileError>(())
+/// ```
+#[derive(Debug)]
+pub struct SuiteRunner {
+    cache: CompileCache,
+    threads: usize,
+}
+
+impl Default for SuiteRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SuiteRunner {
+    /// A runner using one worker per available core.
+    #[must_use]
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::with_threads(threads)
+    }
+
+    /// A runner with an explicit worker count (`1` = serial execution on
+    /// the calling thread, still through the cache).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        SuiteRunner { cache: CompileCache::new(), threads: threads.max(1) }
+    }
+
+    /// The compilation cache (shared across every run this runner makes).
+    #[must_use]
+    pub fn cache(&self) -> &CompileCache {
+        &self.cache
+    }
+
+    /// Runs every spec, in parallel, returning per-spec results in spec
+    /// order. Each run compiles through the cache and otherwise behaves
+    /// exactly like [`crate::harness::run_benchmark`].
+    #[must_use]
+    pub fn run(
+        &self,
+        specs: &[RunSpec],
+        rules: &RunRules,
+        scale: DatasetScale,
+    ) -> Vec<Result<BenchmarkScore, CompileError>> {
+        par_map(specs, self.threads, |spec| {
+            let deployment = self.cache.deployment(spec.chip, spec.backend, spec.def.model)?;
+            let soc = self.cache.soc(spec.chip);
+            Ok(run_benchmark_with(
+                spec.chip,
+                soc,
+                deployment,
+                &spec.def,
+                rules,
+                scale,
+                spec.with_offline,
+            ))
+        })
+    }
+
+    /// Runs the full suite on one chip — the parallel equivalent of
+    /// [`crate::app::run_suite`], with scores in the prescribed task
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend compilation failure (in task order,
+    /// matching the serial app).
+    pub fn suite_report(
+        &self,
+        chip: ChipId,
+        version: SuiteVersion,
+        config: &AppConfig,
+        scale: DatasetScale,
+    ) -> Result<SuiteReport, CompileError> {
+        let specs = RunSpec::suite(chip, version, config);
+        let scores: Result<Vec<_>, _> =
+            self.run(&specs, &config.rules, scale).into_iter().collect();
+        Ok(SuiteReport { chip, version, scores: scores? })
+    }
+
+    /// Runs the suite on every chip, parallelizing across the whole
+    /// chips x tasks matrix (not chip-by-chip, so a big chip's slow task
+    /// overlaps the other chips' work). Reports come back in chip order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first compilation failure in (chip, task) order.
+    ///
+    /// # Panics
+    ///
+    /// Never — the flat result list always splits evenly per chip.
+    pub fn sweep(
+        &self,
+        chips: &[ChipId],
+        version: SuiteVersion,
+        config: &AppConfig,
+        scale: DatasetScale,
+    ) -> Result<Vec<SuiteReport>, CompileError> {
+        let specs: Vec<RunSpec> = chips
+            .iter()
+            .flat_map(|&chip| RunSpec::suite(chip, version, config))
+            .collect();
+        let per_chip = specs.len() / chips.len().max(1);
+        let mut results = self.run(&specs, &config.rules, scale).into_iter();
+        chips
+            .iter()
+            .map(|&chip| {
+                let scores: Result<Vec<_>, _> = results.by_ref().take(per_chip).collect();
+                Ok(SuiteReport { chip, version, scores: scores? })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = par_map(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_serial() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(par_map(&[7], 4, |&x| x + 1), vec![8]);
+        assert_eq!(par_map(&[1, 2, 3], 1, |&x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn compile_cache_compiles_each_triple_once() {
+        let cache = CompileCache::new();
+        let a = cache
+            .deployment(ChipId::Snapdragon888, BackendId::Snpe, ModelId::MobileNetEdgeTpu)
+            .unwrap();
+        let b = cache
+            .deployment(ChipId::Snapdragon888, BackendId::Snpe, ModelId::MobileNetEdgeTpu)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be the cached Arc");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn compile_cache_caches_failures() {
+        let cache = CompileCache::new();
+        // SNPE refuses non-Qualcomm silicon; the error must be cached.
+        let first = cache.deployment(ChipId::Exynos990, BackendId::Snpe, ModelId::MobileNetEdgeTpu);
+        let second = cache.deployment(ChipId::Exynos990, BackendId::Snpe, ModelId::MobileNetEdgeTpu);
+        assert!(first.is_err());
+        assert_eq!(first.unwrap_err(), second.unwrap_err());
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn soc_cache_returns_shared_instance() {
+        let cache = CompileCache::new();
+        let a = cache.soc(ChipId::Dimensity1100);
+        let b = cache.soc(ChipId::Dimensity1100);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.name, ChipId::Dimensity1100.build().name);
+    }
+
+    #[test]
+    fn suite_specs_follow_table2() {
+        let config = AppConfig::default();
+        let specs = RunSpec::suite(ChipId::Exynos990, SuiteVersion::V0_7, &config);
+        assert_eq!(specs.len(), 4);
+        assert!(specs.iter().all(|s| s.backend == BackendId::Enn));
+        // Offline rides along with classification only.
+        assert!(specs[0].with_offline && specs[0].def.task == Task::ImageClassification);
+        assert!(specs[1..].iter().all(|s| !s.with_offline));
+    }
+}

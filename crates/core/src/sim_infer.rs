@@ -118,17 +118,52 @@ pub fn segment(dataset: &SyntheticAde20k, sample: usize, pixel_accuracy: f64, se
     pred
 }
 
+/// Process-wide memo for [`pixel_accuracy_for_miou`], keyed by the full
+/// identity of the inversion: dataset generator parameters plus the exact
+/// target bits. The bisection below costs 24 probes x up-to-64 simulated
+/// `segment()` calls, and every suite run over the same dataset scale
+/// repeats it with identical inputs — across a parallel sweep the same
+/// inversion would otherwise run once per (chip, backend) pair.
+///
+/// No analogous cache exists for `noise_sigma_for_psnr`: that inversion is
+/// closed-form (`sigma = peak * 10^(-psnr/20)`), cheaper than a map lookup.
+static MIOU_CALIBRATION: std::sync::Mutex<Option<CalibrationMap>> =
+    std::sync::Mutex::new(None);
+
+/// `(dataset seed, len, resolution, target-mIoU bits)` -> pixel accuracy.
+type CalibrationMap = std::collections::HashMap<(u64, usize, usize, u64), f64>;
+
 /// Numerically inverts the mIoU curve: finds the per-pixel accuracy that
 /// produces `target_miou` on this dataset's class statistics.
 ///
 /// Deterministic (fixed calibration seed) and monotone, solved by
-/// bisection over a 24-sample calibration subset.
+/// bisection over a 24-sample calibration subset. Results are memoized
+/// process-wide on `(dataset seed, len, resolution, target bits)`, so
+/// concurrent benchmark runs over the same dataset pay for the bisection
+/// once.
 ///
 /// # Panics
 ///
 /// Panics if the dataset has no samples.
 #[must_use]
 pub fn pixel_accuracy_for_miou(dataset: &SyntheticAde20k, target_miou: f64) -> f64 {
+    use mobile_data::datasets::Dataset;
+    let key = (dataset.seed(), dataset.len(), dataset.resolution(), target_miou.to_bits());
+    {
+        let mut cache = MIOU_CALIBRATION.lock().unwrap();
+        if let Some(&hit) = cache.get_or_insert_with(Default::default).get(&key) {
+            return hit;
+        }
+    }
+    // Bisect outside the lock: other dataset keys should not wait on this
+    // one, and a rare duplicate bisection is deterministic anyway.
+    let q = pixel_accuracy_for_miou_uncached(dataset, target_miou);
+    let mut cache = MIOU_CALIBRATION.lock().unwrap();
+    cache.get_or_insert_with(Default::default).insert(key, q);
+    q
+}
+
+fn pixel_accuracy_for_miou_uncached(dataset: &SyntheticAde20k, target_miou: f64) -> f64 {
     use mobile_data::datasets::Dataset;
     use mobile_metrics::miou::{benchmark_eval_classes, ConfusionMatrix};
     assert!(dataset.len() > 0);
@@ -282,6 +317,22 @@ mod tests {
         let preds: Vec<_> = (0..100).map(|i| segment(&ds, i, q, 11)).collect();
         let miou = benchmark_miou(&gts, &preds);
         assert!((miou - target).abs() < 0.04, "mIoU {miou} vs target {target}");
+    }
+
+    #[test]
+    fn miou_calibration_cache_matches_uncached_bisection() {
+        let ds = SyntheticAde20k::with_params(21, 80, 32);
+        let target = 0.51;
+        // First call populates the cache, second must hit it; both must be
+        // bit-identical to the raw bisection.
+        let first = pixel_accuracy_for_miou(&ds, target);
+        let second = pixel_accuracy_for_miou(&ds, target);
+        let raw = pixel_accuracy_for_miou_uncached(&ds, target);
+        assert_eq!(first.to_bits(), raw.to_bits());
+        assert_eq!(second.to_bits(), raw.to_bits());
+        // A different target must not collide with the cached key.
+        let other = pixel_accuracy_for_miou(&ds, 0.60);
+        assert!(other > first, "higher mIoU target needs higher pixel accuracy");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use quant::{quality::nominal_retention, Sensitivity};
 use soc_sim::executor::{run_offline, run_query};
 use soc_sim::soc::{Soc, SocState};
 use soc_sim::time::SimDuration;
+use std::sync::Arc;
 
 /// Offline batch size used when amortizing per-query overheads.
 pub const OFFLINE_BATCH: usize = 32;
@@ -94,12 +95,17 @@ pub enum Prediction {
 }
 
 /// A deployment + simulated SoC bound to a benchmark's dataset.
+///
+/// The SoC description and the compiled deployment are immutable for the
+/// lifetime of a run and held behind [`Arc`] so the suite runner's
+/// compilation cache can share one compile across concurrent runs; all
+/// mutable per-run state lives in [`SocState`].
 #[derive(Debug)]
 pub struct DeviceSut {
-    /// SoC description.
-    pub soc: Soc,
-    /// Compiled deployment under test.
-    pub deployment: Deployment,
+    /// SoC description (immutable, shareable across runs).
+    pub soc: Arc<Soc>,
+    /// Compiled deployment under test (immutable, shareable across runs).
+    pub deployment: Arc<Deployment>,
     /// Mutable device state (thermal, energy) — persists across queries.
     pub state: SocState,
     /// Dataset and quality-model state.
@@ -113,16 +119,21 @@ impl DeviceSut {
     /// Binds a deployment to a benchmark definition.
     ///
     /// The achieved quality is the FP32 reference quality degraded by the
-    /// deployment scheme's retention (the `quant` quality model).
+    /// deployment scheme's retention (the `quant` quality model). Owned
+    /// values and pre-shared `Arc`s are both accepted (`Arc<T>: From<T>`),
+    /// so one-off callers keep passing plain `Soc`/`Deployment` while the
+    /// suite runner hands in cached deployments without cloning them.
     #[must_use]
     pub fn new(
-        soc: Soc,
-        deployment: Deployment,
+        soc: impl Into<Arc<Soc>>,
+        deployment: impl Into<Arc<Deployment>>,
         def: &BenchmarkDef,
         scale: DatasetScale,
         seed: u64,
         ambient_c: f64,
     ) -> Self {
+        let soc = soc.into();
+        let deployment = deployment.into();
         let retention = nominal_retention(deployment.scheme, Sensitivity::for_model(def.model));
         let target_quality = def.fp32_quality * retention;
         let data = match def.task {

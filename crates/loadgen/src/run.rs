@@ -24,8 +24,12 @@ pub struct PerformanceResult {
     pub queries: u64,
     /// Total simulated duration.
     pub duration: SimDuration,
-    /// Latency statistics (meaningful for single-stream).
-    pub latency: LatencyStats,
+    /// Per-query latency statistics. `Some` for single-stream, where every
+    /// query's completion is observed individually; `None` for offline,
+    /// which measures one burst — per-sample completion times don't exist
+    /// there, and fabricating them from the mean would be reporting fake
+    /// percentiles.
+    pub latency: Option<LatencyStats>,
     /// Average throughput in samples/second (the offline score).
     pub throughput_fps: f64,
 }
@@ -33,10 +37,19 @@ pub struct PerformanceResult {
 impl PerformanceResult {
     /// The scenario's headline score: p90 latency (ms) for single-stream,
     /// throughput (FPS) for offline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a single-stream result without latency statistics (the
+    /// run loops never produce one).
     #[must_use]
     pub fn score(&self) -> f64 {
         match self.scenario {
-            Scenario::SingleStream => self.latency.score_ms(),
+            Scenario::SingleStream => self
+                .latency
+                .as_ref()
+                .expect("single-stream runs record per-query latencies")
+                .score_ms(),
             Scenario::Offline => self.throughput_fps,
         }
     }
@@ -55,6 +68,15 @@ pub struct AccuracyResult<R> {
 /// from the dataset — "a seed and random-number generator allows the
 /// LoadGen to select samples, precluding unrealistic data-set-specific
 /// optimizations".
+///
+/// The draw is **with replacement**: each of the `n` indices is an
+/// independent uniform pick from `0..dataset_len`, so duplicates are
+/// expected whenever `n` approaches or exceeds the dataset size (for
+/// `n == dataset_len` about `1 - 1/e ≈ 63%` of samples appear at least
+/// once). That matches the real LoadGen's behavior — performance queries
+/// replay whatever the RNG picks; coverage of every sample is an accuracy-
+/// mode concern, not a performance-mode one. Identical `(seed,
+/// dataset_len, n)` triples always produce the identical sequence.
 ///
 /// # Panics
 ///
@@ -85,7 +107,9 @@ pub fn run_single_stream<S: SystemUnderTest>(
     );
     let samples = performance_sample_set(settings.seed, dataset_len, settings.min_query_count);
     let mut now = SimInstant::EPOCH;
-    let mut latencies = Vec::new();
+    // At least min_query_count latencies will be recorded; slow-query runs
+    // stop right at the count, so this usually avoids every regrowth.
+    let mut latencies = Vec::with_capacity(settings.min_query_count as usize);
     let mut queries = 0u64;
     // Repeat until both the sample count and the minimum duration are met.
     'outer: loop {
@@ -108,7 +132,7 @@ pub fn run_single_stream<S: SystemUnderTest>(
         scenario: Scenario::SingleStream,
         queries,
         duration,
-        latency: LatencyStats::from_latencies(&latencies),
+        latency: Some(LatencyStats::from_latencies(&latencies)),
         throughput_fps: queries as f64 / duration.as_secs_f64(),
     }
 }
@@ -142,13 +166,15 @@ pub fn run_offline_scenario<S: SystemUnderTest>(
         queries: samples.len() as u64,
         duration_ns: duration.as_nanos(),
     });
-    let per_query: Vec<u64> =
-        vec![duration.as_nanos() / samples.len() as u64; samples.len().min(4)];
+    // Offline observes one burst completion, not per-sample completions:
+    // there are no real latencies to aggregate, so none are reported
+    // (previously this fabricated identical "latencies" from the mean,
+    // which produced fictional percentiles).
     PerformanceResult {
         scenario: Scenario::Offline,
         queries: samples.len() as u64,
         duration,
-        latency: LatencyStats::from_latencies(&per_query),
+        latency: None,
         throughput_fps: samples.len() as f64 / duration.as_secs_f64(),
     }
 }
@@ -219,7 +245,7 @@ mod tests {
         let mut sut = ConstantSut::new(SimDuration::from_millis(7));
         let mut log = RunLog::new();
         let r = run_single_stream(&mut sut, 100, &TestSettings::smoke_test(), &mut log);
-        assert_eq!(r.latency.p90_ns, 7_000_000);
+        assert_eq!(r.latency.as_ref().unwrap().p90_ns, 7_000_000);
         assert!((r.score() - 7.0).abs() < 1e-9);
     }
 
@@ -232,6 +258,9 @@ mod tests {
         assert_eq!(sut.queries_served, 24_576);
         // 100us per sample sequentially -> 10k fps.
         assert!((r.throughput_fps - 10_000.0).abs() < 1.0);
+        // Offline has no per-sample completion times to report.
+        assert!(r.latency.is_none());
+        assert!((r.score() - r.throughput_fps).abs() < 1e-12);
     }
 
     #[test]

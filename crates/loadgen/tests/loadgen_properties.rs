@@ -4,7 +4,9 @@
 
 use loadgen::checker::check_log;
 use loadgen::log::RunLog;
-use loadgen::run::{run_accuracy, run_offline_scenario, run_single_stream};
+use loadgen::run::{
+    performance_sample_set, run_accuracy, run_offline_scenario, run_single_stream,
+};
 use loadgen::scenario::TestSettings;
 use loadgen::sut::SystemUnderTest;
 use proptest::prelude::*;
@@ -51,8 +53,9 @@ proptest! {
         // p90 bounded by the pattern's extremes.
         let lo = *sut.pattern_us.iter().min().unwrap() * 1_000;
         let hi = *sut.pattern_us.iter().max().unwrap() * 1_000;
-        prop_assert!(r.latency.p90_ns >= lo.max(1_000));
-        prop_assert!(r.latency.p90_ns <= hi);
+        let lat = r.latency.as_ref().unwrap();
+        prop_assert!(lat.p90_ns >= lo.max(1_000));
+        prop_assert!(lat.p90_ns <= hi);
     }
 
     #[test]
@@ -62,9 +65,10 @@ proptest! {
         let mut sut = PatternSut::new(pattern);
         let mut log = RunLog::new();
         let r = run_single_stream(&mut sut, 500, &TestSettings::smoke_test(), &mut log);
-        prop_assert!(r.latency.p90_ns >= r.latency.p50_ns);
-        prop_assert!(r.latency.max_ns >= r.latency.p90_ns);
-        prop_assert!(r.latency.min_ns <= r.latency.p50_ns);
+        let lat = r.latency.as_ref().unwrap();
+        prop_assert!(lat.p90_ns >= lat.p50_ns);
+        prop_assert!(lat.max_ns >= lat.p90_ns);
+        prop_assert!(lat.min_ns <= lat.p50_ns);
     }
 
     #[test]
@@ -78,6 +82,35 @@ proptest! {
         prop_assert_eq!(r.queries, settings.offline_sample_count);
         let implied = r.queries as f64 / r.duration.as_secs_f64();
         prop_assert!((implied / r.throughput_fps - 1.0).abs() < 1e-9);
+        // A burst has no per-sample completion times.
+        prop_assert!(r.latency.is_none());
+    }
+
+    #[test]
+    fn sample_set_is_bounded_and_seed_stable(
+        seed in 0u64..1_000,
+        len in 1usize..5_000,
+        n in 1u64..4_096,
+    ) {
+        let a = performance_sample_set(seed, len, n);
+        prop_assert_eq!(a.len(), n as usize);
+        prop_assert!(a.iter().all(|&i| i < len));
+        // Same (seed, len, n) -> identical sequence.
+        prop_assert_eq!(&a, &performance_sample_set(seed, len, n));
+    }
+
+    #[test]
+    fn sample_set_draws_with_replacement(seed in 0u64..500) {
+        // n == len independent uniform draws cover ~(1 - 1/e) = 63% of
+        // the dataset. Without replacement coverage would be exactly 100%,
+        // so this pins down the draw-with-replacement contract.
+        let len = 1_000usize;
+        let draws = performance_sample_set(seed, len, len as u64);
+        let mut unique = draws;
+        unique.sort_unstable();
+        unique.dedup();
+        let coverage = unique.len() as f64 / len as f64;
+        prop_assert!((0.55..0.72).contains(&coverage), "coverage {}", coverage);
     }
 
     #[test]

@@ -201,6 +201,14 @@ impl SyntheticAde20k {
         self.resolution
     }
 
+    /// Generator seed; together with `len` and `resolution` it fully
+    /// determines every label map, so `(seed, len, resolution)` is a
+    /// complete identity key for derived-statistics caches.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Ground-truth label map: blocky regions of 2–6 classes, biased
     /// toward frequent classes like real scene parsing data.
     ///

@@ -36,7 +36,7 @@ pub fn coco_iou_thresholds() -> Vec<f64> {
 ///
 /// Panics if the two slices have different lengths.
 #[must_use]
-pub fn coco_map(gts: &[Vec<GtObject>], dets: &[Vec<Detection>]) -> f64 {
+pub fn coco_map<D: AsRef<[Detection]>>(gts: &[Vec<GtObject>], dets: &[D]) -> f64 {
     assert_eq!(gts.len(), dets.len(), "image count mismatch");
     let classes: BTreeSet<u32> = gts.iter().flatten().map(|g| g.class).collect();
     if classes.is_empty() {
@@ -57,16 +57,16 @@ pub fn coco_map(gts: &[Vec<GtObject>], dets: &[Vec<Detection>]) -> f64 {
 /// Average precision for one class at one IoU threshold (101-point
 /// interpolation, COCO convention).
 #[must_use]
-pub fn average_precision(
+pub fn average_precision<D: AsRef<[Detection]>>(
     gts: &[Vec<GtObject>],
-    dets: &[Vec<Detection>],
+    dets: &[D],
     class: u32,
     iou_threshold: f64,
 ) -> f64 {
     // Gather detections of this class across all images: (image, score, bbox).
     let mut all: Vec<(usize, f32, usize)> = Vec::new();
     for (img, img_dets) in dets.iter().enumerate() {
-        for (di, d) in img_dets.iter().enumerate() {
+        for (di, d) in img_dets.as_ref().iter().enumerate() {
             if d.class == class {
                 all.push((img, d.score, di));
             }
@@ -90,7 +90,7 @@ pub fn average_precision(
         .collect();
     let mut tp = vec![false; all.len()];
     for (rank, &(img, _score, di)) in all.iter().enumerate() {
-        let det = &dets[img][di];
+        let det = &dets[img].as_ref()[di];
         let mut best_iou = iou_threshold as f32;
         let mut best_gt: Option<usize> = None;
         for (gi, gt) in gts[img].iter().enumerate() {

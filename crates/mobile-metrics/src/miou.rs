@@ -99,17 +99,23 @@ pub fn benchmark_eval_classes() -> Vec<u8> {
     (0..31).collect()
 }
 
-/// Convenience: benchmark mIoU over whole datasets of map pairs.
+/// Convenience: benchmark mIoU over whole datasets of map pairs. Accepts
+/// owned maps or references (anything that borrows as a [`LabelMap`]), so
+/// callers scoring existing prediction buffers need not clone them.
 ///
 /// # Panics
 ///
 /// Panics if slices differ in length.
 #[must_use]
-pub fn benchmark_miou(gts: &[LabelMap], preds: &[LabelMap]) -> f64 {
+pub fn benchmark_miou<G, P>(gts: &[G], preds: &[P]) -> f64
+where
+    G: std::borrow::Borrow<LabelMap>,
+    P: std::borrow::Borrow<LabelMap>,
+{
     assert_eq!(gts.len(), preds.len());
     let mut cm = ConfusionMatrix::new(32);
     for (g, p) in gts.iter().zip(preds.iter()) {
-        cm.record_maps(g, p);
+        cm.record_maps(g.borrow(), p.borrow());
     }
     cm.mean_iou(&benchmark_eval_classes())
 }

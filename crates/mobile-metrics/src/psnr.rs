@@ -54,13 +54,17 @@ pub fn psnr_db(reference: &Image, reconstruction: &Image, peak: f64) -> f64 {
 ///
 /// Panics if the slices differ in length or are empty.
 #[must_use]
-pub fn mean_psnr_db(references: &[Image], reconstructions: &[Image], peak: f64) -> f64 {
+pub fn mean_psnr_db<R, X>(references: &[R], reconstructions: &[X], peak: f64) -> f64
+where
+    R: std::borrow::Borrow<Image>,
+    X: std::borrow::Borrow<Image>,
+{
     assert_eq!(references.len(), reconstructions.len(), "image count mismatch");
     assert!(!references.is_empty(), "no images");
     let sum: f64 = references
         .iter()
         .zip(reconstructions.iter())
-        .map(|(r, x)| psnr_db(r, x, peak))
+        .map(|(r, x)| psnr_db(r.borrow(), x.borrow(), peak))
         .sum();
     sum / references.len() as f64
 }

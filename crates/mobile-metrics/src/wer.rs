@@ -93,12 +93,18 @@ pub fn utterance_wer<T: PartialEq>(reference: &[T], hypothesis: &[T]) -> f64 {
 ///
 /// Panics if the slices differ in length or are empty.
 #[must_use]
-pub fn corpus_wer<T: PartialEq>(references: &[Vec<T>], hypotheses: &[Vec<T>]) -> f64 {
+pub fn corpus_wer<T, R, H>(references: &[R], hypotheses: &[H]) -> f64
+where
+    T: PartialEq,
+    R: AsRef<[T]>,
+    H: AsRef<[T]>,
+{
     assert_eq!(references.len(), hypotheses.len(), "utterance count mismatch");
     assert!(!references.is_empty(), "no utterances");
     let mut edits = 0u64;
     let mut tokens = 0u64;
     for (r, h) in references.iter().zip(hypotheses.iter()) {
+        let (r, h) = (r.as_ref(), h.as_ref());
         edits += edit_ops(r, h).total();
         tokens += r.len() as u64;
     }

@@ -11,7 +11,6 @@ use mlperf_mobile::extensions::{extended_suite, extension_defs};
 use mlperf_mobile::harness::{run_benchmark, RunRules};
 use mlperf_mobile::sut_impl::{DatasetScale, DeviceSut};
 use mlperf_mobile::task::{SuiteVersion, Task};
-use mobile_backend::backend::Backend;
 use mobile_backend::registry::{create, vendor_backend};
 use soc_sim::battery::{BatterySpec, BatteryState};
 use soc_sim::catalog::ChipId;
@@ -68,7 +67,7 @@ fn end_to_end_wrapper_composes_with_loadgen() {
     let mut log = RunLog::new();
     let r = run_single_stream(&mut e2e, 64, &TestSettings::smoke_test(), &mut log);
     // End-to-end p90 must exceed the model-only latency by the host tax.
-    assert!(r.latency.p90_ns > model_only.as_nanos());
+    assert!(r.latency.unwrap().p90_ns > model_only.as_nanos());
     let tax = e2e.tax_fraction(model_only);
     assert!(tax > 0.05, "classification tax {tax:.3} should be visible");
 }

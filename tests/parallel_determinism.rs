@@ -1,0 +1,153 @@
+//! The parallel suite runner's contract: running the benchmark matrix on
+//! a worker pool with a shared compile cache must be *bit-identical* to a
+//! serial loop of fresh compiles — parallelism and caching are pure
+//! performance optimisations, invisible in every score.
+
+use mlperf_mobile::harness::{run_benchmark, run_benchmark_with, RunRules};
+use mlperf_mobile::runner::{CompileCache, RunSpec, SuiteRunner};
+use mlperf_mobile::sut_impl::DatasetScale;
+use mlperf_mobile::task::{suite, SuiteVersion, Task};
+use mobile_backend::registry::create;
+use soc_sim::catalog::ChipId;
+
+/// A 2-chip x 2-task matrix with distinct vendors, backends and models —
+/// small enough to run at smoke scale, varied enough that any cross-run
+/// state leakage or ordering bug would desynchronize at least one score.
+fn matrix() -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for chip in [ChipId::Dimensity1100, ChipId::Snapdragon888] {
+        for def in suite(SuiteVersion::V1_0) {
+            if matches!(def.task, Task::ImageClassification | Task::ImageSegmentation) {
+                specs.push(RunSpec {
+                    chip,
+                    backend: mlperf_mobile::app::submission_backend(
+                        chip,
+                        SuiteVersion::V1_0,
+                        def.task,
+                    ),
+                    with_offline: def.task == Task::ImageClassification,
+                    def,
+                });
+            }
+        }
+    }
+    assert_eq!(specs.len(), 4);
+    specs
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial_loop() {
+    let specs = matrix();
+    let rules = RunRules::smoke_test();
+    let scale = DatasetScale::Reduced(48);
+
+    // Serial reference: fresh compile per run, no cache, no threads.
+    let serial: Vec<String> = specs
+        .iter()
+        .map(|spec| {
+            let score = run_benchmark(
+                spec.chip,
+                create(spec.backend).as_ref(),
+                &spec.def,
+                &rules,
+                scale,
+                spec.with_offline,
+            )
+            .expect("matrix spec compiles");
+            serde_json::to_string(&score).expect("score serializes")
+        })
+        .collect();
+
+    // Parallel: more workers than specs, shared cache, dynamic scheduling.
+    let runner = SuiteRunner::with_threads(8);
+    let parallel: Vec<String> = runner
+        .run(&specs, &rules, scale)
+        .into_iter()
+        .map(|r| serde_json::to_string(&r.expect("matrix spec compiles")).unwrap())
+        .collect();
+
+    assert_eq!(serial, parallel, "parallel sweep must be bit-identical to the serial loop");
+}
+
+#[test]
+fn repeated_parallel_sweeps_are_stable() {
+    // Thread scheduling varies run to run; scores must not.
+    let specs = matrix();
+    let rules = RunRules::smoke_test();
+    let sweep = || {
+        SuiteRunner::with_threads(4)
+            .run(&specs, &rules, DatasetScale::Reduced(32))
+            .into_iter()
+            .map(|r| serde_json::to_string(&r.unwrap()).unwrap())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(sweep(), sweep());
+}
+
+#[test]
+fn cache_hit_scores_match_fresh_compile_scores() {
+    // A cache *hit* must hand back a deployment indistinguishable from a
+    // fresh compile — checked end-to-end through a benchmark run.
+    let def = suite(SuiteVersion::V1_0)
+        .into_iter()
+        .find(|d| d.task == Task::ImageClassification)
+        .unwrap();
+    let chip = ChipId::Exynos2100;
+    let backend = mlperf_mobile::app::submission_backend(chip, SuiteVersion::V1_0, def.task);
+    let rules = RunRules::smoke_test();
+
+    let cache = CompileCache::new();
+    let _warm = cache.deployment(chip, backend, def.model).expect("compiles");
+    let hit = cache.deployment(chip, backend, def.model).expect("compiles");
+    assert_eq!(cache.hits(), 1, "second lookup must hit");
+
+    let fresh = create(backend)
+        .compile(&def.model.build(), &cache.soc(chip))
+        .expect("compiles");
+    assert_eq!(hit.scheme, fresh.scheme);
+    assert_eq!(hit.offline_streams.len(), fresh.offline_streams.len());
+    let soc = cache.soc(chip);
+    assert!((hit.estimate_ms(&soc) - fresh.estimate_ms(&soc)).abs() < f64::EPSILON);
+
+    let from_hit = run_benchmark_with(
+        chip,
+        soc,
+        hit,
+        &def,
+        &rules,
+        DatasetScale::Reduced(48),
+        false,
+    );
+    let from_fresh =
+        run_benchmark(chip, create(backend).as_ref(), &def, &rules, DatasetScale::Reduced(48), false)
+            .expect("compiles");
+    assert_eq!(
+        serde_json::to_string(&from_hit).unwrap(),
+        serde_json::to_string(&from_fresh).unwrap(),
+        "a cached deployment must score identically to a fresh compile"
+    );
+}
+
+#[test]
+fn sweep_matches_per_chip_suite_reports() {
+    // The cross-chip sweep parallelizes over the flat matrix but must
+    // regroup into exactly the reports a chip-by-chip loop produces.
+    let config = mlperf_mobile::app::AppConfig {
+        rules: RunRules::smoke_test(),
+        offline_classification: false,
+    };
+    let chips = [ChipId::Dimensity1100, ChipId::Exynos2100];
+    let swept = SuiteRunner::new()
+        .sweep(&chips, SuiteVersion::V1_0, &config, DatasetScale::Reduced(32))
+        .expect("sweep compiles");
+    for (chip, report) in chips.iter().zip(&swept) {
+        let solo = SuiteRunner::new()
+            .suite_report(*chip, SuiteVersion::V1_0, &config, DatasetScale::Reduced(32))
+            .expect("suite compiles");
+        assert_eq!(
+            serde_json::to_string(report).unwrap(),
+            serde_json::to_string(&solo).unwrap(),
+            "{chip:?}"
+        );
+    }
+}

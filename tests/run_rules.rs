@@ -86,13 +86,13 @@ fn hot_ambient_produces_worse_scores() {
         let mut log = RunLog::new();
         run_single_stream(&mut sut, 64, &TestSettings::default(), &mut log)
     };
-    let cool = run_at(22.0);
-    let hot = run_at(48.0);
+    let cool = run_at(22.0).latency.unwrap();
+    let hot = run_at(48.0).latency.unwrap();
     assert!(
-        hot.latency.p90_ns > cool.latency.p90_ns,
+        hot.p90_ns > cool.p90_ns,
         "48C ambient p90 {} should exceed 22C p90 {}",
-        hot.latency.p90_ns,
-        cool.latency.p90_ns
+        hot.p90_ns,
+        cool.p90_ns
     );
 }
 

@@ -1,0 +1,277 @@
+//! Vendored minimal `proptest` stand-in for offline builds.
+//!
+//! Runs each property N times against deterministically seeded random
+//! inputs — no shrinking, no persistence. Surface: the [`proptest!`] macro
+//! with `pat in strategy` bindings and an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! [`prop_assert!`]/[`prop_assert_eq!`], range strategies, and
+//! [`collection::vec`].
+
+/// A source of sampled values for property inputs.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn sample(&self, rng: &mut rng::StdRng) -> Self::Value;
+}
+
+impl<T, S: Strategy<Value = T> + ?Sized> Strategy for &S {
+    type Value = T;
+
+    fn sample(&self, rng: &mut rng::StdRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<T: Clone> Strategy for std::ops::Range<T>
+where
+    std::ops::Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut rng::StdRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: Clone> Strategy for std::ops::RangeInclusive<T>
+where
+    std::ops::RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut rng::StdRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size` and
+    /// elements drawn from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` strategy: length uniform in `size`, elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut super::rng::StdRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// How many cases to run per property.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` sampled inputs per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Re-exports used by macro expansions in crates that do not themselves
+/// depend on `rand`.
+pub mod rng {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Runs `body` once per configured case with a deterministically seeded
+/// RNG (macro implementation detail).
+#[doc(hidden)]
+pub fn __run_cases<F: FnMut(&mut rng::StdRng)>(cfg: &test_runner::ProptestConfig, mut body: F) {
+    use rng::SeedableRng;
+    for case in 0..u64::from(cfg.cases) {
+        // Distinct, reproducible seed per case.
+        let seed = 0x5EED_CA5E_0000_0000u64 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = rng::StdRng::seed_from_u64(seed);
+        body(&mut rng);
+    }
+}
+
+/// Types with a default whole-domain strategy, used for `name: Type`
+/// parameters in [`proptest!`].
+pub trait Arbitrary: Sized {
+    /// Draws a uniformly distributed value of `Self`.
+    fn arbitrary(rng: &mut rng::StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut rng::StdRng) -> Self {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut rng::StdRng) -> Self {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut rng::StdRng) -> Self {
+        use rand::Rng;
+        rng.gen_range(-1.0e6..1.0e6)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut rng::StdRng) -> Self {
+        use rand::Rng;
+        rng.gen_range(-1.0e6f32..1.0e6)
+    }
+}
+
+/// Binds one `proptest!` parameter per arm (macro implementation detail):
+/// either `pat in strategy` (sampled) or `name: Type` ([`Arbitrary`]).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $pat:pat in $strat:expr) => {
+        let $pat = $crate::Strategy::sample(&($strat), $rng);
+    };
+    ($rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::sample(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $arg:ident : $ty:ty) => {
+        let $arg = <$ty as $crate::Arbitrary>::arbitrary($rng);
+    };
+    ($rng:ident; $arg:ident : $ty:ty, $($rest:tt)*) => {
+        let $arg = <$ty as $crate::Arbitrary>::arbitrary($rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Declares property tests: each `pat in strategy` (or `name: Type`)
+/// argument is sampled per case and the body runs as a normal `#[test]`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($args:tt)*) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                $crate::__run_cases(&__cfg, |__rng| {
+                    $crate::__proptest_bind!(__rng; $($args)*);
+                    $body
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($args:tt)*) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($args)*) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property body (alias of `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body (alias of `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in crate::collection::vec(0u8..4, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 4));
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first: Vec<usize> = Vec::new();
+        super::__run_cases(&ProptestConfig::with_cases(8), |rng| {
+            first.push(Strategy::sample(&(0usize..1000), rng));
+        });
+        let mut second: Vec<usize> = Vec::new();
+        super::__run_cases(&ProptestConfig::with_cases(8), |rng| {
+            second.push(Strategy::sample(&(0usize..1000), rng));
+        });
+        assert_eq!(first, second);
+        assert!(first.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+}

@@ -1,0 +1,339 @@
+//! Vendored minimal `serde_derive` stand-in for offline builds.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline) covering
+//! the shapes this workspace derives on: named/tuple/unit structs and
+//! enums with unit, tuple and struct variants. Representation is always
+//! externally tagged; `#[serde(...)]` attributes are accepted and ignored.
+//! Generics, lifetimes and where-clauses are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum ItemKind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the stub `serde::Serialize` (see `third_party/serde`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_item(input);
+    gen_serialize(&name, &kind).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the stub `serde::Deserialize` (see `third_party/serde`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_item(input);
+    gen_deserialize(&name, &kind).parse().expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+/// Consumes leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`) from the token iterator position `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> (String, ItemKind) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, got {other}"),
+    };
+    i += 1;
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            None => (name, ItemKind::UnitStruct),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, ItemKind::UnitStruct),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level(&g.stream()).len();
+                (name, ItemKind::TupleStruct(arity))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, ItemKind::NamedStruct(parse_named_fields(&g.stream())))
+            }
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, ItemKind::Enum(parse_variants(&g.stream())))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items (generics are unsupported)"),
+    }
+}
+
+/// Splits a token stream on commas that are not nested inside `<...>`
+/// (groups are atomic trees, so only angle brackets need depth tracking).
+fn split_top_level(stream: &TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in stream.clone() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let i = skip_attrs_and_vis(&part, 0);
+            match &part[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let i = skip_attrs_and_vis(&part, 0);
+            let name = match &part[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, got {other}"),
+            };
+            let fields = match part.get(i + 1) {
+                None => VariantFields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantFields::Named(parse_named_fields(&g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantFields::Tuple(split_top_level(&g.stream()).len())
+                }
+                other => panic!("unsupported variant shape: {other:?}"),
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(name: &str, kind: &ItemKind) -> String {
+    let body = match kind {
+        ItemKind::UnitStruct => "::serde::Value::Null".to_owned(),
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::NamedStruct(fields) => obj_expr(fields, "self."),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_owned()),"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(vec![(\"{vn}\".to_owned(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_owned(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_owned(), {})]),",
+                                obj_expr(fields, "")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `Value::Object(vec![("f", to_value(&prefix f)), ...])`.
+fn obj_expr(fields: &[String], prefix: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("(\"{f}\".to_owned(), ::serde::Serialize::to_value(&{prefix}{f}))")
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", items.join(", "))
+}
+
+fn gen_deserialize(name: &str, kind: &ItemKind) -> String {
+    let body = match kind {
+        ItemKind::UnitStruct => format!("Ok({name})"),
+        ItemKind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                .collect();
+            format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                 if a.len() != {n} {{ return Err(::serde::DeError::new(\"wrong arity for {name}\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        ItemKind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?,"))
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                items.join(" ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let a = inner.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}::{vn}\"))?;\n\
+                                     if a.len() != {n} {{ return Err(::serde::DeError::new(\"wrong arity for {name}::{vn}\")); }}\n\
+                                     Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let obj = inner.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}::{vn}\"))?;\n\
+                                     Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                items.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => Err(::serde::DeError::new(format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+                         let (tag, inner) = &o[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => Err(::serde::DeError::new(format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::DeError::new(format!(\"expected {name}, got {{other:?}}\"))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 let _ = v;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
