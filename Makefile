@@ -3,10 +3,11 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test clippy bench reproduce clean
+.PHONY: check build test clippy golden bless trace bench reproduce clean
 
-## Full gate: release build, tests, and warning-free clippy.
-check: build test clippy
+## Full gate: release build, tests, warning-free clippy, and the
+## golden-trace regression suite (plus the examples it ships with).
+check: build test clippy golden
 
 build:
 	$(CARGO) build --release
@@ -16,6 +17,21 @@ test:
 
 clippy:
 	$(CARGO) clippy --all-targets -- -D warnings
+
+## Golden-trace regression suite: every v1.0 suite cell locked at 0 ULPs
+## against tests/golden/, and every example still builds.
+golden:
+	$(CARGO) test --release --test golden_suite
+	$(CARGO) build --examples
+
+## Re-bless the goldens after an intentional scoring change.
+bless:
+	BLESS=1 $(CARGO) test --release --test golden_suite
+
+## Regenerate every artifact with per-query tracing; one JSON trace per
+## artifact lands in out/trace/.
+trace:
+	$(CARGO) run --release -p mlperf-bench --bin reproduce -- all --trace out/trace
 
 ## Serial-vs-parallel suite sweep plus the library micro-benches.
 bench:

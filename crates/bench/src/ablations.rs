@@ -4,7 +4,7 @@
 
 use crate::cache;
 use mlperf_mobile::ai_tax::{host_stage_time, EndToEndSut};
-use mlperf_mobile::harness::{run_benchmark_with, RunRules};
+use mlperf_mobile::harness::RunRules;
 use mlperf_mobile::report::render_table;
 use mlperf_mobile::sut_impl::{DatasetScale, DeviceSut};
 use mlperf_mobile::task::{suite, SuiteVersion, Task};
@@ -240,7 +240,7 @@ pub fn power_report() -> String {
             let Ok(dep) = cache().deployment(chip, backend, def.model) else {
                 continue;
             };
-            let score = run_benchmark_with(
+            let score = crate::run_scored(
                 chip,
                 cache().soc(chip),
                 dep,
@@ -266,7 +266,7 @@ pub fn power_report() -> String {
     let dep = cache()
         .deployment(ChipId::Snapdragon888, BackendId::Snpe, def.model)
         .expect("SNPE compiles classification");
-    let full = run_benchmark_with(
+    let full = crate::run_scored(
         ChipId::Snapdragon888,
         soc.clone(),
         dep.clone(),
@@ -275,7 +275,7 @@ pub fn power_report() -> String {
         DatasetScale::Reduced(48),
         false,
     );
-    let low = run_benchmark_with(
+    let low = crate::run_scored(
         ChipId::Snapdragon888,
         soc,
         dep,

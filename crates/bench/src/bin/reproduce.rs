@@ -3,15 +3,26 @@
 //! ```sh
 //! cargo run --release -p mlperf-bench --bin reproduce            # everything
 //! cargo run --release -p mlperf-bench --bin reproduce -- table3  # one artifact
+//! cargo run --release -p mlperf-bench --bin reproduce -- all --trace out/
 //! ```
 //!
 //! `reproduce all` (or `reproduce` with no argument) also writes
 //! `BENCH_suite.json` to the current directory: the wall-clock spent on
 //! each artifact plus the shared compile-cache hit/miss counters, so perf
 //! regressions in the sweep are visible run over run.
+//!
+//! With `--trace <dir>`, per-query run tracing is switched on and one JSON
+//! trace file per artifact is written to `<dir>`: the artifact's
+//! wall-clock, its metrics-registry delta (compile cache, run/query
+//! counts, throttle statistics), per-spec wall-clock timings, and the full
+//! [`mlperf_mobile::BenchmarkTrace`] of every harness run the artifact
+//! made. Tracing never changes the printed reports.
 
+use mlperf_mobile::metrics::{metrics, MetricsSnapshot, SpecTiming};
+use mlperf_mobile::BenchmarkTrace;
 use serde::Serialize;
 use std::env;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Wall-clock for one artifact, as recorded in `BENCH_suite.json`.
@@ -36,6 +47,16 @@ struct SuiteTimings {
     compile_cache: CacheStats,
 }
 
+/// The per-artifact `--trace` file schema (`<dir>/<artifact>.json`).
+#[derive(Serialize)]
+struct ArtifactTrace {
+    artifact: String,
+    wall_ms: f64,
+    metrics: MetricsSnapshot,
+    spec_timings: Vec<SpecTiming>,
+    runs: Vec<BenchmarkTrace>,
+}
+
 /// An artifact name and its generator.
 type Artifact = (&'static str, fn() -> String);
 
@@ -55,24 +76,50 @@ const ARTIFACTS: &[Artifact] = &[
     ("ablations", mlperf_bench::all_ablations),
 ];
 
-fn run_one(which: &str) -> Option<String> {
+fn generator_for(which: &str) -> Option<fn() -> String> {
     match which {
-        "endtoend" => Some(mlperf_bench::end_to_end_tax()),
-        "extensions" => Some(mlperf_bench::extensions_report()),
-        "power" => Some(mlperf_bench::power_report()),
-        _ => ARTIFACTS.iter().find(|(name, _)| *name == which).map(|(_, f)| f()),
+        "endtoend" => Some(mlperf_bench::end_to_end_tax),
+        "extensions" => Some(mlperf_bench::extensions_report),
+        "power" => Some(mlperf_bench::power_report),
+        _ => ARTIFACTS.iter().find(|(name, _)| *name == which).map(|&(_, f)| f),
     }
 }
 
-fn run_all() -> String {
+/// Runs one artifact generator and, when tracing, writes its trace file:
+/// the metrics delta across the call, the per-spec wall-clock entries it
+/// queued, and every harness trace it deposited in the sink.
+fn run_artifact(name: &str, f: fn() -> String, trace_dir: Option<&Path>) -> (String, f64) {
+    let before = metrics().snapshot();
+    let t = Instant::now();
+    let text = f();
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    if let Some(dir) = trace_dir {
+        let artifact = ArtifactTrace {
+            artifact: name.to_owned(),
+            wall_ms,
+            metrics: metrics().snapshot().since(&before),
+            spec_timings: metrics().take_spec_timings(),
+            runs: mlperf_bench::trace_sink().drain(),
+        };
+        let path = dir.join(format!("{name}.json"));
+        let json = serde_json::to_string_pretty(&artifact).expect("trace serializes") + "\n";
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {} ({} traced runs)", path.display(), artifact.runs.len()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+    (text, wall_ms)
+}
+
+fn run_all(trace_dir: Option<&Path>) -> String {
     let mut out = String::new();
     let mut timings = Vec::new();
     let total = Instant::now();
     for (name, f) in ARTIFACTS {
-        let t = Instant::now();
-        out.push_str(&f());
+        let (text, wall_ms) = run_artifact(name, *f, trace_dir);
+        out.push_str(&text);
         out.push('\n');
-        timings.push(ArtifactTiming { name, wall_ms: t.elapsed().as_secs_f64() * 1e3 });
+        timings.push(ArtifactTiming { name, wall_ms });
     }
     let total_ms = total.elapsed().as_secs_f64() * 1e3;
     let cache = mlperf_bench::cache();
@@ -95,20 +142,50 @@ fn run_all() -> String {
     out
 }
 
+fn usage_exit() -> ! {
+    eprintln!(
+        "usage: reproduce [ARTIFACT] [--trace DIR]\n\
+         artifacts: table1 table2 table3 table4 figure6 figure7 offline laptop \
+         codepaths insights ablations endtoend extensions power all"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all");
+    let mut which: Option<String> = None;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--trace" {
+            let Some(dir) = it.next() else {
+                eprintln!("--trace requires a directory argument");
+                usage_exit();
+            };
+            trace_dir = Some(PathBuf::from(dir));
+        } else if which.is_none() {
+            which = Some(arg.clone());
+        } else {
+            eprintln!("unexpected argument {arg:?}");
+            usage_exit();
+        }
+    }
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("could not create trace directory {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        mlperf_bench::set_tracing(true);
+    }
+
+    let which = which.unwrap_or_else(|| "all".to_owned());
     let out = if which == "all" {
-        run_all()
+        run_all(trace_dir.as_deref())
+    } else if let Some(f) = generator_for(&which) {
+        run_artifact(&which, f, trace_dir.as_deref()).0
     } else {
-        run_one(which).unwrap_or_else(|| {
-            eprintln!(
-                "unknown artifact {which:?}; expected one of: table1 table2 table3 table4 \
-                 figure6 figure7 offline laptop codepaths insights ablations endtoend \
-                 extensions power all"
-            );
-            std::process::exit(2);
-        })
+        eprintln!("unknown artifact {which:?}");
+        usage_exit();
     };
     println!("{out}");
 }

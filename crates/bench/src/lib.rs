@@ -20,17 +20,22 @@ pub use ablations::{
     extensions_report, power_report,
 };
 
+use mlperf_mobile::harness::{run_benchmark_with, run_benchmark_with_trace, RunRules};
+use mlperf_mobile::metrics::TraceCollector;
 use mlperf_mobile::report::render_table;
 use mlperf_mobile::runner::CompileCache;
-use mlperf_mobile::task::{suite, SuiteVersion, Task};
-use mobile_backend::backend::BackendId;
+use mlperf_mobile::sut_impl::DatasetScale;
+use mlperf_mobile::task::{suite, BenchmarkDef, SuiteVersion, Task};
+use mlperf_mobile::BenchmarkScore;
+use mobile_backend::backend::{BackendId, Deployment};
 use mobile_backend::registry::{available_backends, vendor_backend};
 use nn_graph::models::ModelId;
 use quant::{nominal_retention, Scheme, Sensitivity};
 use soc_sim::catalog::ChipId;
 use soc_sim::executor::run_offline;
 use soc_sim::soc::Soc;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Process-wide compilation cache shared by every table, figure and
 /// insight: the same (chip, backend, model) deployments recur across
@@ -40,6 +45,53 @@ use std::sync::OnceLock;
 pub fn cache() -> &'static CompileCache {
     static CACHE: OnceLock<CompileCache> = OnceLock::new();
     CACHE.get_or_init(CompileCache::new)
+}
+
+/// Process-wide trace collector: every harness run made while
+/// [`set_tracing`]`(true)` is in force deposits its
+/// [`mlperf_mobile::BenchmarkTrace`] here. The `reproduce --trace` flag
+/// drains it after each artifact to build that artifact's trace file.
+pub fn trace_sink() -> &'static TraceCollector {
+    static SINK: OnceLock<TraceCollector> = OnceLock::new();
+    SINK.get_or_init(TraceCollector::new)
+}
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Turns per-query run tracing on or off for every subsequent harness run
+/// in this process (scores are unaffected either way).
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Whether per-query run tracing is currently enabled.
+#[must_use]
+pub fn tracing() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Runs one benchmark through the global tracing switch: identical to
+/// [`run_benchmark_with`], except that when [`tracing`] is on the run's
+/// trace is deposited in [`trace_sink`].
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_scored(
+    chip: ChipId,
+    soc: Arc<Soc>,
+    deployment: Arc<Deployment>,
+    def: &BenchmarkDef,
+    rules: &RunRules,
+    scale: DatasetScale,
+    with_offline: bool,
+) -> BenchmarkScore {
+    if tracing() {
+        let (score, trace) =
+            run_benchmark_with_trace(chip, soc, deployment, def, rules, scale, with_offline);
+        trace_sink().push(trace);
+        score
+    } else {
+        run_benchmark_with(chip, soc, deployment, def, rules, scale, with_offline)
+    }
 }
 
 /// Vendor-path single-stream latency estimate in ms.

@@ -2,8 +2,10 @@
 //! prescribed order with per-vendor backend selection (paper Appendix A
 //! and Table 2), producing a submission-shaped report.
 
-use crate::harness::{BenchmarkScore, RunRules};
+use crate::harness::{BenchmarkScore, BenchmarkTrace, RunRules};
+use crate::metrics::TraceCollector;
 use crate::runner::SuiteRunner;
+use std::sync::Arc;
 use crate::sut_impl::DatasetScale;
 use crate::task::{SuiteVersion, Task};
 use mobile_backend::backend::{BackendId, CompileError};
@@ -118,6 +120,28 @@ pub fn run_suite(
     SuiteRunner::new().suite_report(chip, version, config, scale)
 }
 
+/// Runs the full suite like [`run_suite`] with per-query tracing enabled,
+/// returning the report together with one [`BenchmarkTrace`] per task
+/// (sorted by cell label).
+///
+/// The report is bit-identical to an untraced [`run_suite`] over the same
+/// inputs — tracing never feeds back into the simulation.
+///
+/// # Errors
+///
+/// Propagates the first backend compilation failure (in task order).
+pub fn run_suite_traced(
+    chip: ChipId,
+    version: SuiteVersion,
+    config: &AppConfig,
+    scale: DatasetScale,
+) -> Result<(SuiteReport, Vec<BenchmarkTrace>), CompileError> {
+    let sink = Arc::new(TraceCollector::new());
+    let runner = SuiteRunner::new().with_trace(Arc::clone(&sink));
+    let report = runner.suite_report(chip, version, config, scale)?;
+    Ok((report, sink.drain()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +220,23 @@ mod tests {
         // Offline ran for classification only.
         assert!(report.score(Task::ImageClassification).unwrap().offline.is_some());
         assert!(report.score(Task::ObjectDetection).unwrap().offline.is_none());
+    }
+
+    #[test]
+    fn traced_suite_is_bit_identical_and_traces_validate() {
+        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true };
+        let chip = ChipId::Dimensity1100;
+        let scale = DatasetScale::Reduced(32);
+        let plain = run_suite(chip, SuiteVersion::V1_0, &config, scale).unwrap();
+        let (traced, traces) = run_suite_traced(chip, SuiteVersion::V1_0, &config, scale).unwrap();
+        assert_eq!(plain.to_json(), traced.to_json(), "tracing must not perturb scores");
+        assert_eq!(traces.len(), 4, "one trace per task");
+        for trace in &traces {
+            trace.validate().unwrap();
+            let score = traced.score(trace.task).unwrap();
+            assert_eq!(trace.single_stream.span_count(), score.single_stream.queries);
+            assert_eq!(trace.offline.is_some(), score.offline.is_some());
+        }
     }
 
     #[test]

@@ -2,12 +2,16 @@
 //! the run rules — accuracy mode first, then performance mode, with
 //! cooldown intervals — and scores it.
 
+use crate::metrics::metrics;
 use crate::sut_impl::{DatasetScale, DeviceSut, Prediction, TaskData};
-use crate::task::BenchmarkDef;
+use crate::task::{BenchmarkDef, Task};
 use loadgen::checker::{check_log, Violation};
 use loadgen::log::RunLog;
-use loadgen::run::{run_accuracy, run_offline_scenario, run_single_stream, PerformanceResult};
+use loadgen::run::{
+    run_accuracy, run_offline_scenario_traced, run_single_stream_traced, PerformanceResult,
+};
 use loadgen::scenario::TestSettings;
+use loadgen::trace::RunTrace;
 use mobile_backend::backend::{Backend, BackendId, CompileError, Deployment};
 
 use serde::{Deserialize, Serialize};
@@ -109,6 +113,67 @@ impl BenchmarkScore {
     #[must_use]
     pub fn latency_ms(&self) -> f64 {
         self.single_stream.score()
+    }
+}
+
+/// Per-query observability record of one benchmark run: the single-stream
+/// span timeline (with per-query SoC telemetry) plus the offline burst
+/// when that scenario ran.
+///
+/// Produced by [`run_benchmark_with_trace`]; purely observational — a
+/// traced run scores bit-identically to an untraced one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkTrace {
+    /// Platform the run executed on.
+    pub chip: ChipId,
+    /// Benchmark task (Table 1 row).
+    pub task: Task,
+    /// Code path used.
+    pub backend: BackendId,
+    /// Span timeline of the single-stream performance run.
+    pub single_stream: RunTrace,
+    /// Burst record of the offline run, when one ran.
+    pub offline: Option<RunTrace>,
+}
+
+impl BenchmarkTrace {
+    /// `chip/task/backend` label identifying the benchmark-matrix cell.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}/{:?}/{}", self.chip, self.task, self.backend)
+    }
+
+    /// Queries dispatched while the device was throttled.
+    #[must_use]
+    pub fn throttled_queries(&self) -> u64 {
+        self.single_stream.throttled_queries()
+    }
+
+    /// Transitions into throttling along the single-stream timeline.
+    #[must_use]
+    pub fn throttle_events(&self) -> u64 {
+        self.single_stream.throttle_events()
+    }
+
+    /// Hottest die temperature observed at any query dispatch.
+    #[must_use]
+    pub fn peak_temperature_c(&self) -> Option<f64> {
+        self.single_stream.peak_temperature_c()
+    }
+
+    /// Checks the structural invariants of both contained traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant, prefixed with the cell label.
+    pub fn validate(&self) -> Result<(), String> {
+        self.single_stream
+            .validate()
+            .map_err(|e| format!("{}: single-stream: {e}", self.label()))?;
+        if let Some(offline) = &self.offline {
+            offline.validate().map_err(|e| format!("{}: offline: {e}", self.label()))?;
+        }
+        Ok(())
     }
 }
 
@@ -255,6 +320,41 @@ pub fn run_benchmark_with(
     scale: DatasetScale,
     with_offline: bool,
 ) -> BenchmarkScore {
+    run_benchmark_inner(chip, soc, deployment, def, rules, scale, with_offline, false).0
+}
+
+/// Runs one benchmark on an already-compiled deployment with per-query
+/// tracing enabled, returning the score together with the run trace.
+///
+/// Tracing is purely observational: the returned score is bit-identical
+/// to what [`run_benchmark_with`] produces for the same inputs (the
+/// golden suite and the determinism tests both lock this down).
+#[must_use]
+pub fn run_benchmark_with_trace(
+    chip: ChipId,
+    soc: Arc<Soc>,
+    deployment: Arc<Deployment>,
+    def: &BenchmarkDef,
+    rules: &RunRules,
+    scale: DatasetScale,
+    with_offline: bool,
+) -> (BenchmarkScore, BenchmarkTrace) {
+    let (score, trace) =
+        run_benchmark_inner(chip, soc, deployment, def, rules, scale, with_offline, true);
+    (score, trace.expect("traced run always yields a trace"))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_benchmark_inner(
+    chip: ChipId,
+    soc: Arc<Soc>,
+    deployment: Arc<Deployment>,
+    def: &BenchmarkDef,
+    rules: &RunRules,
+    scale: DatasetScale,
+    with_offline: bool,
+    traced: bool,
+) -> (BenchmarkScore, Option<BenchmarkTrace>) {
     let backend_id = deployment.backend;
     let scheme = deployment.scheme;
     let accelerator = deployment.accelerator_summary(&soc);
@@ -275,14 +375,43 @@ pub fn run_benchmark_with(
     // 3. Single-stream performance.
     let mut log = RunLog::new();
     let energy_before = sut.state.energy.total_joules();
-    let single_stream = run_single_stream(&mut sut, dataset_len, &rules.settings, &mut log);
+    let mut ss_trace = RunTrace::new();
+    let single_stream = run_single_stream_traced(
+        &mut sut,
+        dataset_len,
+        &rules.settings,
+        &mut log,
+        traced.then_some(&mut ss_trace),
+    );
     let joules_per_query =
         (sut.state.energy.total_joules() - energy_before) / single_stream.queries as f64;
 
     // 4. Offline, after another cooldown.
+    let mut offline_trace = RunTrace::new();
     let offline = if with_offline {
         sut.state.thermal.cooldown(rules.cooldown);
-        Some(run_offline_scenario(&mut sut, dataset_len, &rules.settings, &mut log))
+        Some(run_offline_scenario_traced(
+            &mut sut,
+            dataset_len,
+            &rules.settings,
+            &mut log,
+            traced.then_some(&mut offline_trace),
+        ))
+    } else {
+        None
+    };
+
+    metrics().record_run(single_stream.queries);
+    let trace = if traced {
+        let trace = BenchmarkTrace {
+            chip,
+            task: def.task,
+            backend: backend_id,
+            single_stream: ss_trace,
+            offline: with_offline.then_some(offline_trace),
+        };
+        metrics().record_throttling(trace.throttled_queries(), trace.throttle_events());
+        Some(trace)
     } else {
         None
     };
@@ -294,7 +423,7 @@ pub fn run_benchmark_with(
         .as_ref()
         .is_some_and(soc_sim::battery::BatteryState::power_saving);
     let quality_target = def.quality_target();
-    BenchmarkScore {
+    let score = BenchmarkScore {
         def: def.clone(),
         chip,
         backend: backend_id,
@@ -310,7 +439,8 @@ pub fn run_benchmark_with(
         joules_per_query,
         power_saving_entered,
         log,
-    }
+    };
+    (score, trace)
 }
 
 #[cfg(test)]

@@ -13,6 +13,8 @@
 //!   selection (Table 2),
 //! - [`runner`]: the parallel suite runner with compilation caching
 //!   (bit-identical to the serial app, many times faster on a sweep),
+//! - [`metrics`]: the process-wide metrics registry and the trace
+//!   collector behind `SuiteRunner::with_trace`,
 //! - [`audit`]: submission validation and independent reproduction
 //!   (Section 6.2),
 //! - [`related`]: the Table 4 comparison matrix,
@@ -44,6 +46,7 @@ pub mod app;
 pub mod audit;
 pub mod extensions;
 pub mod harness;
+pub mod metrics;
 pub mod related;
 pub mod report;
 pub mod runner;
@@ -52,12 +55,16 @@ pub mod submission;
 pub mod sut_impl;
 pub mod task;
 
-pub use app::{run_suite, submission_backend, AppConfig, SuiteReport};
+pub use app::{run_suite, run_suite_traced, submission_backend, AppConfig, SuiteReport};
 pub use ai_tax::{host_stage_time, EndToEndSut};
 pub use extensions::{extended_suite, extension_defs};
 pub use submission::{Date, SubmissionEntry, SubmissionRegistry};
 pub use audit::{audit, AuditFinding, AuditReport, SubmissionPackage};
-pub use harness::{run_benchmark, run_benchmark_with, BenchmarkScore, RunRules};
+pub use harness::{
+    run_benchmark, run_benchmark_with, run_benchmark_with_trace, BenchmarkScore, BenchmarkTrace,
+    RunRules,
+};
+pub use metrics::{metrics, MetricsRegistry, MetricsSnapshot, SpecTiming, TraceCollector};
 pub use runner::{par_map, CompileCache, RunSpec, SuiteRunner};
 pub use sut_impl::{DatasetScale, DeviceSut, Prediction, TaskData};
 pub use task::{suite, BenchmarkDef, SuiteVersion, Task};

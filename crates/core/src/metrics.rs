@@ -1,0 +1,234 @@
+//! Process-wide metrics registry and trace collection.
+//!
+//! Every layer of the measurement stack reports here: the
+//! [`CompileCache`][crate::runner::CompileCache] reports hit/miss
+//! counters, the [`SuiteRunner`][crate::runner::SuiteRunner] reports
+//! per-spec wall-clock, and the harness reports run/query counts plus
+//! thermal-throttle statistics extracted from run traces. A
+//! [`MetricsSnapshot`] taken before and after a workload yields the delta
+//! attributable to it — the `reproduce --trace` flag uses exactly this to
+//! annotate each artifact.
+//!
+//! Recording is lock-free for counters (relaxed atomics) and never feeds
+//! back into the simulation, so instrumented runs stay bit-identical to
+//! uninstrumented ones.
+
+use crate::harness::BenchmarkTrace;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Wall-clock spent executing one run spec (one benchmark-matrix cell).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecTiming {
+    /// `chip/task/backend` label of the spec.
+    pub label: String,
+    /// Host wall-clock the run took, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// A point-in-time copy of every registry counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Deployment lookups answered from a compile cache.
+    pub compile_hits: usize,
+    /// Deployment lookups that triggered a compile.
+    pub compile_misses: usize,
+    /// Benchmark runs completed (accuracy + performance flows).
+    pub runs_completed: usize,
+    /// Performance queries issued across all runs.
+    pub queries_issued: u64,
+    /// Queries dispatched while the device was throttled (traced runs
+    /// only — untraced runs don't observe per-query DVFS state).
+    pub throttled_queries: u64,
+    /// Transitions into throttling along traced span timelines.
+    pub throttle_events: u64,
+}
+
+impl MetricsSnapshot {
+    /// The counter deltas accumulated since `earlier` was taken.
+    ///
+    /// Uses saturating arithmetic so a stale baseline can never underflow.
+    #[must_use]
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            compile_hits: self.compile_hits.saturating_sub(earlier.compile_hits),
+            compile_misses: self.compile_misses.saturating_sub(earlier.compile_misses),
+            runs_completed: self.runs_completed.saturating_sub(earlier.runs_completed),
+            queries_issued: self.queries_issued.saturating_sub(earlier.queries_issued),
+            throttled_queries: self.throttled_queries.saturating_sub(earlier.throttled_queries),
+            throttle_events: self.throttle_events.saturating_sub(earlier.throttle_events),
+        }
+    }
+}
+
+/// The process-wide registry. Obtain it via [`metrics`].
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    compile_hits: AtomicUsize,
+    compile_misses: AtomicUsize,
+    runs_completed: AtomicUsize,
+    queries_issued: AtomicU64,
+    throttled_queries: AtomicU64,
+    throttle_events: AtomicU64,
+    spec_wall: Mutex<Vec<SpecTiming>>,
+}
+
+impl MetricsRegistry {
+    /// Records one compile-cache hit.
+    pub fn record_compile_hit(&self) {
+        self.compile_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one compile-cache miss (a real compile).
+    pub fn record_compile_miss(&self) {
+        self.compile_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed benchmark run and its query volume.
+    pub fn record_run(&self, queries: u64) {
+        self.runs_completed.fetch_add(1, Ordering::Relaxed);
+        self.queries_issued.fetch_add(queries, Ordering::Relaxed);
+    }
+
+    /// Records throttle statistics extracted from a traced run.
+    pub fn record_throttling(&self, throttled_queries: u64, throttle_events: u64) {
+        self.throttled_queries.fetch_add(throttled_queries, Ordering::Relaxed);
+        self.throttle_events.fetch_add(throttle_events, Ordering::Relaxed);
+    }
+
+    /// Records the wall-clock one run spec took.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timing mutex was poisoned by a panicking worker.
+    pub fn record_spec_wall(&self, label: String, wall_ms: f64) {
+        self.spec_wall.lock().unwrap().push(SpecTiming { label, wall_ms });
+    }
+
+    /// A point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            compile_hits: self.compile_hits.load(Ordering::Relaxed),
+            compile_misses: self.compile_misses.load(Ordering::Relaxed),
+            runs_completed: self.runs_completed.load(Ordering::Relaxed),
+            queries_issued: self.queries_issued.load(Ordering::Relaxed),
+            throttled_queries: self.throttled_queries.load(Ordering::Relaxed),
+            throttle_events: self.throttle_events.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Removes and returns every per-spec wall-clock entry recorded so
+    /// far, sorted by label for deterministic output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timing mutex was poisoned by a panicking worker.
+    #[must_use]
+    pub fn take_spec_timings(&self) -> Vec<SpecTiming> {
+        let mut timings = std::mem::take(&mut *self.spec_wall.lock().unwrap());
+        timings.sort_by(|a, b| a.label.cmp(&b.label));
+        timings
+    }
+}
+
+/// The process-wide [`MetricsRegistry`] singleton.
+pub fn metrics() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::default)
+}
+
+/// A thread-safe sink for [`BenchmarkTrace`]s, attachable to a
+/// [`SuiteRunner`][crate::runner::SuiteRunner] via `with_trace`.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    traces: Mutex<Vec<BenchmarkTrace>>,
+}
+
+impl TraceCollector {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceCollector::default()
+    }
+
+    /// Appends one benchmark trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector mutex was poisoned by a panicking worker.
+    pub fn push(&self, trace: BenchmarkTrace) {
+        self.traces.lock().unwrap().push(trace);
+    }
+
+    /// Removes and returns every collected trace, sorted by label so the
+    /// output is independent of worker scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector mutex was poisoned by a panicking worker.
+    #[must_use]
+    pub fn drain(&self) -> Vec<BenchmarkTrace> {
+        let mut traces = std::mem::take(&mut *self.traces.lock().unwrap());
+        traces.sort_by_key(BenchmarkTrace::label);
+        traces
+    }
+
+    /// Number of traces currently held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector mutex was poisoned by a panicking worker.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.traces.lock().unwrap().len()
+    }
+
+    /// Whether the collector holds no traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let r = MetricsRegistry::default();
+        r.record_compile_miss();
+        let before = r.snapshot();
+        r.record_compile_hit();
+        r.record_run(100);
+        r.record_throttling(5, 1);
+        let delta = r.snapshot().since(&before);
+        assert_eq!(delta.compile_hits, 1);
+        assert_eq!(delta.compile_misses, 0);
+        assert_eq!(delta.runs_completed, 1);
+        assert_eq!(delta.queries_issued, 100);
+        assert_eq!(delta.throttled_queries, 5);
+        assert_eq!(delta.throttle_events, 1);
+    }
+
+    #[test]
+    fn spec_timings_drain_sorted() {
+        let r = MetricsRegistry::default();
+        r.record_spec_wall("b/seg".into(), 2.0);
+        r.record_spec_wall("a/cls".into(), 1.0);
+        let t = r.take_spec_timings();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].label, "a/cls");
+        assert!(r.take_spec_timings().is_empty(), "drain empties the registry");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let before = metrics().snapshot();
+        metrics().record_run(1);
+        let after = metrics().snapshot();
+        assert!(after.runs_completed > before.runs_completed);
+    }
+}

@@ -2,7 +2,7 @@
 //! equivalent of the app's results screens (paper Appendix A).
 
 use crate::app::SuiteReport;
-use crate::harness::BenchmarkScore;
+use crate::harness::{BenchmarkScore, BenchmarkTrace};
 
 /// Formats one score line: task, latency, accuracy, config.
 #[must_use]
@@ -100,6 +100,34 @@ pub fn format_details(s: &BenchmarkScore) -> String {
     out
 }
 
+/// Formats a one-line-per-cell summary of collected run traces: span
+/// counts, throttle statistics, and the peak dispatch temperature — the
+/// at-a-glance view of the observability layer.
+#[must_use]
+pub fn format_trace_summary(traces: &[BenchmarkTrace]) -> String {
+    let mut out = String::from("=== Run traces ===\n");
+    if traces.is_empty() {
+        out.push_str("(no traces collected)\n");
+        return out;
+    }
+    for t in traces {
+        let peak = t
+            .peak_temperature_c()
+            .map(|c| format!("{c:.1} °C peak"))
+            .unwrap_or_else(|| "no telemetry".to_owned());
+        out.push_str(&format!(
+            "{:40} {:5} spans | throttled {:4} queries ({} events) | {}{}\n",
+            t.label(),
+            t.single_stream.span_count(),
+            t.throttled_queries(),
+            t.throttle_events(),
+            peak,
+            if t.offline.is_some() { " | +offline burst" } else { "" },
+        ));
+    }
+    out
+}
+
 /// Renders a fixed-width table from a header and rows — shared by the
 /// reproduction binary's Table/Figure outputs.
 #[must_use]
@@ -177,6 +205,25 @@ mod tests {
         assert!(detail.contains("offline"));
         assert!(detail.contains("mJ/query"));
         assert!(detail.contains("rule compliance"));
+    }
+
+    #[test]
+    fn trace_summary_lists_cells() {
+        use crate::app::run_suite_traced;
+        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true };
+        let (_, traces) = run_suite_traced(
+            ChipId::Snapdragon888,
+            SuiteVersion::V1_0,
+            &config,
+            DatasetScale::Reduced(32),
+        )
+        .unwrap();
+        let text = format_trace_summary(&traces);
+        assert!(text.contains("Run traces"));
+        assert!(text.contains("spans"));
+        assert!(text.contains("+offline burst"));
+        assert_eq!(text.lines().count(), 1 + traces.len());
+        assert!(format_trace_summary(&[]).contains("no traces"));
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //! comparing serialized reports.
 
 use crate::app::{submission_backend, AppConfig, SuiteReport};
-use crate::harness::{run_benchmark_with, BenchmarkScore, RunRules};
+use crate::harness::{run_benchmark_with, run_benchmark_with_trace, BenchmarkScore, RunRules};
+use crate::metrics::{metrics, TraceCollector};
 use crate::sut_impl::DatasetScale;
 use crate::task::{suite, BenchmarkDef, SuiteVersion, Task};
 use mobile_backend::backend::{BackendId, CompileError, Deployment};
@@ -98,9 +99,11 @@ impl CompileCache {
         let key = (chip, backend, model);
         if let Some(cached) = self.deployments.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            metrics().record_compile_hit();
             return cached.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        metrics().record_compile_miss();
         let soc = self.soc(chip);
         let compiled = create(backend).compile(&model.build(), &soc).map(Arc::new);
         self.deployments
@@ -228,6 +231,7 @@ impl RunSpec {
 pub struct SuiteRunner {
     cache: CompileCache,
     threads: usize,
+    trace_sink: Option<Arc<TraceCollector>>,
 }
 
 impl Default for SuiteRunner {
@@ -248,7 +252,25 @@ impl SuiteRunner {
     /// the calling thread, still through the cache).
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
-        SuiteRunner { cache: CompileCache::new(), threads: threads.max(1) }
+        SuiteRunner { cache: CompileCache::new(), threads: threads.max(1), trace_sink: None }
+    }
+
+    /// Attaches a trace sink: every subsequent run records a per-query
+    /// [`crate::harness::BenchmarkTrace`] into `sink` alongside its score.
+    ///
+    /// Tracing is purely observational — scores from a traced runner are
+    /// bit-identical to an untraced one (`parallel_determinism` locks
+    /// this down).
+    #[must_use]
+    pub fn with_trace(mut self, sink: Arc<TraceCollector>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// The attached trace sink, if any.
+    #[must_use]
+    pub fn trace_sink(&self) -> Option<&Arc<TraceCollector>> {
+        self.trace_sink.as_ref()
     }
 
     /// The compilation cache (shared across every run this runner makes).
@@ -270,15 +292,33 @@ impl SuiteRunner {
         par_map(specs, self.threads, |spec| {
             let deployment = self.cache.deployment(spec.chip, spec.backend, spec.def.model)?;
             let soc = self.cache.soc(spec.chip);
-            Ok(run_benchmark_with(
-                spec.chip,
-                soc,
-                deployment,
-                &spec.def,
-                rules,
-                scale,
-                spec.with_offline,
-            ))
+            let started = std::time::Instant::now();
+            let score = if let Some(sink) = &self.trace_sink {
+                let (score, trace) = run_benchmark_with_trace(
+                    spec.chip,
+                    soc,
+                    deployment,
+                    &spec.def,
+                    rules,
+                    scale,
+                    spec.with_offline,
+                );
+                sink.push(trace);
+                score
+            } else {
+                run_benchmark_with(
+                    spec.chip,
+                    soc,
+                    deployment,
+                    &spec.def,
+                    rules,
+                    scale,
+                    spec.with_offline,
+                )
+            };
+            let label = format!("{}/{:?}/{}", spec.chip, spec.def.task, spec.backend);
+            metrics().record_spec_wall(label, started.elapsed().as_secs_f64() * 1e3);
+            Ok(score)
         })
     }
 

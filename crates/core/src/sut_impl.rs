@@ -12,8 +12,9 @@ use mobile_data::extended::{SyntheticDiv2k, SyntheticLibriSpeech};
 use mobile_data::image::Image;
 use mobile_data::types::{AnswerSpan, Detection, LabelMap};
 use loadgen::sut::SystemUnderTest;
+use loadgen::trace::QueryTelemetry;
 use quant::{quality::nominal_retention, Sensitivity};
-use soc_sim::executor::{run_offline, run_query};
+use soc_sim::executor::{run_offline, run_query, QueryResult};
 use soc_sim::soc::{Soc, SocState};
 use soc_sim::time::SimDuration;
 use std::sync::Arc;
@@ -113,6 +114,10 @@ pub struct DeviceSut {
     /// Achieved quality level (FP32 quality x numerics retention).
     pub target_quality: f64,
     seed: u64,
+    /// Full simulator result of the most recent single-stream query,
+    /// kept so trace sinks can pull telemetry without re-running or
+    /// perturbing the simulation.
+    last_query: Option<QueryResult>,
 }
 
 impl DeviceSut {
@@ -181,7 +186,7 @@ impl DeviceSut {
             }
         };
         let state = soc.new_state(ambient_c);
-        DeviceSut { soc, deployment, state, data, target_quality, seed }
+        DeviceSut { soc, deployment, state, data, target_quality, seed, last_query: None }
     }
 
     fn predict(&self, sample_index: usize) -> Prediction {
@@ -221,7 +226,9 @@ impl SystemUnderTest for DeviceSut {
             &self.deployment.schedule,
             &mut self.state,
         );
-        (result.latency, self.predict(sample_index))
+        let latency = result.latency;
+        self.last_query = Some(result);
+        (latency, self.predict(sample_index))
     }
 
     fn issue_batch(&mut self, sample_indices: &[usize]) -> (SimDuration, Vec<Prediction>) {
@@ -245,6 +252,26 @@ impl SystemUnderTest for DeviceSut {
             self.deployment.scheme,
             self.deployment.accelerator_summary(&self.soc),
         )
+    }
+
+    fn last_telemetry(&self) -> Option<QueryTelemetry> {
+        let result = self.last_query.as_ref()?;
+        let mut engines: Vec<String> = Vec::new();
+        for &id in &result.breakdown.stage_engines {
+            let name = &self.soc.engine(id).name;
+            if !engines.iter().any(|n| n == name) {
+                engines.push(name.clone());
+            }
+        }
+        Some(QueryTelemetry {
+            freq_factor: result.freq_factor,
+            dvfs_level: result.dvfs_level,
+            temperature_c: result.temperature_c,
+            compute_ns: result.breakdown.compute().as_nanos(),
+            transfer_ns: result.breakdown.transfer.as_nanos(),
+            overhead_ns: result.breakdown.overhead.as_nanos(),
+            engines,
+        })
     }
 }
 

@@ -36,12 +36,15 @@ pub mod log;
 pub mod run;
 pub mod scenario;
 pub mod sut;
+pub mod trace;
 
 pub use checker::{check_log, Violation};
 pub use log::{LogRecord, RunLog};
 pub use run::{
-    performance_sample_set, run_accuracy, run_offline_scenario, run_single_stream,
+    performance_sample_set, run_accuracy, run_offline_scenario,
+    run_offline_scenario_traced, run_single_stream, run_single_stream_traced,
     AccuracyResult, PerformanceResult,
 };
 pub use scenario::{Scenario, TestMode, TestSettings};
 pub use sut::{ConstantSut, SystemUnderTest};
+pub use trace::{BurstSpan, QuerySpan, QueryTelemetry, RunTrace};

@@ -9,6 +9,7 @@
 use crate::log::{LogRecord, RunLog};
 use crate::scenario::{Scenario, TestMode, TestSettings};
 use crate::sut::SystemUnderTest;
+use crate::trace::{QuerySpan, RunTrace};
 use mobile_metrics::latency::LatencyStats;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -99,12 +100,42 @@ pub fn run_single_stream<S: SystemUnderTest>(
     settings: &TestSettings,
     log: &mut RunLog,
 ) -> PerformanceResult {
+    run_single_stream_traced(sut, dataset_len, settings, log, None)
+}
+
+/// Runs the single-stream performance scenario with an optional trace
+/// sink.
+///
+/// When `trace` is `Some`, every query's span (issue/complete
+/// sim-timestamps, sample index, latency) plus the SUT's telemetry is
+/// recorded into it. Tracing is purely observational: the result is
+/// bit-identical to [`run_single_stream`] with or without a sink attached
+/// (the `parallel_determinism` integration tests enforce this end to end).
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn run_single_stream_traced<S: SystemUnderTest>(
+    sut: &mut S,
+    dataset_len: usize,
+    settings: &TestSettings,
+    log: &mut RunLog,
+    mut trace: Option<&mut RunTrace>,
+) -> PerformanceResult {
     log.start(
         Scenario::SingleStream,
         TestMode::Performance,
         settings.seed,
         sut.description(),
     );
+    if let Some(t) = trace.as_deref_mut() {
+        t.begin(
+            Scenario::SingleStream,
+            TestMode::Performance,
+            settings.seed,
+            sut.description(),
+        );
+    }
     let samples = performance_sample_set(settings.seed, dataset_len, settings.min_query_count);
     let mut now = SimInstant::EPOCH;
     // At least min_query_count latencies will be recorded; slow-query runs
@@ -116,6 +147,16 @@ pub fn run_single_stream<S: SystemUnderTest>(
         for &s in &samples {
             let (latency, _response) = sut.issue_query(s);
             log.query(now, s, latency);
+            if let Some(t) = trace.as_deref_mut() {
+                t.record_span(QuerySpan {
+                    query_index: queries,
+                    sample_index: s,
+                    issue_ns: now.as_nanos(),
+                    complete_ns: (now + latency).as_nanos(),
+                    latency_ns: latency.as_nanos(),
+                    telemetry: sut.last_telemetry(),
+                });
+            }
             now += latency;
             latencies.push(latency.as_nanos());
             queries += 1;
@@ -148,6 +189,26 @@ pub fn run_offline_scenario<S: SystemUnderTest>(
     settings: &TestSettings,
     log: &mut RunLog,
 ) -> PerformanceResult {
+    run_offline_scenario_traced(sut, dataset_len, settings, log, None)
+}
+
+/// Runs the offline performance scenario with an optional trace sink.
+///
+/// Offline observes one burst, so the trace records a single
+/// [`crate::trace::BurstSpan`] covering the whole throughput window
+/// (`end - start` equals the reported duration; `samples` equals the
+/// reported query count). Tracing never perturbs the result.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn run_offline_scenario_traced<S: SystemUnderTest>(
+    sut: &mut S,
+    dataset_len: usize,
+    settings: &TestSettings,
+    log: &mut RunLog,
+    trace: Option<&mut RunTrace>,
+) -> PerformanceResult {
     log.start(
         Scenario::Offline,
         TestMode::Performance,
@@ -158,6 +219,15 @@ pub fn run_offline_scenario<S: SystemUnderTest>(
         performance_sample_set(settings.seed, dataset_len, settings.offline_sample_count);
     let (duration, responses) = sut.issue_batch(&samples);
     assert_eq!(responses.len(), samples.len(), "SUT must answer every sample");
+    if let Some(t) = trace {
+        t.begin(
+            Scenario::Offline,
+            TestMode::Performance,
+            settings.seed,
+            sut.description(),
+        );
+        t.record_burst(0, duration.as_nanos(), samples.len() as u64);
+    }
     log.push(LogRecord::BurstComplete {
         samples: samples.len() as u64,
         duration_ns: duration.as_nanos(),

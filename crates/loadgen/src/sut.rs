@@ -5,6 +5,7 @@
 //! It issues sample indices and receives per-query durations plus opaque
 //! responses that accuracy mode scores later.
 
+use crate::trace::QueryTelemetry;
 use soc_sim::time::SimDuration;
 
 /// A system under test.
@@ -19,6 +20,16 @@ pub trait SystemUnderTest {
     /// Runs one inference on the sample with the given dataset index,
     /// returning the simulated latency and the prediction.
     fn issue_query(&mut self, sample_index: usize) -> (SimDuration, Self::Response);
+
+    /// Device telemetry for the most recent [`issue_query`] call, consumed
+    /// by traced run loops. SUTs without device introspection (the
+    /// default) report nothing; the run loops treat `None` as "no
+    /// telemetry", never as an error.
+    ///
+    /// [`issue_query`]: SystemUnderTest::issue_query
+    fn last_telemetry(&self) -> Option<QueryTelemetry> {
+        None
+    }
 
     /// Runs a batched burst (offline scenario). The default issues the
     /// samples sequentially; SUTs with accelerator-level parallelism

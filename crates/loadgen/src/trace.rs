@@ -1,0 +1,311 @@
+//! Structured run traces: one span per query, with device telemetry.
+//!
+//! The [`crate::log::RunLog`] is the *compliance* artifact — the unedited
+//! event stream a submission ships. A [`RunTrace`] is the *observability*
+//! artifact: a per-query timeline (issue/complete sim-timestamps, sample
+//! index, latency) annotated with what the simulated device was doing at
+//! dispatch (DVFS level, die temperature, compute/transfer/overhead
+//! split, engine occupancy). Traces explain *why* a score moved; they are
+//! collected by passive sinks so that a traced run is bit-identical to an
+//! untraced one.
+
+use crate::scenario::{Scenario, TestMode};
+use serde::{Deserialize, Serialize};
+
+/// Device-side telemetry snapshot for one query, reported by the SUT via
+/// [`crate::sut::SystemUnderTest::last_telemetry`].
+///
+/// All fields are plain numbers/strings so the trace schema is stable
+/// regardless of which simulator (or real device shim) sits behind the
+/// SUT trait.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryTelemetry {
+    /// DVFS frequency factor in effect at dispatch (1.0 = unthrottled).
+    pub freq_factor: f64,
+    /// Index into the DVFS operating-point ladder (0 = fastest).
+    pub dvfs_level: usize,
+    /// Die temperature at dispatch (°C).
+    pub temperature_c: f64,
+    /// Pure op execution time across all stages (ns).
+    pub compute_ns: u64,
+    /// Inter-engine tensor transfer time (ns).
+    pub transfer_ns: u64,
+    /// Launch + framework synchronization overhead (ns).
+    pub overhead_ns: u64,
+    /// Names of the engines the query occupied, in stage order, deduped.
+    pub engines: Vec<String>,
+}
+
+impl QueryTelemetry {
+    /// Whether the device was thermally/battery throttled at dispatch.
+    #[must_use]
+    pub fn is_throttled(&self) -> bool {
+        self.freq_factor < 1.0
+    }
+}
+
+/// One query's span on the simulated timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpan {
+    /// Zero-based issue order within the run.
+    pub query_index: u64,
+    /// Dataset sample index the query carried.
+    pub sample_index: usize,
+    /// Simulated issue timestamp (ns since run start).
+    pub issue_ns: u64,
+    /// Simulated completion timestamp (ns since run start).
+    pub complete_ns: u64,
+    /// Observed latency (ns); equals `complete_ns - issue_ns`.
+    pub latency_ns: u64,
+    /// Device telemetry at dispatch, when the SUT reports it.
+    pub telemetry: Option<QueryTelemetry>,
+}
+
+/// The offline scenario's single burst on the simulated timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurstSpan {
+    /// Burst start (ns since run start).
+    pub start_ns: u64,
+    /// Burst end (ns since run start).
+    pub end_ns: u64,
+    /// Samples processed in the burst.
+    pub samples: u64,
+}
+
+/// A complete per-run trace: metadata plus the span timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Scenario traced.
+    pub scenario: Scenario,
+    /// Mode traced.
+    pub mode: TestMode,
+    /// Sample-selection seed of the run.
+    pub seed: u64,
+    /// SUT description string.
+    pub sut: String,
+    /// Per-query spans (single-stream; empty for offline).
+    pub spans: Vec<QuerySpan>,
+    /// The burst span (offline only).
+    pub burst: Option<BurstSpan>,
+}
+
+impl RunTrace {
+    /// An empty trace shell; the run loop fills in metadata via
+    /// [`RunTrace::begin`] and spans via the record methods.
+    #[must_use]
+    pub fn new() -> Self {
+        RunTrace {
+            scenario: Scenario::SingleStream,
+            mode: TestMode::Performance,
+            seed: 0,
+            sut: String::new(),
+            spans: Vec::new(),
+            burst: None,
+        }
+    }
+
+    /// Stamps the run metadata at test start.
+    pub fn begin(&mut self, scenario: Scenario, mode: TestMode, seed: u64, sut: String) {
+        self.scenario = scenario;
+        self.mode = mode;
+        self.seed = seed;
+        self.sut = sut;
+    }
+
+    /// Appends one query span.
+    pub fn record_span(&mut self, span: QuerySpan) {
+        self.spans.push(span);
+    }
+
+    /// Records the offline burst.
+    pub fn record_burst(&mut self, start_ns: u64, end_ns: u64, samples: u64) {
+        self.burst = Some(BurstSpan { start_ns, end_ns, samples });
+    }
+
+    /// Number of query spans recorded.
+    #[must_use]
+    pub fn span_count(&self) -> u64 {
+        self.spans.len() as u64
+    }
+
+    /// Queries issued while the device was throttled (requires telemetry).
+    #[must_use]
+    pub fn throttled_queries(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.telemetry.as_ref().is_some_and(QueryTelemetry::is_throttled))
+            .count() as u64
+    }
+
+    /// Transitions from unthrottled to throttled dispatch along the span
+    /// timeline (requires telemetry).
+    #[must_use]
+    pub fn throttle_events(&self) -> u64 {
+        let mut events = 0;
+        let mut was_throttled = false;
+        for s in &self.spans {
+            let now = s.telemetry.as_ref().is_some_and(QueryTelemetry::is_throttled);
+            if now && !was_throttled {
+                events += 1;
+            }
+            was_throttled = now;
+        }
+        events
+    }
+
+    /// Peak die temperature observed at any dispatch, when telemetry is
+    /// present.
+    #[must_use]
+    pub fn peak_temperature_c(&self) -> Option<f64> {
+        self.spans
+            .iter()
+            .filter_map(|s| s.telemetry.as_ref().map(|t| t.temperature_c))
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+
+    /// Validates the structural trace invariants:
+    ///
+    /// 1. every span has `issue_ns <= complete_ns` and a latency equal to
+    ///    the timestamp difference,
+    /// 2. single-stream spans do not overlap (each issues at or after the
+    ///    previous completion) and arrive in issue order,
+    /// 3. a burst, when present, has `start_ns <= end_ns`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut prev_complete = 0u64;
+        for (i, s) in self.spans.iter().enumerate() {
+            if s.issue_ns > s.complete_ns {
+                return Err(format!(
+                    "span {i}: issue {} > complete {}",
+                    s.issue_ns, s.complete_ns
+                ));
+            }
+            if s.complete_ns - s.issue_ns != s.latency_ns {
+                return Err(format!(
+                    "span {i}: latency {} != complete - issue = {}",
+                    s.latency_ns,
+                    s.complete_ns - s.issue_ns
+                ));
+            }
+            if self.scenario == Scenario::SingleStream && s.issue_ns < prev_complete {
+                return Err(format!(
+                    "span {i}: issued at {} before previous completion {}",
+                    s.issue_ns, prev_complete
+                ));
+            }
+            prev_complete = s.complete_ns;
+        }
+        if let Some(b) = &self.burst {
+            if b.start_ns > b.end_ns {
+                return Err(format!("burst: start {} > end {}", b.start_ns, b.end_ns));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the trace to pretty JSON (the `--trace` artifact).
+    ///
+    /// # Panics
+    ///
+    /// Never for these types.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serializes")
+    }
+
+    /// Parses a serialized trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON error for malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+impl Default for RunTrace {
+    fn default() -> Self {
+        RunTrace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(i: u64, issue: u64, complete: u64) -> QuerySpan {
+        QuerySpan {
+            query_index: i,
+            sample_index: i as usize,
+            issue_ns: issue,
+            complete_ns: complete,
+            latency_ns: complete - issue,
+            telemetry: None,
+        }
+    }
+
+    fn telemetry(freq: f64, temp: f64) -> QueryTelemetry {
+        QueryTelemetry {
+            freq_factor: freq,
+            dvfs_level: usize::from(freq < 1.0),
+            temperature_c: temp,
+            compute_ns: 100,
+            transfer_ns: 0,
+            overhead_ns: 10,
+            engines: vec!["npu".into()],
+        }
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        let mut t = RunTrace::new();
+        t.record_span(span(0, 0, 5));
+        t.record_span(span(1, 5, 11));
+        assert!(t.validate().is_ok());
+        assert_eq!(t.span_count(), 2);
+    }
+
+    #[test]
+    fn overlapping_spans_rejected() {
+        let mut t = RunTrace::new();
+        t.record_span(span(0, 0, 10));
+        t.record_span(span(1, 5, 15));
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("before previous completion"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_latency_rejected() {
+        let mut t = RunTrace::new();
+        let mut s = span(0, 0, 10);
+        s.latency_ns = 7;
+        t.record_span(s);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn throttle_accounting() {
+        let mut t = RunTrace::new();
+        for (i, freq) in [1.0, 0.9, 0.9, 1.0, 0.8].iter().enumerate() {
+            let mut s = span(i as u64, i as u64 * 10, i as u64 * 10 + 5);
+            s.telemetry = Some(telemetry(*freq, 40.0 + i as f64));
+            t.record_span(s);
+        }
+        assert_eq!(t.throttled_queries(), 3);
+        assert_eq!(t.throttle_events(), 2, "two distinct entries into throttling");
+        assert_eq!(t.peak_temperature_c(), Some(44.0));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = RunTrace::new();
+        t.begin(Scenario::Offline, TestMode::Performance, 7, "sut".into());
+        t.record_burst(0, 1_000, 256);
+        let parsed = RunTrace::from_json(&t.to_json()).unwrap();
+        assert_eq!(parsed, t);
+    }
+}

@@ -66,7 +66,11 @@ impl LatencyStats {
 pub fn percentile_nearest_rank(sorted_ns: &[u64], percentile: f64) -> u64 {
     assert!(!sorted_ns.is_empty(), "no samples");
     assert!(percentile > 0.0 && percentile <= 100.0, "percentile out of range");
-    let rank = ((percentile / 100.0) * sorted_ns.len() as f64).ceil() as usize;
+    // Multiply before dividing: `percentile * count` is exact for the
+    // integer percentiles the rules use, so a whole-number rank like
+    // 0.9 * 1024 never lands an ULP above the integer and ceils to the
+    // rank after the correct one (`(90.0 / 100.0) * n` can).
+    let rank = (percentile * sorted_ns.len() as f64 / 100.0).ceil() as usize;
     sorted_ns[rank.clamp(1, sorted_ns.len()) - 1]
 }
 
@@ -112,6 +116,45 @@ mod tests {
         lat.reverse();
         let s = LatencyStats::from_latencies(&lat);
         assert_eq!(s.p90_ns, 900);
+    }
+
+    #[test]
+    fn two_samples() {
+        // Nearest rank over [10, 20]: p50 is rank ceil(0.5*2)=1, every
+        // higher percentile is rank 2.
+        let s = LatencyStats::from_latencies(&[20, 10]);
+        assert_eq!(s.p50_ns, 10);
+        assert_eq!(s.p90_ns, 20);
+        assert_eq!(s.p99_ns, 20);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 20);
+        assert_eq!(s.mean_ns, 15);
+    }
+
+    #[test]
+    fn whole_number_ranks_are_exact() {
+        // 0.9 * n is a whole number for every multiple of 10: the rank
+        // must be exactly 9n/10, never one past it from float error.
+        for n in (10..=2000).step_by(10) {
+            let lat: Vec<u64> = (1..=n).collect();
+            assert_eq!(percentile_nearest_rank(&lat, 90.0), 9 * n / 10, "n = {n}");
+            assert_eq!(percentile_nearest_rank(&lat, 50.0), n / 2, "n = {n}");
+        }
+        // The rule-mandated minimum query count.
+        let lat: Vec<u64> = (1..=1024).collect();
+        assert_eq!(percentile_nearest_rank(&lat, 90.0), 922); // ceil(921.6)
+    }
+
+    #[test]
+    fn percentiles_never_decrease() {
+        for n in 1..=200u64 {
+            let lat: Vec<u64> = (1..=n).collect();
+            let s = LatencyStats::from_latencies(&lat);
+            assert!(s.min_ns <= s.p50_ns, "n = {n}");
+            assert!(s.p50_ns <= s.p90_ns, "n = {n}");
+            assert!(s.p90_ns <= s.p99_ns, "n = {n}");
+            assert!(s.p99_ns <= s.max_ns, "n = {n}");
+        }
     }
 
     #[test]

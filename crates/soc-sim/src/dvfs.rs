@@ -49,12 +49,18 @@ impl DvfsLadder {
     /// exceed it; saturates at the lowest point.
     #[must_use]
     pub fn snap(&self, target: f64) -> f64 {
-        for &f in &self.factors {
-            if f <= target + 1e-12 {
-                return f;
-            }
-        }
-        *self.factors.last().expect("non-empty ladder")
+        self.factors[self.level_of(target)]
+    }
+
+    /// The ladder index [`snap`](DvfsLadder::snap) selects for `target`
+    /// (0 = fastest point; `len() - 1` = deepest throttle). This is the
+    /// "DVFS level" run traces report per query dispatch.
+    #[must_use]
+    pub fn level_of(&self, target: f64) -> usize {
+        self.factors
+            .iter()
+            .position(|&f| f <= target + 1e-12)
+            .unwrap_or(self.factors.len() - 1)
     }
 
     /// Number of operating points.

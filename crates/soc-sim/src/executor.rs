@@ -17,10 +17,25 @@ use serde::{Deserialize, Serialize};
 pub struct QueryBreakdown {
     /// Pure op execution time per stage.
     pub stage_compute: Vec<SimDuration>,
+    /// Engine each stage occupied, parallel to `stage_compute`.
+    pub stage_engines: Vec<crate::engine::EngineId>,
     /// Inter-engine tensor transfer time.
     pub transfer: SimDuration,
-    /// Launch + framework synchronization overhead.
+    /// Launch + framework synchronization overhead (total, including the
+    /// fixed per-query cost).
     pub overhead: SimDuration,
+    /// The per-engine runtime-launch share of `overhead`.
+    pub launch: SimDuration,
+    /// The per-stage framework-synchronization share of `overhead`.
+    pub sync: SimDuration,
+}
+
+impl QueryBreakdown {
+    /// Total pure-compute time across all stages.
+    #[must_use]
+    pub fn compute(&self) -> SimDuration {
+        self.stage_compute.iter().copied().sum()
+    }
 }
 
 /// Result of one simulated inference.
@@ -30,6 +45,11 @@ pub struct QueryResult {
     pub latency: SimDuration,
     /// DVFS frequency factor in effect (1.0 = unthrottled).
     pub freq_factor: f64,
+    /// DVFS ladder index in effect at dispatch (0 = fastest point).
+    pub dvfs_level: usize,
+    /// Die temperature at dispatch, before this query's heat was
+    /// deposited (°C).
+    pub temperature_c: f64,
     /// Decomposition.
     pub breakdown: QueryBreakdown,
 }
@@ -157,11 +177,19 @@ pub fn run_query(soc: &Soc, graph: &Graph, schedule: &Schedule, state: &mut SocS
     }
 
     let freq = state.freq_factor();
+    let dvfs_level = state.dvfs_level();
+    let temperature_c = state.thermal.temperature_c();
     let cross_bytes = schedule.cross_engine_bytes(graph);
 
     let mut stage_compute = Vec::with_capacity(schedule.stages.len());
+    let mut stage_engines = Vec::with_capacity(schedule.stages.len());
     let mut transfer = 0.0f64;
     let mut overhead = 0.0f64;
+    // Launch/sync shares are tracked in separate accumulators so the
+    // `overhead` sum keeps its exact historical addition order (scores are
+    // locked to 0 ULPs by the golden suite).
+    let mut launch_secs = 0.0f64;
+    let mut sync_secs = 0.0f64;
     let mut energy_terms = 0.0f64;
 
     let mut launched: Vec<bool> = vec![false; soc.engines.len()];
@@ -170,9 +198,12 @@ pub fn run_query(soc: &Soc, graph: &Graph, schedule: &Schedule, state: &mut SocS
         let engine = soc.engine(stage.engine);
         if !launched[stage.engine.0] {
             overhead += engine.launch_overhead_us * 1e-6;
+            launch_secs += engine.launch_overhead_us * 1e-6;
             launched[stage.engine.0] = true;
         }
         overhead += stage.sync_overhead_us * 1e-6;
+        sync_secs += stage.sync_overhead_us * 1e-6;
+        stage_engines.push(stage.engine);
         if cross_bytes[si] > 0 {
             transfer += soc.interconnect.transfer_secs(cross_bytes[si]);
         }
@@ -212,10 +243,15 @@ pub fn run_query(soc: &Soc, graph: &Graph, schedule: &Schedule, state: &mut SocS
     QueryResult {
         latency: total,
         freq_factor: freq,
+        dvfs_level,
+        temperature_c,
         breakdown: QueryBreakdown {
             stage_compute,
+            stage_engines,
             transfer: SimDuration::from_secs_f64(transfer),
             overhead: SimDuration::from_secs_f64(overhead),
+            launch: SimDuration::from_secs_f64(launch_secs),
+            sync: SimDuration::from_secs_f64(sync_secs),
         },
     }
 }

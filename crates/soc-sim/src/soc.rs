@@ -157,6 +157,14 @@ impl SocState {
         let battery_cap = self.battery.as_ref().map_or(1.0, BatteryState::freq_cap);
         self.dvfs.snap(self.thermal.freq_factor().min(battery_cap))
     }
+
+    /// The ladder index of the operating point currently in effect
+    /// (0 = fastest) — the "DVFS level" reported in run traces.
+    #[must_use]
+    pub fn dvfs_level(&self) -> usize {
+        let battery_cap = self.battery.as_ref().map_or(1.0, BatteryState::freq_cap);
+        self.dvfs.level_of(self.thermal.freq_factor().min(battery_cap))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,138 @@
+//! Physical-plausibility tests for the lumped-RC thermal model: sustained
+//! load heats monotonically toward the RC asymptote, throttling strictly
+//! cuts effective frequency, and a long cooldown restores the initial
+//! state.
+
+use soc_sim::thermal::{ThermalSpec, ThermalState};
+use soc_sim::time::SimDuration;
+
+const AMBIENT_C: f64 = 22.0;
+
+fn state() -> ThermalState {
+    ThermalState::new(ThermalSpec::default(), AMBIENT_C)
+}
+
+#[test]
+fn sustained_load_rises_monotonically_toward_asymptote() {
+    let mut s = state();
+    let power_w = 5.0;
+    let asymptote = ThermalSpec::default().steady_state_c(power_w, AMBIENT_C);
+    let mut previous = s.temperature_c();
+    for step in 0..500 {
+        s.advance(power_w, SimDuration::from_secs(2));
+        let t = s.temperature_c();
+        assert!(
+            t > previous,
+            "step {step}: temperature must strictly rise under sustained load ({previous} -> {t})"
+        );
+        assert!(
+            t < asymptote,
+            "step {step}: temperature {t} must stay below the RC asymptote {asymptote}"
+        );
+        previous = t;
+    }
+    // 1000 s is many time constants (tau = 36 s): effectively converged.
+    assert!(
+        asymptote - s.temperature_c() < 0.01,
+        "after many time constants the trajectory must sit on the asymptote (got {}, want {asymptote})",
+        s.temperature_c()
+    );
+}
+
+#[test]
+fn approach_rate_slows_as_asymptote_nears() {
+    // Exponential approach: equal time steps yield strictly shrinking
+    // temperature increments.
+    let mut s = state();
+    let mut deltas = Vec::new();
+    let mut previous = s.temperature_c();
+    for _ in 0..50 {
+        s.advance(5.0, SimDuration::from_secs(5));
+        deltas.push(s.temperature_c() - previous);
+        previous = s.temperature_c();
+    }
+    assert!(
+        deltas.windows(2).all(|w| w[1] < w[0]),
+        "increments must strictly shrink: {deltas:?}"
+    );
+}
+
+#[test]
+fn throttling_strictly_reduces_effective_frequency() {
+    let spec = ThermalSpec::default();
+    let mut s = state();
+    assert_eq!(s.freq_factor(), 1.0, "cold device runs at full frequency");
+    // Drive the die past the throttle onset with a heavy load.
+    let mut last_factor = 1.0;
+    let mut saw_throttle = false;
+    for _ in 0..2000 {
+        s.advance(7.0, SimDuration::from_secs(1));
+        let f = s.freq_factor();
+        assert!(f <= last_factor + 1e-12, "frequency never rises while heating");
+        if s.temperature_c() > spec.throttle_onset_c {
+            assert!(s.is_throttling(), "above onset the governor must engage");
+            assert!(f < 1.0, "throttled frequency is strictly below nominal");
+            saw_throttle = true;
+        }
+        last_factor = f;
+    }
+    assert!(saw_throttle, "7 W must push past the {} °C onset", spec.throttle_onset_c);
+    // 7 W steady state = 22 + 7*12 = 106 °C > full throttle: the factor
+    // bottoms out at the floor, never below.
+    assert_eq!(s.freq_factor(), spec.min_freq_factor);
+}
+
+#[test]
+fn deeper_heat_means_lower_frequency_within_ramp() {
+    // Within the (onset, full) window, hotter is strictly slower.
+    let spec = ThermalSpec::default();
+    let mut previous_factor = f64::INFINITY;
+    let mut checked = 0;
+    for decidegrees in (0..=200).step_by(5) {
+        let temp = spec.throttle_onset_c + f64::from(decidegrees) / 10.0;
+        if temp >= spec.throttle_full_c {
+            break;
+        }
+        let mut s = state();
+        // Closed-form inverse: reach `temp` exactly via its steady state.
+        let power = (temp - AMBIENT_C) / spec.resistance_c_per_w;
+        s.advance(power, SimDuration::from_secs(1_000_000));
+        if s.temperature_c() > spec.throttle_onset_c + 1e-9 {
+            let f = s.freq_factor();
+            assert!(f < previous_factor, "{temp} °C: {f} not below {previous_factor}");
+            previous_factor = f;
+            checked += 1;
+        }
+    }
+    assert!(checked > 10, "ramp window must be sampled, got {checked}");
+}
+
+#[test]
+fn cooldown_restores_initial_state() {
+    let mut s = state();
+    s.advance(7.0, SimDuration::from_secs(3600));
+    assert!(s.is_throttling(), "sanity: the device heated up");
+    // A long idle returns the die to ambient equilibrium...
+    s.cooldown(SimDuration::from_secs(3600));
+    let cold = state();
+    assert!(
+        (s.temperature_c() - cold.temperature_c()).abs() < 1e-6,
+        "cooldown must return to ambient: {} vs {}",
+        s.temperature_c(),
+        cold.temperature_c()
+    );
+    // ...and full frequency.
+    assert_eq!(s.freq_factor(), 1.0);
+    assert!(!s.is_throttling());
+    assert_eq!(s.ambient_c(), cold.ambient_c());
+}
+
+#[test]
+fn cooldown_never_undershoots_ambient() {
+    let mut s = state();
+    s.advance(4.0, SimDuration::from_secs(100));
+    for _ in 0..100 {
+        s.cooldown(SimDuration::from_secs(60));
+        assert!(s.temperature_c() >= AMBIENT_C - 1e-9, "die cannot cool below ambient");
+    }
+}

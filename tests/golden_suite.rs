@@ -1,0 +1,284 @@
+//! Golden-trace regression suite: locks the full v1.0 suite — every
+//! (chip, task, backend, scenario) cell — plus key trace invariants
+//! against checked-in goldens under `tests/golden/`.
+//!
+//! Scores are compared at **0 ULPs** via `f64::to_bits`: any drift at all
+//! fails with a per-cell diff naming the cell, both values, and the ULP
+//! distance. After an intentional scoring change, regenerate the goldens
+//! with:
+//!
+//! ```sh
+//! BLESS=1 cargo test --test golden_suite
+//! ```
+
+use mlperf_mobile::app::AppConfig;
+use mlperf_mobile::harness::RunRules;
+use mlperf_mobile::metrics::TraceCollector;
+use mlperf_mobile::runner::SuiteRunner;
+use mlperf_mobile::sut_impl::DatasetScale;
+use mlperf_mobile::task::SuiteVersion;
+use serde::{Deserialize, Serialize};
+use soc_sim::catalog::ChipId;
+use std::sync::Arc;
+
+/// Where the goldens live (crate manifest is `crates/core`).
+const GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/v1_0_suite.json");
+
+/// One locked benchmark-matrix cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct GoldenCell {
+    /// Chip name.
+    chip: String,
+    /// Task name.
+    task: String,
+    /// Backend the submission rules select.
+    backend: String,
+    /// Single-stream p90 in milliseconds (human-readable copy).
+    score_ms: f64,
+    /// Exact bits of `score_ms` — the 0-ULP lock.
+    score_bits: u64,
+    /// Measured accuracy (human-readable copy).
+    accuracy: f64,
+    /// Exact bits of `accuracy`.
+    accuracy_bits: u64,
+    /// Offline throughput in FPS, for the cells that run offline.
+    offline_fps: Option<f64>,
+    /// Exact bits of `offline_fps`.
+    offline_bits: Option<u64>,
+    /// Trace invariant: spans recorded == performance queries issued.
+    spans: u64,
+    /// Trace invariant: queries dispatched while throttled.
+    throttled_queries: u64,
+    /// Trace invariant: transitions into throttling.
+    throttle_events: u64,
+}
+
+impl GoldenCell {
+    fn label(&self) -> String {
+        format!("{}/{}/{}", self.chip, self.task, self.backend)
+    }
+}
+
+/// Runs the full v1.0 suite over every catalog chip with tracing on and
+/// distills each cell into its golden form.
+fn compute_cells() -> Vec<GoldenCell> {
+    let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true };
+    let sink = Arc::new(TraceCollector::new());
+    let runner = SuiteRunner::new().with_trace(Arc::clone(&sink));
+    let reports = runner
+        .sweep(&ChipId::ALL, SuiteVersion::V1_0, &config, DatasetScale::Reduced(48))
+        .expect("every submission backend compiles");
+    let traces = sink.drain();
+    let mut cells = Vec::new();
+    for report in &reports {
+        for score in &report.scores {
+            let trace = traces
+                .iter()
+                .find(|t| t.chip == score.chip && t.task == score.def.task)
+                .expect("every run leaves a trace");
+            trace.validate().expect("trace invariants hold");
+            assert_eq!(
+                trace.single_stream.span_count(),
+                score.single_stream.queries,
+                "span count must equal query count"
+            );
+            let offline_fps = score.offline.as_ref().map(|o| o.throughput_fps);
+            cells.push(GoldenCell {
+                chip: score.chip.to_string(),
+                task: format!("{:?}", score.def.task),
+                backend: score.backend.to_string(),
+                score_ms: score.latency_ms(),
+                score_bits: score.latency_ms().to_bits(),
+                accuracy: score.accuracy,
+                accuracy_bits: score.accuracy.to_bits(),
+                offline_fps,
+                offline_bits: offline_fps.map(f64::to_bits),
+                spans: trace.single_stream.span_count(),
+                throttled_queries: trace.throttled_queries(),
+                throttle_events: trace.throttle_events(),
+            });
+        }
+    }
+    cells.sort_by_key(GoldenCell::label);
+    cells
+}
+
+/// One field comparison at 0 ULPs, rendered as a readable diff line.
+fn field_diff(
+    label: &str,
+    name: &str,
+    golden_val: f64,
+    golden_bits: u64,
+    got_val: f64,
+    got_bits: u64,
+) -> Option<String> {
+    (golden_bits != got_bits).then(|| {
+        format!(
+            "{label}: {name} {got_val:.17} (bits {got_bits:#018x}) != golden {golden_val:.17} \
+             (bits {golden_bits:#018x}) — {} ULPs apart",
+            golden_bits.abs_diff(got_bits),
+        )
+    })
+}
+
+/// Compares expected vs actual bit-exactly, returning one readable line
+/// per divergence (empty = pass). Pure so it can be unit-tested.
+fn diff_cells(expected: &[GoldenCell], actual: &[GoldenCell]) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if expected.len() != actual.len() {
+        diffs.push(format!(
+            "cell count: golden has {}, run produced {}",
+            expected.len(),
+            actual.len()
+        ));
+    }
+    for exp in expected {
+        let Some(act) = actual.iter().find(|c| c.label() == exp.label()) else {
+            diffs.push(format!("{}: cell missing from this run", exp.label()));
+            continue;
+        };
+        let label = exp.label();
+        diffs.extend(field_diff(
+            &label, "score_ms", exp.score_ms, exp.score_bits, act.score_ms, act.score_bits,
+        ));
+        diffs.extend(field_diff(
+            &label, "accuracy", exp.accuracy, exp.accuracy_bits, act.accuracy, act.accuracy_bits,
+        ));
+        match (exp.offline_bits, act.offline_bits) {
+            (Some(g), Some(a)) => diffs.extend(field_diff(
+                &label,
+                "offline_fps",
+                exp.offline_fps.unwrap_or(0.0),
+                g,
+                act.offline_fps.unwrap_or(0.0),
+                a,
+            )),
+            (None, None) => {}
+            (g, a) => diffs.push(format!(
+                "{label}: offline presence changed: golden {:?}, run {:?}",
+                g.is_some(),
+                a.is_some()
+            )),
+        }
+        for (name, golden, got) in [
+            ("spans", exp.spans, act.spans),
+            ("throttled_queries", exp.throttled_queries, act.throttled_queries),
+            ("throttle_events", exp.throttle_events, act.throttle_events),
+        ] {
+            if golden != got {
+                diffs.push(format!("{}: {name} {got} != golden {golden}", exp.label()));
+            }
+        }
+    }
+    for act in actual {
+        if !expected.iter().any(|c| c.label() == act.label()) {
+            diffs.push(format!("{}: cell not present in golden", act.label()));
+        }
+    }
+    diffs
+}
+
+fn bless_requested() -> bool {
+    std::env::var("BLESS").is_ok_and(|v| v == "1")
+}
+
+#[test]
+fn v1_0_suite_matches_golden() {
+    let actual = compute_cells();
+    assert_eq!(actual.len(), ChipId::ALL.len() * 4, "8 chips x 4 tasks");
+    if bless_requested() {
+        let json = serde_json::to_string_pretty(&actual).expect("cells serialize") + "\n";
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN_PATH).parent().unwrap())
+            .expect("golden dir");
+        std::fs::write(GOLDEN_PATH, json).expect("write golden");
+        eprintln!("blessed {} cells into {GOLDEN_PATH}", actual.len());
+        return;
+    }
+    let text = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("no golden at {GOLDEN_PATH} ({e}); generate with BLESS=1 cargo test --test golden_suite")
+    });
+    let expected: Vec<GoldenCell> = serde_json::from_str(&text).expect("golden parses");
+    let diffs = diff_cells(&expected, &actual);
+    assert!(
+        diffs.is_empty(),
+        "{} cell(s) drifted from golden (BLESS=1 to accept intentional changes):\n{}",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}
+
+#[test]
+fn golden_file_is_checked_in_and_well_formed() {
+    let text = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("tests/golden/v1_0_suite.json must be checked in");
+    let cells: Vec<GoldenCell> = serde_json::from_str(&text).expect("golden parses");
+    assert_eq!(cells.len(), ChipId::ALL.len() * 4);
+    for c in &cells {
+        assert_eq!(c.score_ms.to_bits(), c.score_bits, "{}: bits out of sync", c.label());
+        assert_eq!(c.accuracy.to_bits(), c.accuracy_bits, "{}: bits out of sync", c.label());
+        assert!(c.spans > 0, "{}: a run always issues queries", c.label());
+    }
+    // Offline rides along with classification only.
+    let offline_cells = cells.iter().filter(|c| c.offline_fps.is_some()).count();
+    assert_eq!(offline_cells, ChipId::ALL.len());
+}
+
+#[test]
+fn diff_reports_perturbations_per_cell() {
+    let base = vec![
+        GoldenCell {
+            chip: "Snapdragon 888".into(),
+            task: "ImageClassification".into(),
+            backend: "SNPE".into(),
+            score_ms: 1.5,
+            score_bits: 1.5f64.to_bits(),
+            accuracy: 0.75,
+            accuracy_bits: 0.75f64.to_bits(),
+            offline_fps: Some(500.0),
+            offline_bits: Some(500.0f64.to_bits()),
+            spans: 32,
+            throttled_queries: 0,
+            throttle_events: 0,
+        },
+        GoldenCell {
+            chip: "Exynos 2100".into(),
+            task: "ObjectDetection".into(),
+            backend: "ENN".into(),
+            score_ms: 4.0,
+            score_bits: 4.0f64.to_bits(),
+            accuracy: 0.28,
+            accuracy_bits: 0.28f64.to_bits(),
+            offline_fps: None,
+            offline_bits: None,
+            spans: 32,
+            throttled_queries: 3,
+            throttle_events: 1,
+        },
+    ];
+    // Identical cells: clean pass.
+    assert!(diff_cells(&base, &base).is_empty());
+
+    // A 1-ULP score nudge on one cell is caught, named, and quantified.
+    let mut drifted = base.clone();
+    drifted[0].score_bits += 1;
+    drifted[0].score_ms = f64::from_bits(drifted[0].score_bits);
+    let diffs = diff_cells(&base, &drifted);
+    assert_eq!(diffs.len(), 1, "{diffs:?}");
+    assert!(diffs[0].contains("Snapdragon 888/ImageClassification/SNPE"));
+    assert!(diffs[0].contains("score_ms"));
+    assert!(diffs[0].contains("1 ULPs apart"));
+
+    // Trace-invariant drift is reported separately.
+    let mut throttled = base.clone();
+    throttled[1].throttle_events = 9;
+    let diffs = diff_cells(&base, &throttled);
+    assert_eq!(diffs.len(), 1);
+    assert!(diffs[0].contains("Exynos 2100/ObjectDetection/ENN"));
+    assert!(diffs[0].contains("throttle_events 9 != golden 1"));
+
+    // A missing cell is its own diff line.
+    let diffs = diff_cells(&base, &base[..1]);
+    assert!(diffs.iter().any(|d| d.contains("cell count")));
+    assert!(diffs.iter().any(|d| d.contains("cell missing from this run")));
+}

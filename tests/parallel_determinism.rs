@@ -4,11 +4,13 @@
 //! performance optimisations, invisible in every score.
 
 use mlperf_mobile::harness::{run_benchmark, run_benchmark_with, RunRules};
+use mlperf_mobile::metrics::TraceCollector;
 use mlperf_mobile::runner::{CompileCache, RunSpec, SuiteRunner};
 use mlperf_mobile::sut_impl::DatasetScale;
 use mlperf_mobile::task::{suite, SuiteVersion, Task};
 use mobile_backend::registry::create;
 use soc_sim::catalog::ChipId;
+use std::sync::Arc;
 
 /// A 2-chip x 2-task matrix with distinct vendors, backends and models —
 /// small enough to run at smoke scale, varied enough that any cross-run
@@ -67,6 +69,53 @@ fn parallel_sweep_is_bit_identical_to_serial_loop() {
         .collect();
 
     assert_eq!(serial, parallel, "parallel sweep must be bit-identical to the serial loop");
+}
+
+#[test]
+fn tracing_does_not_perturb_scores() {
+    // Attaching a trace sink is purely observational: every score from a
+    // traced sweep must be bit-identical to the untraced sweep, while the
+    // sink fills with one valid trace per spec.
+    let specs = matrix();
+    let rules = RunRules::smoke_test();
+    let scale = DatasetScale::Reduced(48);
+
+    let untraced: Vec<String> = SuiteRunner::with_threads(8)
+        .run(&specs, &rules, scale)
+        .into_iter()
+        .map(|r| serde_json::to_string(&r.expect("matrix spec compiles")).unwrap())
+        .collect();
+
+    let sink = Arc::new(TraceCollector::new());
+    let traced: Vec<String> = SuiteRunner::with_threads(8)
+        .with_trace(Arc::clone(&sink))
+        .run(&specs, &rules, scale)
+        .into_iter()
+        .map(|r| serde_json::to_string(&r.expect("matrix spec compiles")).unwrap())
+        .collect();
+
+    assert_eq!(untraced, traced, "tracing must be invisible in every score");
+
+    let traces = sink.drain();
+    assert_eq!(traces.len(), specs.len(), "one trace per spec");
+    for trace in &traces {
+        trace.validate().expect("trace invariants hold");
+        assert!(trace.single_stream.span_count() > 0);
+    }
+    assert!(sink.is_empty(), "drain empties the sink");
+
+    // The traces themselves are deterministic too: a second traced sweep
+    // reproduces them bit-for-bit (span timings, telemetry and all).
+    let sink2 = Arc::new(TraceCollector::new());
+    let _ = SuiteRunner::with_threads(4)
+        .with_trace(Arc::clone(&sink2))
+        .run(&specs, &rules, scale);
+    let again = sink2.drain();
+    assert_eq!(
+        serde_json::to_string(&traces).unwrap(),
+        serde_json::to_string(&again).unwrap(),
+        "traced sweeps must reproduce identical traces"
+    );
 }
 
 #[test]
