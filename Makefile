@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test clippy golden bless trace bench reproduce clean
+.PHONY: check build test clippy golden bless trace profile bench reproduce clean
 
 ## Full gate: release build, tests, warning-free clippy, and the
 ## golden-trace regression suite (plus the examples it ships with).
@@ -32,6 +32,12 @@ bless:
 ## artifact lands in out/trace/.
 trace:
 	$(CARGO) run --release -p mlperf-bench --bin reproduce -- all --trace out/trace
+
+## Tracing plus analysis: per artifact, a Perfetto timeline
+## (out/profile/<artifact>.perfetto.json — open in ui.perfetto.dev) and a
+## profile report (engine utilization, DVFS residency, energy split).
+profile:
+	$(CARGO) run --release -p mlperf-bench --bin reproduce -- all --profile out/profile
 
 ## Serial-vs-parallel suite sweep plus the library micro-benches.
 bench:

@@ -4,6 +4,8 @@
 //! cargo run --release -p mlperf-bench --bin reproduce            # everything
 //! cargo run --release -p mlperf-bench --bin reproduce -- table3  # one artifact
 //! cargo run --release -p mlperf-bench --bin reproduce -- all --trace out/
+//! cargo run --release -p mlperf-bench --bin reproduce -- all --profile out/
+//! cargo run --release -p mlperf-bench --bin reproduce -- explain out/table3.json
 //! ```
 //!
 //! `reproduce all` (or `reproduce` with no argument) also writes
@@ -17,9 +19,18 @@
 //! counts, throttle statistics), per-spec wall-clock timings, and the full
 //! [`mlperf_mobile::BenchmarkTrace`] of every harness run the artifact
 //! made. Tracing never changes the printed reports.
+//!
+//! `--profile <dir>` implies `--trace <dir>` and additionally writes, per
+//! artifact, `<artifact>.perfetto.json` (a Chrome/Perfetto trace-event
+//! timeline — open it in `ui.perfetto.dev`) and `<artifact>.profile.txt`
+//! (the per-cell engine-utilization/DVFS/energy report plus a
+//! Prometheus-style exposition of the metrics delta).
+//!
+//! `explain <trace.json>` re-renders the profile report offline from a
+//! previously written trace file — no benchmark runs.
 
-use mlperf_mobile::metrics::{metrics, MetricsSnapshot, SpecTiming};
-use mlperf_mobile::BenchmarkTrace;
+use mlperf_mobile::metrics::metrics;
+use mlperf_mobile::profile::{benchmark_perfetto_json, ArtifactTrace};
 use serde::Serialize;
 use std::env;
 use std::path::{Path, PathBuf};
@@ -45,16 +56,6 @@ struct SuiteTimings {
     artifacts: Vec<ArtifactTiming>,
     total_wall_ms: f64,
     compile_cache: CacheStats,
-}
-
-/// The per-artifact `--trace` file schema (`<dir>/<artifact>.json`).
-#[derive(Serialize)]
-struct ArtifactTrace {
-    artifact: String,
-    wall_ms: f64,
-    metrics: MetricsSnapshot,
-    spec_timings: Vec<SpecTiming>,
-    runs: Vec<BenchmarkTrace>,
 }
 
 /// An artifact name and its generator.
@@ -85,15 +86,24 @@ fn generator_for(which: &str) -> Option<fn() -> String> {
     }
 }
 
+fn write_file(path: &Path, contents: &str, what: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("wrote {} ({what})", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
 /// Runs one artifact generator and, when tracing, writes its trace file:
 /// the metrics delta across the call, the per-spec wall-clock entries it
-/// queued, and every harness trace it deposited in the sink.
-fn run_artifact(name: &str, f: fn() -> String, trace_dir: Option<&Path>) -> (String, f64) {
+/// queued, and every harness trace it deposited in the sink. In profile
+/// mode the Perfetto timeline and the rendered profile report are written
+/// alongside.
+fn run_artifact(name: &str, f: fn() -> String, out: Option<(&Path, bool)>) -> (String, f64) {
     let before = metrics().snapshot();
     let t = Instant::now();
     let text = f();
     let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-    if let Some(dir) = trace_dir {
+    if let Some((dir, profile)) = out {
         let artifact = ArtifactTrace {
             artifact: name.to_owned(),
             wall_ms,
@@ -102,23 +112,34 @@ fn run_artifact(name: &str, f: fn() -> String, trace_dir: Option<&Path>) -> (Str
             runs: mlperf_bench::trace_sink().drain(),
         };
         let path = dir.join(format!("{name}.json"));
-        let json = serde_json::to_string_pretty(&artifact).expect("trace serializes") + "\n";
-        match std::fs::write(&path, json) {
+        match std::fs::write(&path, artifact.to_json() + "\n") {
             Ok(()) => eprintln!("wrote {} ({} traced runs)", path.display(), artifact.runs.len()),
             Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+        if profile {
+            write_file(
+                &dir.join(format!("{name}.perfetto.json")),
+                &benchmark_perfetto_json(&artifact.runs),
+                "perfetto timeline",
+            );
+            write_file(
+                &dir.join(format!("{name}.profile.txt")),
+                &artifact.render(),
+                "profile report",
+            );
         }
     }
     (text, wall_ms)
 }
 
-fn run_all(trace_dir: Option<&Path>) -> String {
-    let mut out = String::new();
+fn run_all(out: Option<(&Path, bool)>) -> String {
+    let mut text = String::new();
     let mut timings = Vec::new();
     let total = Instant::now();
     for (name, f) in ARTIFACTS {
-        let (text, wall_ms) = run_artifact(name, *f, trace_dir);
-        out.push_str(&text);
-        out.push('\n');
+        let (artifact_text, wall_ms) = run_artifact(name, *f, out);
+        text.push_str(&artifact_text);
+        text.push('\n');
         timings.push(ArtifactTiming { name, wall_ms });
     }
     let total_ms = total.elapsed().as_secs_f64() * 1e3;
@@ -139,12 +160,32 @@ fn run_all(trace_dir: Option<&Path>) -> String {
         ),
         Err(e) => eprintln!("could not write BENCH_suite.json: {e}"),
     }
-    out
+    text
+}
+
+/// `explain <trace.json>`: parse a previously written per-artifact trace
+/// file and re-render its profile report.
+fn explain(path: &str) -> String {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("could not read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match ArtifactTrace::from_json(&text) {
+        Ok(bundle) => bundle.render(),
+        Err(e) => {
+            eprintln!("{path} is not a reproduce trace file: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: reproduce [ARTIFACT] [--trace DIR]\n\
+        "usage: reproduce [ARTIFACT] [--trace DIR] [--profile DIR]\n\
+         \x20      reproduce explain <trace.json>\n\
          artifacts: table1 table2 table3 table4 figure6 figure7 offline laptop \
          codepaths insights ablations endtoend extensions power all"
     );
@@ -153,16 +194,31 @@ fn usage_exit() -> ! {
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("explain") {
+        let Some(path) = args.get(1) else {
+            eprintln!("explain requires a trace-file argument");
+            usage_exit();
+        };
+        if args.len() > 2 {
+            eprintln!("unexpected argument {:?}", args[2]);
+            usage_exit();
+        }
+        println!("{}", explain(path));
+        return;
+    }
+
     let mut which: Option<String> = None;
-    let mut trace_dir: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut profile = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if arg == "--trace" {
+        if arg == "--trace" || arg == "--profile" {
             let Some(dir) = it.next() else {
-                eprintln!("--trace requires a directory argument");
+                eprintln!("{arg} requires a directory argument");
                 usage_exit();
             };
-            trace_dir = Some(PathBuf::from(dir));
+            out_dir = Some(PathBuf::from(dir));
+            profile |= arg == "--profile";
         } else if which.is_none() {
             which = Some(arg.clone());
         } else {
@@ -170,22 +226,23 @@ fn main() {
             usage_exit();
         }
     }
-    if let Some(dir) = &trace_dir {
+    if let Some(dir) = &out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("could not create trace directory {}: {e}", dir.display());
             std::process::exit(1);
         }
         mlperf_bench::set_tracing(true);
     }
+    let out = out_dir.as_deref().map(|d| (d, profile));
 
     let which = which.unwrap_or_else(|| "all".to_owned());
-    let out = if which == "all" {
-        run_all(trace_dir.as_deref())
+    let text = if which == "all" {
+        run_all(out)
     } else if let Some(f) = generator_for(&which) {
-        run_artifact(&which, f, trace_dir.as_deref()).0
+        run_artifact(&which, f, out).0
     } else {
         eprintln!("unknown artifact {which:?}");
         usage_exit();
     };
-    println!("{out}");
+    println!("{text}");
 }

@@ -95,6 +95,10 @@ pub struct BenchmarkScore {
     pub ambient_compliant: bool,
     /// Energy per single-stream query (joules).
     pub joules_per_query: f64,
+    /// Average device power over the single-stream performance run
+    /// (watts): the energy-meter delta across the run divided by the
+    /// run's simulated duration.
+    pub average_power_w: f64,
     /// Whether the device entered battery power-saving mode during the
     /// run (the hazard the full-charge recommendation avoids).
     pub power_saving_entered: bool,
@@ -116,6 +120,121 @@ impl BenchmarkScore {
     }
 }
 
+/// One engine's share of a run's activity, attributed from the per-stage
+/// telemetry in the single-stream span timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineActivity {
+    /// Engine name ("npu0", "gpu", ...).
+    pub engine: String,
+    /// The engine's active power while computing (watts).
+    pub active_power_w: f64,
+    /// Total time the engine spent computing across the run (ns).
+    pub busy_ns: u64,
+    /// `busy_ns` over the run's simulated duration.
+    pub busy_fraction: f64,
+    /// Energy attributed to this engine: active power x busy time (J).
+    pub joules: f64,
+}
+
+/// Run-end energy accounting stamped into a [`BenchmarkTrace`]: the
+/// [`soc_sim::power::EnergyMeter`] totals surfaced per run, plus a
+/// per-engine attribution derived from the span timeline.
+///
+/// `total_joules` is the meter's exact accumulator at run end (a unit test
+/// ties it to [`soc_sim::power::EnergyMeter::total_joules`] at 0 ULPs);
+/// the per-engine joules are a decomposition of the *active* energy only —
+/// rail/idle power and inter-engine transfer time belong to no single
+/// engine and are not attributed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunEnergy {
+    /// The energy meter's total at run end (accuracy + performance +
+    /// offline), in joules — exactly `EnergyMeter::total_joules`.
+    pub total_joules: f64,
+    /// The meter's recorded busy time at run end (ns).
+    pub busy_ns: u64,
+    /// Energy-meter delta across the single-stream performance run (J).
+    pub single_stream_joules: f64,
+    /// Energy per single-stream query (J) — same value as
+    /// [`BenchmarkScore::joules_per_query`].
+    pub joules_per_query: f64,
+    /// Average power over the single-stream run (W) — same value as
+    /// [`BenchmarkScore::average_power_w`].
+    pub average_power_w: f64,
+    /// Per-engine activity attribution over the single-stream run, in
+    /// first-appearance order along the timeline.
+    pub engines: Vec<EngineActivity>,
+}
+
+impl RunEnergy {
+    /// Captures run-end energy accounting from the device state and the
+    /// single-stream span timeline.
+    ///
+    /// `ss_joules` and `ss_duration` describe the single-stream
+    /// performance window; `state` is read at run end, so `total_joules`
+    /// is the meter's accumulator verbatim.
+    #[must_use]
+    pub fn capture(
+        soc: &Soc,
+        state: &soc_sim::soc::SocState,
+        ss_trace: &RunTrace,
+        ss_joules: f64,
+        ss_duration: SimDuration,
+        queries: u64,
+    ) -> RunEnergy {
+        let duration_ns = ss_duration.as_nanos();
+        // Aggregate per-engine busy time from the per-stage telemetry, in
+        // first-appearance order (deterministic — no map iteration).
+        let mut names: Vec<&str> = Vec::new();
+        let mut busy: Vec<u64> = Vec::new();
+        for span in &ss_trace.spans {
+            let Some(t) = &span.telemetry else { continue };
+            for stage in &t.stages {
+                match names.iter().position(|n| *n == stage.engine.as_str()) {
+                    Some(i) => busy[i] += stage.compute_ns,
+                    None => {
+                        names.push(&stage.engine);
+                        busy.push(stage.compute_ns);
+                    }
+                }
+            }
+        }
+        let engines = names
+            .iter()
+            .zip(&busy)
+            .map(|(name, &busy_ns)| {
+                let active_power_w = soc
+                    .engines
+                    .iter()
+                    .find(|e| e.name == **name)
+                    .map_or(0.0, |e| e.active_power_w);
+                EngineActivity {
+                    engine: (*name).to_owned(),
+                    active_power_w,
+                    busy_ns,
+                    busy_fraction: if duration_ns > 0 {
+                        busy_ns as f64 / duration_ns as f64
+                    } else {
+                        0.0
+                    },
+                    joules: active_power_w * (busy_ns as f64 / 1e9),
+                }
+            })
+            .collect();
+        RunEnergy {
+            total_joules: state.energy.total_joules(),
+            busy_ns: state.energy.busy_time().as_nanos(),
+            single_stream_joules: ss_joules,
+            joules_per_query: if queries > 0 { ss_joules / queries as f64 } else { 0.0 },
+            average_power_w: if duration_ns > 0 {
+                ss_joules / ss_duration.as_secs_f64()
+            } else {
+                0.0
+            },
+            engines,
+        }
+    }
+}
+
 /// Per-query observability record of one benchmark run: the single-stream
 /// span timeline (with per-query SoC telemetry) plus the offline burst
 /// when that scenario ran.
@@ -134,6 +253,8 @@ pub struct BenchmarkTrace {
     pub single_stream: RunTrace,
     /// Burst record of the offline run, when one ran.
     pub offline: Option<RunTrace>,
+    /// Run-end energy accounting (meter totals + per-engine attribution).
+    pub energy: RunEnergy,
 }
 
 impl BenchmarkTrace {
@@ -383,8 +504,9 @@ fn run_benchmark_inner(
         &mut log,
         traced.then_some(&mut ss_trace),
     );
-    let joules_per_query =
-        (sut.state.energy.total_joules() - energy_before) / single_stream.queries as f64;
+    let ss_joules = sut.state.energy.total_joules() - energy_before;
+    let joules_per_query = ss_joules / single_stream.queries as f64;
+    let average_power_w = ss_joules / single_stream.duration.as_secs_f64();
 
     // 4. Offline, after another cooldown.
     let mut offline_trace = RunTrace::new();
@@ -403,12 +525,21 @@ fn run_benchmark_inner(
 
     metrics().record_run(single_stream.queries);
     let trace = if traced {
+        let energy = RunEnergy::capture(
+            &sut.soc,
+            &sut.state,
+            &ss_trace,
+            ss_joules,
+            single_stream.duration,
+            single_stream.queries,
+        );
         let trace = BenchmarkTrace {
             chip,
             task: def.task,
             backend: backend_id,
             single_stream: ss_trace,
             offline: with_offline.then_some(offline_trace),
+            energy,
         };
         metrics().record_throttling(trace.throttled_queries(), trace.throttle_events());
         Some(trace)
@@ -437,6 +568,7 @@ fn run_benchmark_inner(
         violations,
         ambient_compliant: rules.ambient_compliant(),
         joules_per_query,
+        average_power_w,
         power_saving_entered,
         log,
     };
@@ -483,6 +615,61 @@ mod tests {
         .unwrap();
         assert!(!score.ambient_compliant);
         assert!(!score.is_valid_submission());
+    }
+
+    #[test]
+    fn trace_energy_matches_meter_exactly() {
+        // The trace's energy accounting is the meter's accumulator
+        // verbatim — 0 ULPs — and the per-engine attribution is sane.
+        let def = &suite(SuiteVersion::V1_0)[0];
+        let soc = Arc::new(ChipId::Dimensity1100.build());
+        let deployment =
+            Arc::new(Neuron.compile(&def.model.build(), &soc).unwrap());
+        let rules = RunRules::smoke_test();
+        let mut sut = DeviceSut::new(
+            Arc::clone(&soc),
+            Arc::clone(&deployment),
+            def,
+            DatasetScale::Reduced(64),
+            rules.settings.seed,
+            rules.ambient_c,
+        );
+        let mut log = RunLog::new();
+        let mut ss_trace = RunTrace::new();
+        let before = sut.state.energy.total_joules();
+        let dataset_len = sut.data.len();
+        let perf = run_single_stream_traced(
+            &mut sut,
+            dataset_len,
+            &rules.settings,
+            &mut log,
+            Some(&mut ss_trace),
+        );
+        let ss_joules = sut.state.energy.total_joules() - before;
+        let energy = RunEnergy::capture(
+            &sut.soc,
+            &sut.state,
+            &ss_trace,
+            ss_joules,
+            perf.duration,
+            perf.queries,
+        );
+        assert_eq!(
+            energy.total_joules.to_bits(),
+            sut.state.energy.total_joules().to_bits(),
+            "trace energy must be the meter accumulator verbatim"
+        );
+        assert_eq!(energy.busy_ns, sut.state.energy.busy_time().as_nanos());
+        assert!(energy.single_stream_joules > 0.0);
+        assert!(!energy.engines.is_empty());
+        for e in &energy.engines {
+            assert!(e.busy_fraction > 0.0 && e.busy_fraction <= 1.0, "{e:?}");
+            assert!(e.joules >= 0.0);
+        }
+        // Attributed active energy never exceeds the metered single-stream
+        // total (rail/idle/transfer power belongs to no engine).
+        let attributed: f64 = energy.engines.iter().map(|e| e.joules).sum();
+        assert!(attributed <= energy.single_stream_joules * (1.0 + 1e-9));
     }
 
     #[test]

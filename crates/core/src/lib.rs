@@ -15,6 +15,8 @@
 //!   (bit-identical to the serial app, many times faster on a sweep),
 //! - [`metrics`]: the process-wide metrics registry and the trace
 //!   collector behind `SuiteRunner::with_trace`,
+//! - [`profile`]: trace analysis & export — Perfetto timelines, engine
+//!   occupancy and energy attribution, Prometheus exposition,
 //! - [`audit`]: submission validation and independent reproduction
 //!   (Section 6.2),
 //! - [`related`]: the Table 4 comparison matrix,
@@ -47,6 +49,7 @@ pub mod audit;
 pub mod extensions;
 pub mod harness;
 pub mod metrics;
+pub mod profile;
 pub mod related;
 pub mod report;
 pub mod runner;
@@ -64,7 +67,11 @@ pub use harness::{
     run_benchmark, run_benchmark_with, run_benchmark_with_trace, BenchmarkScore, BenchmarkTrace,
     RunRules,
 };
+pub use harness::{EngineActivity, RunEnergy};
 pub use metrics::{metrics, MetricsRegistry, MetricsSnapshot, SpecTiming, TraceCollector};
+pub use profile::{
+    benchmark_perfetto_json, profile_report, prometheus_exposition, ArtifactTrace, CellProfile,
+};
 pub use runner::{par_map, CompileCache, RunSpec, SuiteRunner};
 pub use sut_impl::{DatasetScale, DeviceSut, Prediction, TaskData};
 pub use task::{suite, BenchmarkDef, SuiteVersion, Task};

@@ -107,6 +107,13 @@ impl MetricsRegistry {
     }
 
     /// A point-in-time copy of every counter.
+    ///
+    /// Non-destructive: reading a snapshot never changes registry state,
+    /// so any number of observers (reports, Prometheus exposition, delta
+    /// baselines) can snapshot concurrently without coordinating. The
+    /// per-spec wall-clock timings are *not* part of the snapshot — they
+    /// are consumed destructively via [`Self::take_spec_timings`], because
+    /// each timing entry belongs to exactly one artifact's trace file.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -121,6 +128,14 @@ impl MetricsRegistry {
 
     /// Removes and returns every per-spec wall-clock entry recorded so
     /// far, sorted by label for deterministic output.
+    ///
+    /// Destructive drain, in contrast to the non-destructive
+    /// [`Self::snapshot`]: each [`SpecTiming`] is handed out exactly once,
+    /// so per-artifact trace files partition the timings instead of
+    /// repeating them. The drain swaps the buffer out under the same lock
+    /// [`Self::record_spec_wall`] appends under, so a record racing a
+    /// drain lands either in that drain's batch or in the next one — never
+    /// in both, never in neither (the concurrency test below holds this).
     ///
     /// # Panics
     ///
@@ -222,6 +237,56 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t[0].label, "a/cls");
         assert!(r.take_spec_timings().is_empty(), "drain empties the registry");
+    }
+
+    #[test]
+    fn concurrent_drain_loses_and_duplicates_nothing() {
+        // Writers race record_spec_wall against a reader repeatedly
+        // draining: the union of all drained batches plus a final drain
+        // must be exactly the recorded set — every entry handed out once.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        const WRITERS: usize = 4;
+        const PER_WRITER: usize = 250;
+        let registry = Arc::new(MetricsRegistry::default());
+        let done = Arc::new(AtomicBool::new(false));
+
+        let drainer = {
+            let registry = Arc::clone(&registry);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut drained = Vec::new();
+                while !done.load(Ordering::Acquire) {
+                    drained.extend(registry.take_spec_timings());
+                    std::thread::yield_now();
+                }
+                drained
+            })
+        };
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    for i in 0..PER_WRITER {
+                        registry.record_spec_wall(format!("w{w}/spec{i}"), i as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in writers {
+            t.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        let mut all = drainer.join().unwrap();
+        all.extend(registry.take_spec_timings());
+
+        assert_eq!(all.len(), WRITERS * PER_WRITER, "no entry lost or duplicated");
+        let mut labels: Vec<&str> = all.iter().map(|t| t.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), WRITERS * PER_WRITER, "every label unique");
+        assert!(registry.take_spec_timings().is_empty());
     }
 
     #[test]

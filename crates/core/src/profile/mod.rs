@@ -1,0 +1,121 @@
+//! Trace analysis & export: Perfetto timelines, per-engine occupancy and
+//! energy attribution, latency histograms, and Prometheus-style metric
+//! exposition.
+//!
+//! The observability layer records what happened ([`loadgen::trace`] and
+//! [`crate::harness::BenchmarkTrace`]); this module turns those records
+//! into things humans and tools consume:
+//!
+//! - [`perfetto`]: Chrome/Perfetto trace-event JSON — open the exported
+//!   file directly in `ui.perfetto.dev` to scrub through the run, one
+//!   timeline track per SoC engine,
+//! - [`analysis`]: the [`CellProfile`] per-cell report — engine
+//!   utilization, DVFS residency, time to first throttle, energy split,
+//! - [`prometheus`]: text exposition of a [`crate::MetricsSnapshot`],
+//! - [`ArtifactTrace`]: the serialized per-artifact bundle that
+//!   `reproduce --trace/--profile` writes and `reproduce explain` reads.
+//!
+//! Everything here is purely observational: exporters consume finished
+//! traces and never feed back into a run, so profiled scores stay
+//! byte-identical to unprofiled ones (locked by
+//! `tests/parallel_determinism.rs` and the golden suite).
+
+pub mod analysis;
+pub mod perfetto;
+pub mod prometheus;
+
+pub use analysis::{profile_report, CellProfile, DvfsResidency, EngineOccupancy};
+pub use perfetto::{benchmark_perfetto_json, run_perfetto_json};
+pub use prometheus::prometheus_exposition;
+
+use crate::harness::BenchmarkTrace;
+use crate::metrics::{MetricsSnapshot, SpecTiming};
+use serde::{Deserialize, Serialize};
+
+/// The per-artifact trace bundle `reproduce --trace DIR` writes to
+/// `<dir>/<artifact>.json`: the artifact's wall-clock, its
+/// metrics-registry delta, per-spec wall-clock timings, and the full
+/// [`BenchmarkTrace`] of every harness run it made.
+///
+/// `reproduce explain <file>` parses this back to re-render the profile
+/// report offline, so the struct round-trips through JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactTrace {
+    /// Artifact name ("table1", "figure6", ...).
+    pub artifact: String,
+    /// Host wall-clock the artifact took to generate (ms).
+    pub wall_ms: f64,
+    /// Metrics-registry delta attributable to the artifact.
+    pub metrics: MetricsSnapshot,
+    /// Per-spec wall-clock entries the artifact queued, label-sorted.
+    pub spec_timings: Vec<SpecTiming>,
+    /// Every traced harness run the artifact made, label-sorted.
+    pub runs: Vec<BenchmarkTrace>,
+}
+
+impl ArtifactTrace {
+    /// Serializes the bundle to pretty JSON (the `--trace` artifact).
+    ///
+    /// # Panics
+    ///
+    /// Never for these types.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifact trace serializes")
+    }
+
+    /// Parses a serialized bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON error for malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Renders the full profile view of the bundle: the per-cell profile
+    /// blocks followed by the Prometheus exposition of the metrics delta.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "=== {} ({:.0} ms wall) ===\n\n{}\n{}",
+            self.artifact,
+            self.wall_ms,
+            profile_report(&self.runs),
+            prometheus_exposition(&self.metrics, &self.spec_timings),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_trace_round_trips() {
+        let bundle = ArtifactTrace {
+            artifact: "table1".into(),
+            wall_ms: 12.5,
+            metrics: MetricsSnapshot { runs_completed: 2, ..MetricsSnapshot::default() },
+            spec_timings: vec![SpecTiming { label: "a/cls".into(), wall_ms: 3.0 }],
+            runs: Vec::new(),
+        };
+        let parsed = ArtifactTrace::from_json(&bundle.to_json()).unwrap();
+        assert_eq!(parsed, bundle);
+    }
+
+    #[test]
+    fn render_includes_profile_and_exposition() {
+        let bundle = ArtifactTrace {
+            artifact: "figure6".into(),
+            wall_ms: 1.0,
+            metrics: MetricsSnapshot::default(),
+            spec_timings: Vec::new(),
+            runs: Vec::new(),
+        };
+        let text = bundle.render();
+        assert!(text.contains("figure6"));
+        assert!(text.contains("no traces"));
+        assert!(text.contains("mlperf_runs_completed_total"));
+    }
+}

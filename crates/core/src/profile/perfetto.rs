@@ -1,0 +1,351 @@
+//! Perfetto / Chrome trace-event JSON export.
+//!
+//! Turns [`BenchmarkTrace`]s into the [trace-event format] both
+//! `chrome://tracing` and [ui.perfetto.dev] open directly: one process per
+//! benchmark-matrix cell, one thread track per SoC engine plus a loadgen
+//! track and an interconnect track, complete (`ph:"X"`) slices for query
+//! spans and their launch/dispatch/compute/transfer/sync decomposition,
+//! counter (`ph:"C"`) tracks for the DVFS frequency factor, die
+//! temperature and cumulative energy, and instant (`ph:"i"`) events at
+//! throttle transitions.
+//!
+//! The JSON is rendered by hand rather than through a serializer so the
+//! bytes are a pure function of the trace: field order is fixed, floats
+//! print in shortest round-trip form, and no map iteration order leaks in.
+//! The golden-suite guard in `tests/profile_export.rs` holds repeated
+//! exports of the same cell byte-identical.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+
+use crate::harness::BenchmarkTrace;
+use loadgen::trace::RunTrace;
+use std::fmt::Write as _;
+
+/// Timestamps: the trace-event format wants microseconds; the simulator
+/// keeps nanoseconds.
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One trace-event line. Events accumulate in emission order; emission is
+/// arranged so `ts` is non-decreasing per `(pid, tid)` track.
+struct Events {
+    lines: Vec<String>,
+}
+
+impl Events {
+    fn new() -> Self {
+        Events { lines: Vec::new() }
+    }
+
+    /// Thread/process metadata (`ph:"M"`).
+    fn meta(&mut self, pid: u32, tid: u32, what: &str, name: &str) {
+        self.lines.push(format!(
+            "{{\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\"tid\":{tid},\"name\":\"{what}\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        ));
+    }
+
+    /// Complete slice (`ph:"X"`).
+    fn slice(&mut self, pid: u32, tid: u32, name: &str, ts_ns: u64, dur_ns: u64) {
+        self.lines.push(format!(
+            "{{\"ph\":\"X\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"name\":\"{}\",\"dur\":{}}}",
+            us(ts_ns),
+            esc(name),
+            us(dur_ns)
+        ));
+    }
+
+    /// Counter sample (`ph:"C"`).
+    fn counter(&mut self, pid: u32, tid: u32, name: &str, ts_ns: u64, value: f64) {
+        self.lines.push(format!(
+            "{{\"ph\":\"C\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"name\":\"{}\",\
+             \"args\":{{\"value\":{value}}}}}",
+            us(ts_ns),
+            esc(name)
+        ));
+    }
+
+    /// Process-scoped instant event (`ph:"i"`).
+    fn instant(&mut self, pid: u32, tid: u32, name: &str, ts_ns: u64) {
+        self.lines.push(format!(
+            "{{\"ph\":\"i\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"name\":\"{}\",\"s\":\"p\"}}",
+            us(ts_ns),
+            esc(name)
+        ));
+    }
+
+    fn finish(self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        out.push_str(&self.lines.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Engine thread ids in first-appearance order along the span timeline
+/// (deterministic — no map iteration), starting at tid 1.
+fn engine_tids(trace: &RunTrace) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for span in &trace.spans {
+        let Some(t) = &span.telemetry else { continue };
+        for name in t.engines() {
+            if !names.iter().any(|n| n == name) {
+                names.push(name.to_owned());
+            }
+        }
+    }
+    names
+}
+
+/// Emits one run's single-stream timeline into `events` at process `pid`.
+///
+/// Track layout: tid 0 is the loadgen (query spans with launch/dispatch/
+/// sync sub-slices, counters, throttle instants), tids `1..=n` are the
+/// run's engines in first-appearance order, tid `n+1` is the interconnect
+/// (inter-engine transfers), tid `n+2` carries the offline burst when one
+/// is passed.
+fn emit_run(events: &mut Events, pid: u32, ss: &RunTrace, offline: Option<&RunTrace>) {
+    const LOADGEN: u32 = 0;
+    let engines = engine_tids(ss);
+    events.meta(pid, LOADGEN, "thread_name", "loadgen");
+    for (i, name) in engines.iter().enumerate() {
+        events.meta(pid, i as u32 + 1, "thread_name", name);
+    }
+    let interconnect = engines.len() as u32 + 1;
+    events.meta(pid, interconnect, "thread_name", "interconnect");
+
+    let mut was_throttled = false;
+    for span in &ss.spans {
+        events.slice(
+            pid,
+            LOADGEN,
+            &format!("query {}", span.query_index),
+            span.issue_ns,
+            span.latency_ns,
+        );
+        let Some(t) = &span.telemetry else { continue };
+
+        // Issue-time observations, all at ts = issue_ns.
+        events.slice(pid, LOADGEN, "launch", span.issue_ns, t.launch_ns);
+        events.counter(pid, LOADGEN, "freq_factor", span.issue_ns, t.freq_factor);
+        events.counter(pid, LOADGEN, "temperature_c", span.issue_ns, t.temperature_c);
+        if t.is_throttled() != was_throttled {
+            was_throttled = t.is_throttled();
+            let name = if was_throttled { "throttle on" } else { "throttle off" };
+            events.instant(pid, LOADGEN, name, span.issue_ns);
+        }
+
+        // Dispatch overhead beyond launch + sync sits after the launch.
+        let dispatch_ns = t.overhead_ns.saturating_sub(t.launch_ns + t.sync_ns);
+        events.slice(pid, LOADGEN, "dispatch", span.issue_ns + t.launch_ns, dispatch_ns);
+
+        // Per-stage compute on the engine tracks, back to back after the
+        // dispatch overhead (pure op time; DVFS stretch shows up as the
+        // otherwise-unaccounted remainder of the query span).
+        let mut cursor = span.issue_ns + t.launch_ns + dispatch_ns;
+        for (k, stage) in t.stages.iter().enumerate() {
+            let tid = engines
+                .iter()
+                .position(|n| *n == stage.engine)
+                .map_or(interconnect, |i| i as u32 + 1);
+            events.slice(
+                pid,
+                tid,
+                &format!("q{} stage {k}", span.query_index),
+                cursor,
+                stage.compute_ns,
+            );
+            cursor += stage.compute_ns;
+        }
+
+        // Inter-engine transfer on the interconnect track, ending where
+        // the final sync begins.
+        if t.transfer_ns > 0 {
+            let sync_start = span.complete_ns.saturating_sub(t.sync_ns);
+            events.slice(
+                pid,
+                interconnect,
+                &format!("q{} transfer", span.query_index),
+                sync_start.saturating_sub(t.transfer_ns),
+                t.transfer_ns,
+            );
+        }
+
+        // Completion-time observations.
+        if t.sync_ns > 0 {
+            events.slice(
+                pid,
+                LOADGEN,
+                "sync",
+                span.complete_ns.saturating_sub(t.sync_ns),
+                t.sync_ns,
+            );
+        }
+        events.counter(pid, LOADGEN, "energy_j", span.complete_ns, t.energy_j);
+    }
+
+    if let Some(off) = offline {
+        if let Some(b) = &off.burst {
+            let tid = engines.len() as u32 + 2;
+            events.meta(pid, tid, "thread_name", "offline");
+            events.slice(
+                pid,
+                tid,
+                &format!("offline burst ({} samples)", b.samples),
+                b.start_ns,
+                b.end_ns.saturating_sub(b.start_ns),
+            );
+        }
+    }
+}
+
+/// Exports a set of benchmark traces as one trace-event JSON document:
+/// one process per cell (named after the cell label), laid out as
+/// described on [`module`][self] level.
+#[must_use]
+pub fn benchmark_perfetto_json(traces: &[BenchmarkTrace]) -> String {
+    let mut events = Events::new();
+    for (i, t) in traces.iter().enumerate() {
+        let pid = i as u32 + 1;
+        events.meta(pid, 0, "process_name", &t.label());
+        emit_run(&mut events, pid, &t.single_stream, t.offline.as_ref());
+    }
+    events.finish()
+}
+
+/// Exports a single [`RunTrace`] as a standalone trace-event JSON
+/// document — the entry point for examples that drive the simulator
+/// directly rather than through the harness.
+#[must_use]
+pub fn run_perfetto_json(name: &str, trace: &RunTrace) -> String {
+    let mut events = Events::new();
+    events.meta(1, 0, "process_name", name);
+    if trace.burst.is_some() {
+        emit_run(&mut events, 1, &RunTrace::new(), Some(trace));
+    } else {
+        emit_run(&mut events, 1, trace, None);
+    }
+    events.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loadgen::trace::{QuerySpan, QueryTelemetry, StageTelemetry};
+
+    fn telemetry(freq: f64) -> QueryTelemetry {
+        QueryTelemetry {
+            freq_factor: freq,
+            dvfs_level: usize::from(freq < 1.0),
+            temperature_c: 40.0,
+            compute_ns: 120,
+            transfer_ns: 15,
+            overhead_ns: 30,
+            launch_ns: 20,
+            sync_ns: 5,
+            energy_j: 0.25,
+            stages: vec![
+                StageTelemetry { engine: "npu0".into(), compute_ns: 100 },
+                StageTelemetry { engine: "gpu".into(), compute_ns: 20 },
+            ],
+        }
+    }
+
+    fn traced_run(queries: u64) -> RunTrace {
+        let mut t = RunTrace::new();
+        let mut now = 0u64;
+        for i in 0..queries {
+            let latency = 200 + i * 10;
+            t.record_span(QuerySpan {
+                query_index: i,
+                sample_index: i as usize,
+                issue_ns: now,
+                complete_ns: now + latency,
+                latency_ns: latency,
+                telemetry: Some(telemetry(if i >= queries / 2 { 0.8 } else { 1.0 })),
+            });
+            now += latency;
+        }
+        t
+    }
+
+    #[test]
+    fn export_is_valid_json_with_required_fields() {
+        let json = run_perfetto_json("cell", &traced_run(4));
+        let v: serde::Value = serde_json::from_str(&json).unwrap();
+        let obj = v.as_object().unwrap();
+        let events = obj
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .and_then(|(_, v)| v.as_array())
+            .unwrap();
+        assert!(!events.is_empty());
+        for e in events {
+            let fields = e.as_object().unwrap();
+            for required in ["ph", "ts", "pid", "tid", "name"] {
+                assert!(
+                    fields.iter().any(|(k, _)| k == required),
+                    "event missing {required}: {e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let run = traced_run(6);
+        assert_eq!(run_perfetto_json("cell", &run), run_perfetto_json("cell", &run));
+    }
+
+    #[test]
+    fn throttle_transitions_emit_instants() {
+        let json = run_perfetto_json("cell", &traced_run(6));
+        assert_eq!(json.matches("throttle on").count(), 1);
+        assert!(json.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn engine_tracks_are_named() {
+        let json = run_perfetto_json("cell", &traced_run(2));
+        assert!(json.contains("npu0"));
+        assert!(json.contains("gpu"));
+        assert!(json.contains("interconnect"));
+        assert!(json.contains("loadgen"));
+    }
+
+    #[test]
+    fn offline_burst_exports_single_slice() {
+        let mut t = RunTrace::new();
+        t.record_burst(0, 5_000_000, 256);
+        let json = run_perfetto_json("offline cell", &t);
+        assert!(json.contains("offline burst (256 samples)"));
+        let v: serde::Value = serde_json::from_str(&json).unwrap();
+        assert!(v.as_object().is_some());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

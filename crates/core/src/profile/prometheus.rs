@@ -1,0 +1,140 @@
+//! Prometheus text exposition of the metrics registry.
+//!
+//! Renders a [`MetricsSnapshot`] (plus optional per-spec wall-clock
+//! timings) in the [Prometheus text format]: `# HELP`/`# TYPE` headers
+//! followed by one sample per line. The output is a pure function of its
+//! inputs — counters in declaration order, timings in the caller's order
+//! (the registry drains them label-sorted) — so scrape files diff cleanly
+//! run over run.
+//!
+//! [Prometheus text format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::metrics::{MetricsSnapshot, SpecTiming};
+use std::fmt::Write as _;
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn esc_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn sample(out: &mut String, name: &str, help: &str, kind: &str, value: impl std::fmt::Display) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Renders the snapshot (and per-spec timings) in the Prometheus text
+/// exposition format.
+#[must_use]
+pub fn prometheus_exposition(snap: &MetricsSnapshot, timings: &[SpecTiming]) -> String {
+    let mut out = String::new();
+    sample(
+        &mut out,
+        "mlperf_compile_cache_hits_total",
+        "Deployment lookups answered from a compile cache.",
+        "counter",
+        snap.compile_hits,
+    );
+    sample(
+        &mut out,
+        "mlperf_compile_cache_misses_total",
+        "Deployment lookups that triggered a compile.",
+        "counter",
+        snap.compile_misses,
+    );
+    sample(
+        &mut out,
+        "mlperf_runs_completed_total",
+        "Benchmark runs completed.",
+        "counter",
+        snap.runs_completed,
+    );
+    sample(
+        &mut out,
+        "mlperf_queries_issued_total",
+        "Performance queries issued across all runs.",
+        "counter",
+        snap.queries_issued,
+    );
+    sample(
+        &mut out,
+        "mlperf_throttled_queries_total",
+        "Queries dispatched while the device was throttled (traced runs).",
+        "counter",
+        snap.throttled_queries,
+    );
+    sample(
+        &mut out,
+        "mlperf_throttle_events_total",
+        "Transitions into throttling along traced span timelines.",
+        "counter",
+        snap.throttle_events,
+    );
+    if !timings.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP mlperf_spec_wall_ms Host wall-clock one run spec took."
+        );
+        let _ = writeln!(out, "# TYPE mlperf_spec_wall_ms gauge");
+        for t in timings {
+            let _ = writeln!(
+                out,
+                "mlperf_spec_wall_ms{{spec=\"{}\"}} {}",
+                esc_label(&t.label),
+                t.wall_ms
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_is_well_formed() {
+        let snap = MetricsSnapshot {
+            compile_hits: 3,
+            compile_misses: 1,
+            runs_completed: 4,
+            queries_issued: 128,
+            throttled_queries: 5,
+            throttle_events: 2,
+        };
+        let timings = vec![
+            SpecTiming { label: "a/cls".into(), wall_ms: 1.5 },
+            SpecTiming { label: "b/seg".into(), wall_ms: 2.25 },
+        ];
+        let text = prometheus_exposition(&snap, &timings);
+        assert!(text.contains("mlperf_queries_issued_total 128"));
+        assert!(text.contains("mlperf_spec_wall_ms{spec=\"a/cls\"} 1.5"));
+        // Every sample line is preceded by HELP and TYPE headers.
+        for name in [
+            "mlperf_compile_cache_hits_total",
+            "mlperf_compile_cache_misses_total",
+            "mlperf_runs_completed_total",
+            "mlperf_queries_issued_total",
+            "mlperf_throttled_queries_total",
+            "mlperf_throttle_events_total",
+            "mlperf_spec_wall_ms",
+        ] {
+            assert!(text.contains(&format!("# HELP {name} ")), "{name}");
+            assert!(text.contains(&format!("# TYPE {name} ")), "{name}");
+        }
+        // Deterministic: same inputs, same bytes.
+        assert_eq!(text, prometheus_exposition(&snap, &timings));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(esc_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn timings_section_is_optional() {
+        let text = prometheus_exposition(&MetricsSnapshot::default(), &[]);
+        assert!(!text.contains("mlperf_spec_wall_ms"));
+        assert!(text.contains("mlperf_runs_completed_total 0"));
+    }
+}

@@ -88,8 +88,9 @@ pub fn format_details(s: &BenchmarkScore) -> String {
         ));
     }
     out.push_str(&format!(
-        "  energy           {:.2} mJ/query\n",
-        s.joules_per_query * 1e3
+        "  energy           {:.2} mJ/query | {:.2} W average\n",
+        s.joules_per_query * 1e3,
+        s.average_power_w
     ));
     out.push_str(&format!(
         "  rule compliance  ambient {} | log violations {} | power saving {}\n",
@@ -123,6 +124,20 @@ pub fn format_trace_summary(traces: &[BenchmarkTrace]) -> String {
             t.throttle_events(),
             peak,
             if t.offline.is_some() { " | +offline burst" } else { "" },
+        ));
+        let engines = t
+            .energy
+            .engines
+            .iter()
+            .map(|e| format!("{} {:.1}% busy, {:.3} J", e.engine, e.busy_fraction * 100.0, e.joules))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        out.push_str(&format!(
+            "{:40} {:.2} mJ/query, {:.2} W avg | {}\n",
+            "",
+            t.energy.joules_per_query * 1e3,
+            t.energy.average_power_w,
+            if engines.is_empty() { "no engine telemetry".to_owned() } else { engines },
         ));
     }
     out
@@ -222,7 +237,10 @@ mod tests {
         assert!(text.contains("Run traces"));
         assert!(text.contains("spans"));
         assert!(text.contains("+offline burst"));
-        assert_eq!(text.lines().count(), 1 + traces.len());
+        // One summary line plus one energy line per cell.
+        assert_eq!(text.lines().count(), 1 + 2 * traces.len());
+        assert!(text.contains("mJ/query"));
+        assert!(text.contains("% busy"));
         assert!(format_trace_summary(&[]).contains("no traces"));
     }
 

@@ -12,7 +12,7 @@ use mobile_data::extended::{SyntheticDiv2k, SyntheticLibriSpeech};
 use mobile_data::image::Image;
 use mobile_data::types::{AnswerSpan, Detection, LabelMap};
 use loadgen::sut::SystemUnderTest;
-use loadgen::trace::QueryTelemetry;
+use loadgen::trace::{QueryTelemetry, StageTelemetry};
 use quant::{quality::nominal_retention, Sensitivity};
 use soc_sim::executor::{run_offline, run_query, QueryResult};
 use soc_sim::soc::{Soc, SocState};
@@ -255,23 +255,38 @@ impl SystemUnderTest for DeviceSut {
     }
 
     fn last_telemetry(&self) -> Option<QueryTelemetry> {
-        let result = self.last_query.as_ref()?;
-        let mut engines: Vec<String> = Vec::new();
-        for &id in &result.breakdown.stage_engines {
-            let name = &self.soc.engine(id).name;
-            if !engines.iter().any(|n| n == name) {
-                engines.push(name.clone());
-            }
-        }
-        Some(QueryTelemetry {
-            freq_factor: result.freq_factor,
-            dvfs_level: result.dvfs_level,
-            temperature_c: result.temperature_c,
-            compute_ns: result.breakdown.compute().as_nanos(),
-            transfer_ns: result.breakdown.transfer.as_nanos(),
-            overhead_ns: result.breakdown.overhead.as_nanos(),
-            engines,
+        self.last_query.as_ref().map(|r| query_telemetry(&self.soc, r))
+    }
+}
+
+/// Builds the trace-facing telemetry record for one simulator
+/// [`QueryResult`]: per-stage engine occupancy (named after the SoC's
+/// engines), the compute/transfer/launch/sync decomposition, and the
+/// cumulative energy reading. Shared by [`DeviceSut`] and by examples that
+/// drive [`soc_sim::executor::run_query`] directly.
+#[must_use]
+pub fn query_telemetry(soc: &Soc, result: &QueryResult) -> QueryTelemetry {
+    let stages = result
+        .breakdown
+        .stage_engines
+        .iter()
+        .zip(&result.breakdown.stage_compute)
+        .map(|(&id, &compute)| StageTelemetry {
+            engine: soc.engine(id).name.clone(),
+            compute_ns: compute.as_nanos(),
         })
+        .collect();
+    QueryTelemetry {
+        freq_factor: result.freq_factor,
+        dvfs_level: result.dvfs_level,
+        temperature_c: result.temperature_c,
+        compute_ns: result.breakdown.compute().as_nanos(),
+        transfer_ns: result.breakdown.transfer.as_nanos(),
+        overhead_ns: result.breakdown.overhead.as_nanos(),
+        launch_ns: result.breakdown.launch.as_nanos(),
+        sync_ns: result.breakdown.sync.as_nanos(),
+        energy_j: result.total_joules,
+        stages,
     }
 }
 

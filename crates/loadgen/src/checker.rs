@@ -175,7 +175,7 @@ mod tests {
     use super::*;
     use crate::run::{run_offline_scenario, run_single_stream};
     use crate::sut::ConstantSut;
-    use soc_sim::time::SimDuration;
+    use soc_sim::time::{SimDuration, SimInstant};
 
     #[test]
     fn compliant_single_stream_passes() {
@@ -233,6 +233,65 @@ mod tests {
         let truncated = truncated[..truncated.len() - 1].join("\n");
         let tampered = RunLog::from_json_lines(&truncated).unwrap();
         assert!(!check_log(&tampered, &settings).is_empty());
+    }
+
+    #[test]
+    fn throttle_events_do_not_violate_rules() {
+        // A log carrying throttle transitions is still compliant: the
+        // checker counts only QueryComplete records against the declared
+        // query count, and throttle events are observations, not queries.
+        let settings = TestSettings::smoke_test();
+        let mut log = RunLog::new();
+        log.start(Scenario::SingleStream, TestMode::Performance, settings.seed, "t".into());
+        let mut now = SimInstant::EPOCH;
+        let latency = SimDuration::from_secs(1);
+        for i in 0..settings.min_query_count {
+            log.query(now, i as usize, latency);
+            if i == 3 {
+                log.throttle(now, 0.8, 72.0);
+            }
+            if i == 7 {
+                log.throttle(now, 1.0, 64.0);
+            }
+            now += latency;
+        }
+        log.push(LogRecord::TestEnd {
+            queries: settings.min_query_count,
+            duration_ns: now.duration_since(SimInstant::EPOCH).as_nanos(),
+        });
+        assert!(check_log(&log, &settings).is_empty());
+
+        // Round trip through the JSON-lines artifact preserves the events
+        // and the verdict.
+        let parsed = RunLog::from_json_lines(&log.to_json_lines()).unwrap();
+        assert_eq!(parsed, log);
+        assert!(check_log(&parsed, &settings).is_empty());
+    }
+
+    #[test]
+    fn tampered_throttle_event_detectable() {
+        // "Unedited logs": editing a throttle transition out of the stream
+        // (or rewriting its temperature) survives the checker but not a
+        // byte-level comparison against the original artifact.
+        let mut log = RunLog::new();
+        let settings = TestSettings::smoke_test();
+        log.start(Scenario::SingleStream, TestMode::Performance, settings.seed, "t".into());
+        log.throttle(SimInstant::EPOCH, 0.7, 75.0);
+        log.push(LogRecord::TestEnd { queries: 0, duration_ns: 0 });
+        let original = log.to_json_lines();
+
+        // Tamper 1: rewrite the transition temperature.
+        let rewritten = original.replace("75", "45");
+        assert_ne!(RunLog::from_json_lines(&rewritten).unwrap(), log);
+
+        // Tamper 2: drop the throttle line entirely.
+        let dropped: Vec<&str> = original
+            .lines()
+            .filter(|l| !l.contains("ThrottleEvent"))
+            .collect();
+        assert_eq!(dropped.len(), original.lines().count() - 1);
+        let parsed = RunLog::from_json_lines(&dropped.join("\n")).unwrap();
+        assert_ne!(parsed, log, "edited log no longer matches the shipped artifact");
     }
 
     #[test]

@@ -47,4 +47,4 @@ pub use run::{
 };
 pub use scenario::{Scenario, TestMode, TestSettings};
 pub use sut::{ConstantSut, SystemUnderTest};
-pub use trace::{BurstSpan, QuerySpan, QueryTelemetry, RunTrace};
+pub use trace::{BurstSpan, QuerySpan, QueryTelemetry, RunTrace, StageTelemetry};

@@ -40,6 +40,18 @@ pub enum LogRecord {
         /// Total burst duration (ns).
         duration_ns: u64,
     },
+    /// The device's throttle state changed at a query boundary (entered
+    /// throttling when `freq_factor < 1.0`, recovered otherwise). Logged
+    /// so the submission checker and the audit can see thermal transitions
+    /// in the unedited event stream, not just in optional traces.
+    ThrottleEvent {
+        /// Simulated timestamp of the observation (ns since run start).
+        at_ns: u64,
+        /// DVFS frequency factor now in effect.
+        freq_factor: f64,
+        /// Die temperature at the transition (°C).
+        temperature_c: f64,
+    },
     /// Test finished.
     TestEnd {
         /// Queries issued.
@@ -84,6 +96,15 @@ impl RunLog {
             issued_at_ns: issued_at.as_nanos(),
             sample_index,
             latency_ns: latency.as_nanos(),
+        });
+    }
+
+    /// Convenience: records a throttle-state transition.
+    pub fn throttle(&mut self, at: SimInstant, freq_factor: f64, temperature_c: f64) {
+        self.push(LogRecord::ThrottleEvent {
+            at_ns: at.as_nanos(),
+            freq_factor,
+            temperature_c,
         });
     }
 
@@ -155,6 +176,20 @@ mod tests {
     fn latencies_extracted() {
         let log = sample_log();
         assert_eq!(log.latencies_ns(), vec![3_000_000, 4_000_000]);
+    }
+
+    #[test]
+    fn throttle_event_round_trips() {
+        let mut log = RunLog::new();
+        log.start(Scenario::SingleStream, TestMode::Performance, 1, "t".into());
+        log.throttle(SimInstant::EPOCH + SimDuration::from_millis(8), 0.8, 71.5);
+        log.push(LogRecord::TestEnd { queries: 0, duration_ns: 9_000_000 });
+        let text = log.to_json_lines();
+        assert!(text.contains("ThrottleEvent"), "{text}");
+        let parsed = RunLog::from_json_lines(&text).unwrap();
+        assert_eq!(parsed, log);
+        // Throttle events are observations, not queries.
+        assert!(parsed.latencies_ns().is_empty());
     }
 
     #[test]

@@ -142,11 +142,22 @@ pub fn run_single_stream_traced<S: SystemUnderTest>(
     // stop right at the count, so this usually avoids every regrowth.
     let mut latencies = Vec::with_capacity(settings.min_query_count as usize);
     let mut queries = 0u64;
+    let mut was_throttled = false;
     // Repeat until both the sample count and the minimum duration are met.
     'outer: loop {
         for &s in &samples {
             let (latency, _response) = sut.issue_query(s);
             log.query(now, s, latency);
+            // Telemetry is pulled once per query and drives both the trace
+            // span and the compliance log's throttle transitions, so traced
+            // and untraced runs log byte-identical event streams.
+            let telemetry = sut.last_telemetry();
+            if let Some(t) = &telemetry {
+                if t.is_throttled() != was_throttled {
+                    was_throttled = t.is_throttled();
+                    log.throttle(now, t.freq_factor, t.temperature_c);
+                }
+            }
             if let Some(t) = trace.as_deref_mut() {
                 t.record_span(QuerySpan {
                     query_index: queries,
@@ -154,7 +165,7 @@ pub fn run_single_stream_traced<S: SystemUnderTest>(
                     issue_ns: now.as_nanos(),
                     complete_ns: (now + latency).as_nanos(),
                     latency_ns: latency.as_nanos(),
-                    telemetry: sut.last_telemetry(),
+                    telemetry,
                 });
             }
             now += latency;

@@ -12,6 +12,18 @@
 use crate::scenario::{Scenario, TestMode};
 use serde::{Deserialize, Serialize};
 
+/// One scheduled stage of a query: which engine ran it and for how long.
+///
+/// The per-stage resolution is what lets trace exporters draw one timeline
+/// track per SoC engine instead of one undifferentiated "compute" blob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTelemetry {
+    /// Engine name the stage occupied ("npu0", "gpu", ...).
+    pub engine: String,
+    /// Pure op execution time of the stage (ns).
+    pub compute_ns: u64,
+}
+
 /// Device-side telemetry snapshot for one query, reported by the SUT via
 /// [`crate::sut::SystemUnderTest::last_telemetry`].
 ///
@@ -30,10 +42,17 @@ pub struct QueryTelemetry {
     pub compute_ns: u64,
     /// Inter-engine tensor transfer time (ns).
     pub transfer_ns: u64,
-    /// Launch + framework synchronization overhead (ns).
+    /// Launch + framework synchronization overhead (ns), including the
+    /// fixed per-query dispatch cost.
     pub overhead_ns: u64,
-    /// Names of the engines the query occupied, in stage order, deduped.
-    pub engines: Vec<String>,
+    /// The per-engine runtime-launch share of `overhead_ns`.
+    pub launch_ns: u64,
+    /// The per-stage framework-synchronization share of `overhead_ns`.
+    pub sync_ns: u64,
+    /// Cumulative device energy after this query completed (joules).
+    pub energy_j: f64,
+    /// Per-stage engine occupancy, in schedule order.
+    pub stages: Vec<StageTelemetry>,
 }
 
 impl QueryTelemetry {
@@ -41,6 +60,18 @@ impl QueryTelemetry {
     #[must_use]
     pub fn is_throttled(&self) -> bool {
         self.freq_factor < 1.0
+    }
+
+    /// Names of the engines the query occupied, in stage order, deduped.
+    #[must_use]
+    pub fn engines(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for s in &self.stages {
+            if !names.contains(&s.engine.as_str()) {
+                names.push(&s.engine);
+            }
+        }
+        names
     }
 }
 
@@ -256,7 +287,10 @@ mod tests {
             compute_ns: 100,
             transfer_ns: 0,
             overhead_ns: 10,
-            engines: vec!["npu".into()],
+            launch_ns: 6,
+            sync_ns: 2,
+            energy_j: 0.5,
+            stages: vec![StageTelemetry { engine: "npu".into(), compute_ns: 100 }],
         }
     }
 
@@ -298,6 +332,17 @@ mod tests {
         assert_eq!(t.throttled_queries(), 3);
         assert_eq!(t.throttle_events(), 2, "two distinct entries into throttling");
         assert_eq!(t.peak_temperature_c(), Some(44.0));
+    }
+
+    #[test]
+    fn engines_dedup_in_stage_order() {
+        let mut t = telemetry(1.0, 40.0);
+        t.stages = vec![
+            StageTelemetry { engine: "npu".into(), compute_ns: 50 },
+            StageTelemetry { engine: "gpu".into(), compute_ns: 20 },
+            StageTelemetry { engine: "npu".into(), compute_ns: 30 },
+        ];
+        assert_eq!(t.engines(), vec!["npu", "gpu"]);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 #![warn(clippy::all)]
 
 pub mod accuracy;
+pub mod hist;
 pub mod latency;
 pub mod map;
 pub mod miou;
@@ -27,6 +28,7 @@ pub mod psnr;
 pub mod wer;
 
 pub use accuracy::{span_exact_match, span_f1, squad_scores, top1_accuracy, topk_accuracy};
+pub use hist::{LatencyHistogram, MAX_RELATIVE_ERROR, SUB_BUCKET_BITS};
 pub use latency::{percentile_nearest_rank, throughput_fps, LatencyStats};
 pub use map::{average_precision, coco_map};
 pub use miou::{benchmark_eval_classes, benchmark_miou, ConfusionMatrix};

@@ -50,6 +50,10 @@ pub struct QueryResult {
     /// Die temperature at dispatch, before this query's heat was
     /// deposited (°C).
     pub temperature_c: f64,
+    /// Cumulative device energy after this query completed (joules) — the
+    /// energy meter's running total, read back so trace sinks can plot a
+    /// joules counter without touching the meter.
+    pub total_joules: f64,
     /// Decomposition.
     pub breakdown: QueryBreakdown,
 }
@@ -245,6 +249,7 @@ pub fn run_query(soc: &Soc, graph: &Graph, schedule: &Schedule, state: &mut SocS
         freq_factor: freq,
         dvfs_level,
         temperature_c,
+        total_joules: state.energy.total_joules(),
         breakdown: QueryBreakdown {
             stage_compute,
             stage_engines,

@@ -45,6 +45,7 @@ pub use catalog::{ChipId, Generation};
 pub use dvfs::DvfsLadder;
 pub use engine::{EngineId, EngineKind, EngineSpec, EngineSpecBuilder};
 pub use executor::{estimate_query_secs, run_offline, run_query, OfflineResult, QueryBreakdown, QueryResult};
+pub use power::{EnergyMeter, EnergySnapshot};
 pub use schedule::{Schedule, ScheduleError, Stage};
 pub use soc::{InterconnectSpec, Soc, SocState};
 pub use thermal::{ThermalSpec, ThermalState};

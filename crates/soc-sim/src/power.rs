@@ -67,6 +67,45 @@ impl EnergyMeter {
             self.total_joules / queries as f64
         }
     }
+
+    /// A point-in-time copy of the meter over an elapsed run window —
+    /// the run-end surface the harness and trace exporters consume.
+    ///
+    /// `total_joules` and `busy_ns` are the meter's exact accumulators
+    /// (no recomputation, so downstream reports tie back to
+    /// [`EnergyMeter::total_joules`] at 0 ULPs); `average_power_w` is
+    /// derived over `elapsed`.
+    #[must_use]
+    pub fn snapshot(&self, elapsed: SimDuration) -> EnergySnapshot {
+        EnergySnapshot {
+            total_joules: self.total_joules,
+            busy_ns: self.busy_time.as_nanos(),
+            idle_power_w: self.idle_power_w,
+            average_power_w: self.average_power_w(elapsed),
+            elapsed_ns: elapsed.as_nanos(),
+        }
+    }
+}
+
+/// Run-end energy summary captured from an [`EnergyMeter`].
+///
+/// Invariants (property-tested in `tests/energy_properties.rs`):
+/// `total_joules` is monotone non-decreasing over a run, `busy_ns` never
+/// exceeds `elapsed_ns` when every interval is recorded, and
+/// `average_power_w` is bounded below by the idle power whenever the whole
+/// window was accounted for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergySnapshot {
+    /// Total energy consumed since the meter was created (joules).
+    pub total_joules: f64,
+    /// Total busy time recorded (ns).
+    pub busy_ns: u64,
+    /// Baseline rail power the meter was created with (watts).
+    pub idle_power_w: f64,
+    /// Average power over the elapsed window (watts).
+    pub average_power_w: f64,
+    /// The elapsed window the average was computed over (ns).
+    pub elapsed_ns: u64,
 }
 
 #[cfg(test)]

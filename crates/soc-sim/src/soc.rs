@@ -165,6 +165,13 @@ impl SocState {
         let battery_cap = self.battery.as_ref().map_or(1.0, BatteryState::freq_cap);
         self.dvfs.level_of(self.thermal.freq_factor().min(battery_cap))
     }
+
+    /// Surfaces the energy meter's run-end totals over an elapsed window —
+    /// what the harness stamps into run traces and reports.
+    #[must_use]
+    pub fn energy_snapshot(&self, elapsed: crate::time::SimDuration) -> crate::power::EnergySnapshot {
+        self.energy.snapshot(elapsed)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,176 @@
+//! Property tests for the energy accounting surface: the invariants the
+//! profile/report layers rely on when they print joules-per-inference and
+//! average-power columns.
+//!
+//! 1. total energy is monotone non-decreasing under any interleaving of
+//!    active and idle intervals,
+//! 2. `average_power_w` is bounded below by the idle power over any fully
+//!    accounted window containing activity (active intervals add power on
+//!    top of the rails, never below),
+//! 3. recorded busy time never exceeds the elapsed window,
+//! 4. [`EnergySnapshot`] mirrors the meter's accumulators exactly (0 ULPs)
+//!    whether taken directly or through [`SocState::energy_snapshot`].
+
+use proptest::prelude::*;
+use soc_sim::catalog::ChipId;
+use soc_sim::power::EnergyMeter;
+use soc_sim::time::SimDuration;
+
+/// One recorded interval: busy at some active power, or idle.
+#[derive(Debug, Clone)]
+enum Interval {
+    Active { power_w: f64, micros: u64 },
+    Idle { micros: u64 },
+}
+
+/// Draws active and idle intervals with equal probability.
+struct IntervalStrategy;
+
+impl Strategy for IntervalStrategy {
+    type Value = Interval;
+
+    fn sample(&self, rng: &mut proptest::rng::StdRng) -> Interval {
+        let micros = Strategy::sample(&(1u64..5_000_000), rng);
+        if Strategy::sample(&(0u8..2), rng) == 0 {
+            Interval::Active { power_w: Strategy::sample(&(0.0f64..20.0), rng), micros }
+        } else {
+            Interval::Idle { micros }
+        }
+    }
+}
+
+fn interval() -> impl Strategy<Value = Interval> {
+    IntervalStrategy
+}
+
+proptest! {
+    #[test]
+    fn energy_is_monotone_non_decreasing(
+        idle_w in 0.0f64..3.0,
+        intervals in proptest::collection::vec(interval(), 1..64),
+    ) {
+        let mut m = EnergyMeter::new(idle_w);
+        let mut prev = m.total_joules();
+        for iv in &intervals {
+            match *iv {
+                Interval::Active { power_w, micros } => {
+                    m.record_active(power_w, SimDuration::from_micros(micros));
+                }
+                Interval::Idle { micros } => m.record_idle(SimDuration::from_micros(micros)),
+            }
+            prop_assert!(m.total_joules() >= prev, "energy decreased");
+            prev = m.total_joules();
+        }
+    }
+
+    #[test]
+    fn average_power_bounded_below_by_idle(
+        idle_w in 0.01f64..3.0,
+        intervals in proptest::collection::vec(interval(), 1..64),
+    ) {
+        // Record every interval, so the elapsed window is fully accounted
+        // for: the average can then never dip below the rail power, because
+        // active intervals burn idle + active watts.
+        let mut m = EnergyMeter::new(idle_w);
+        let mut elapsed = SimDuration::ZERO;
+        let mut saw_activity = false;
+        for iv in &intervals {
+            match *iv {
+                Interval::Active { power_w, micros } => {
+                    let dt = SimDuration::from_micros(micros);
+                    m.record_active(power_w, dt);
+                    elapsed += dt;
+                    saw_activity = true;
+                }
+                Interval::Idle { micros } => {
+                    let dt = SimDuration::from_micros(micros);
+                    m.record_idle(dt);
+                    elapsed += dt;
+                }
+            }
+        }
+        if saw_activity {
+            let avg = m.average_power_w(elapsed);
+            // Tiny tolerance for the float sum over many intervals.
+            prop_assert!(
+                avg >= idle_w * (1.0 - 1e-9),
+                "avg {avg} below idle {idle_w}"
+            );
+        }
+    }
+
+    #[test]
+    fn busy_time_never_exceeds_elapsed(
+        intervals in proptest::collection::vec(interval(), 0..64),
+    ) {
+        let mut m = EnergyMeter::new(0.5);
+        let mut elapsed = SimDuration::ZERO;
+        for iv in &intervals {
+            match *iv {
+                Interval::Active { power_w, micros } => {
+                    let dt = SimDuration::from_micros(micros);
+                    m.record_active(power_w, dt);
+                    elapsed += dt;
+                }
+                Interval::Idle { micros } => {
+                    let dt = SimDuration::from_micros(micros);
+                    m.record_idle(dt);
+                    elapsed += dt;
+                }
+            }
+        }
+        prop_assert!(m.busy_time() <= elapsed);
+        let snap = m.snapshot(elapsed);
+        prop_assert!(snap.busy_ns <= snap.elapsed_ns);
+    }
+
+    #[test]
+    fn snapshot_mirrors_meter_exactly(
+        idle_w in 0.0f64..3.0,
+        power_w in 0.0f64..15.0,
+        busy_micros in 1u64..10_000_000,
+        idle_micros in 0u64..10_000_000,
+    ) {
+        let mut m = EnergyMeter::new(idle_w);
+        m.record_active(power_w, SimDuration::from_micros(busy_micros));
+        m.record_idle(SimDuration::from_micros(idle_micros));
+        let elapsed = SimDuration::from_micros(busy_micros + idle_micros);
+        let snap = m.snapshot(elapsed);
+        // The snapshot is a copy, not a recomputation: 0 ULPs.
+        prop_assert_eq!(snap.total_joules.to_bits(), m.total_joules().to_bits());
+        prop_assert_eq!(snap.busy_ns, m.busy_time().as_nanos());
+        prop_assert_eq!(snap.idle_power_w.to_bits(), idle_w.to_bits());
+        prop_assert_eq!(
+            snap.average_power_w.to_bits(),
+            m.average_power_w(elapsed).to_bits()
+        );
+    }
+}
+
+#[test]
+fn soc_state_surfaces_meter_totals_at_run_end() {
+    // End-to-end through the real executor: after a run, the SocState
+    // snapshot is exactly the meter's accumulated totals.
+    let soc = ChipId::Snapdragon888.build();
+    let graph = nn_graph::graph::retype(
+        &nn_graph::models::ModelId::MobileNetEdgeTpu.build(),
+        nn_graph::DataType::I8,
+    );
+    let schedule = soc_sim::schedule::Schedule::single(&graph, soc.cpu(), nn_graph::DataType::I8, 0.0);
+    let mut state = soc.new_state(22.0);
+    let mut elapsed = SimDuration::ZERO;
+    for _ in 0..32 {
+        let r = soc_sim::executor::run_query(&soc, &graph, &schedule, &mut state);
+        elapsed += r.latency;
+        assert_eq!(
+            r.total_joules.to_bits(),
+            state.energy.total_joules().to_bits(),
+            "query result carries the meter total verbatim"
+        );
+    }
+    let snap = state.energy_snapshot(elapsed);
+    assert_eq!(snap.total_joules.to_bits(), state.energy.total_joules().to_bits());
+    assert_eq!(snap.busy_ns, state.energy.busy_time().as_nanos());
+    assert!(snap.busy_ns <= snap.elapsed_ns, "queries ran back to back");
+    assert!(snap.average_power_w >= soc.idle_power_w, "device was active the whole window");
+}

@@ -3,12 +3,20 @@
 //!
 //! Hammers a phone with sustained segmentation inference, plots the
 //! temperature/frequency/latency trajectory, then shows a cooldown
-//! restoring performance — and what a hot ambient does to scores.
+//! restoring performance — and what a hot ambient does to scores. Each
+//! sustained run is also recorded as a span timeline and exported as a
+//! Perfetto trace (`out/thermal_<ambient>c.perfetto.json`) — open it in
+//! `ui.perfetto.dev` to scrub through the throttling onset: the
+//! `freq_factor` counter stepping down, `temperature_c` climbing, and the
+//! query slices stretching.
 //!
 //! ```sh
 //! cargo run --release --example thermal_throttling
 //! ```
 
+use loadgen::trace::{QuerySpan, RunTrace};
+use mlperf_mobile::profile::run_perfetto_json;
+use mlperf_mobile::sut_impl::query_telemetry;
 use mlperf_mobile::task::{suite, SuiteVersion, Task};
 use mobile_backend::backend::Backend;
 use mobile_backend::backends::Snpe;
@@ -31,10 +39,28 @@ fn main() {
         let mut state = soc.new_state(ambient);
         let mut elapsed = SimDuration::ZERO;
         let mut next_print = SimDuration::ZERO;
+        let mut trace = RunTrace::new();
+        trace.begin(
+            loadgen::scenario::Scenario::SingleStream,
+            loadgen::scenario::TestMode::Performance,
+            0,
+            format!("sustained segmentation, ambient {ambient:.0} degC"),
+        );
+        let mut query_index = 0u64;
         // Ten simulated minutes of back-to-back inference.
         while elapsed < SimDuration::from_secs(600) {
             let r = run_query(&soc, &deployment.graph, &deployment.schedule, &mut state);
+            let issue_ns = elapsed.as_nanos();
             elapsed += r.latency;
+            trace.record_span(QuerySpan {
+                query_index,
+                sample_index: 0,
+                issue_ns,
+                complete_ns: elapsed.as_nanos(),
+                latency_ns: r.latency.as_nanos(),
+                telemetry: Some(query_telemetry(&soc, &r)),
+            });
+            query_index += 1;
             if elapsed >= next_print {
                 println!(
                     "{:>8} {:>10.1} {:>8.2} {:>12.2}",
@@ -46,6 +72,26 @@ fn main() {
                 next_print += SimDuration::from_secs(60);
             }
         }
+        trace.validate().expect("hand-built trace holds its invariants");
+        println!(
+            "-- {} queries, {} throttled ({} throttle events), peak {:.1} degC --",
+            trace.span_count(),
+            trace.throttled_queries(),
+            trace.throttle_events(),
+            trace.peak_temperature_c().unwrap_or(0.0),
+        );
+
+        // Export the throttled run as a Perfetto timeline.
+        let name = format!("thermal {chip}, ambient {ambient:.0} degC");
+        let path = format!("out/thermal_{ambient:.0}c.perfetto.json");
+        if let Err(e) = std::fs::create_dir_all("out")
+            .and_then(|()| std::fs::write(&path, run_perfetto_json(&name, &trace)))
+        {
+            eprintln!("could not write {path}: {e}");
+        } else {
+            println!("wrote {path} — open in ui.perfetto.dev");
+        }
+
         // The rules allow a 0-5 minute cooldown between tests.
         println!("-- 5 minute cooldown --");
         state.thermal.cooldown(SimDuration::from_secs(300));

@@ -116,6 +116,20 @@ fn tracing_does_not_perturb_scores() {
         serde_json::to_string(&again).unwrap(),
         "traced sweeps must reproduce identical traces"
     );
+
+    // Profiling those traces is just as deterministic: the Perfetto
+    // timeline and the rendered profile report come out byte-identical
+    // across repeated profiled sweeps.
+    assert_eq!(
+        mlperf_mobile::profile::benchmark_perfetto_json(&traces),
+        mlperf_mobile::profile::benchmark_perfetto_json(&again),
+        "repeated profiled sweeps must export byte-identical Perfetto timelines"
+    );
+    assert_eq!(
+        mlperf_mobile::profile::profile_report(&traces),
+        mlperf_mobile::profile::profile_report(&again),
+        "repeated profiled sweeps must render byte-identical profile reports"
+    );
 }
 
 #[test]
