@@ -39,9 +39,12 @@ trace:
 profile:
 	$(CARGO) run --release -p mlperf-bench --bin reproduce -- all --profile out/profile
 
-## Serial-vs-parallel suite sweep plus the library micro-benches.
+## Serial-vs-parallel suite sweep, the planned-vs-unplanned query hot
+## loop, and the BENCH_query.json speedup report.
 bench:
 	$(CARGO) bench -p mlperf-bench --bench suite_sweep
+	$(CARGO) bench -p mlperf-bench --bench query_hot_loop
+	$(CARGO) run --release -p mlperf-bench --bin bench_query
 
 ## Regenerate every paper artifact; writes BENCH_suite.json with
 ## per-table wall-clock and compile-cache counters.

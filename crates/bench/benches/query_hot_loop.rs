@@ -1,0 +1,54 @@
+//! Criterion bench: the single-stream query hot loop, planned vs unplanned.
+//!
+//! `unplanned` calls [`soc_sim::executor::run_query`], which re-validates
+//! the schedule and re-walks the graph on every query — the historical
+//! per-query cost. `planned` compiles a [`soc_sim::plan::QueryPlan`] once
+//! and replays its flat op arrays per query, the way the harness now runs.
+//! The ratio between the two series is the speedup compiled plans buy on
+//! this host; both produce bit-identical results (see
+//! `crates/soc-sim/tests/plan_equivalence.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mobile_backend::registry::{create, vendor_backend};
+use nn_graph::models::ModelId;
+use soc_sim::catalog::ChipId;
+use soc_sim::executor::run_query;
+use soc_sim::plan::QueryPlan;
+use std::hint::black_box;
+
+fn bench_query_hot_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_hot_loop");
+    for chip in [ChipId::Dimensity820, ChipId::Exynos990, ChipId::Snapdragon865Plus] {
+        for model in [
+            ModelId::MobileNetEdgeTpu,
+            ModelId::SsdMobileNetV2,
+            ModelId::DeepLabV3Plus,
+        ] {
+            let soc = chip.build();
+            let backend = create(vendor_backend(&soc).unwrap());
+            let dep = backend.compile(&model.build(), &soc).unwrap();
+            let cell = format!("{chip}/{}", model.name());
+
+            let mut state = soc.new_state(22.0);
+            group.bench_function(BenchmarkId::new("unplanned", &cell), |b| {
+                b.iter(|| {
+                    let r = run_query(&soc, &dep.graph, &dep.schedule, &mut state);
+                    black_box(r.latency)
+                });
+            });
+
+            let plan = QueryPlan::new(&soc, &dep.graph, &dep.schedule);
+            let mut state = soc.new_state(22.0);
+            group.bench_function(BenchmarkId::new("planned", &cell), |b| {
+                b.iter(|| {
+                    let r = plan.execute(&mut state);
+                    black_box(r.latency)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_hot_loop);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! `bench_query` — measure the compiled-query-plan speedup and write
+//! `BENCH_query.json`.
+//!
+//! ```sh
+//! cargo run --release -p mlperf-bench --bin bench_query
+//! ```
+//!
+//! Two measurements, one file:
+//!
+//! 1. **Hot loop**: for each single-stream cell (chip x model), simulated
+//!    queries per second with the historical per-query path
+//!    ([`soc_sim::executor::run_query`] — re-validates and re-walks the
+//!    graph every call) and with a once-compiled
+//!    [`soc_sim::plan::QueryPlan`] replayed per query. Both paths produce
+//!    bit-identical results (`crates/soc-sim/tests/plan_equivalence.rs`);
+//!    the qps ratio is the speedup the plan buys.
+//! 2. **End to end**: wall-clock of the full `reproduce all` artifact
+//!    sweep on the planned harness, against a recorded pre-plan baseline.
+//!    Override the baseline with `BENCH_QUERY_BASELINE_MS` when
+//!    re-baselining on different hardware.
+//!
+//! Results land in `BENCH_query.json` in the current directory.
+
+use mobile_backend::registry::{create, vendor_backend};
+use nn_graph::models::ModelId;
+use serde::Serialize;
+use soc_sim::catalog::ChipId;
+use soc_sim::executor::run_query;
+use soc_sim::plan::QueryPlan;
+use soc_sim::soc::{Soc, SocState};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// `reproduce all` total wall-clock on the reference host immediately
+/// before the plan refactor (from `BENCH_suite.json` at that commit).
+const PRE_PLAN_BASELINE_MS: f64 = 45.857689;
+
+/// Warmup iterations before each timed series.
+const WARMUP_ITERS: u32 = 1_000;
+/// Each series runs until at least this much wall-clock has elapsed.
+const MIN_MEASURE_SECS: f64 = 0.25;
+
+#[derive(Serialize)]
+struct Cell {
+    chip: String,
+    model: &'static str,
+    unplanned_qps: f64,
+    planned_qps: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ReproduceAll {
+    baseline_total_wall_ms: f64,
+    total_wall_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    cells: Vec<Cell>,
+    min_speedup: f64,
+    geomean_speedup: f64,
+    reproduce_all: ReproduceAll,
+}
+
+/// Runs `f` in a timed loop (after warmup) and returns iterations/sec.
+fn measure_qps(mut f: impl FnMut()) -> f64 {
+    for _ in 0..WARMUP_ITERS {
+        f();
+    }
+    let mut iters: u64 = 0;
+    let t = Instant::now();
+    loop {
+        // Batches keep the clock off the hot path.
+        for _ in 0..256 {
+            f();
+        }
+        iters += 256;
+        let elapsed = t.elapsed().as_secs_f64();
+        if elapsed >= MIN_MEASURE_SECS {
+            return iters as f64 / elapsed;
+        }
+    }
+}
+
+fn measure_cell(chip: ChipId, model: ModelId) -> Cell {
+    let soc: Soc = chip.build();
+    let backend = create(vendor_backend(&soc).unwrap());
+    let dep = backend.compile(&model.build(), &soc).unwrap();
+
+    let mut state: SocState = soc.new_state(22.0);
+    let unplanned_qps = measure_qps(|| {
+        black_box(run_query(&soc, &dep.graph, &dep.schedule, &mut state).latency);
+    });
+
+    let plan = QueryPlan::new(&soc, &dep.graph, &dep.schedule);
+    let mut state = soc.new_state(22.0);
+    let planned_qps = measure_qps(|| {
+        black_box(plan.execute(&mut state).latency);
+    });
+
+    Cell {
+        chip: chip.to_string(),
+        model: model.name(),
+        unplanned_qps,
+        planned_qps,
+        speedup: planned_qps / unplanned_qps,
+    }
+}
+
+/// One pass over every `reproduce all` artifact generator, total wall ms.
+fn reproduce_all_wall_ms() -> f64 {
+    let generators: &[fn() -> String] = &[
+        mlperf_bench::table1,
+        mlperf_bench::table2,
+        mlperf_bench::table3,
+        mlperf_bench::table4,
+        mlperf_bench::figure6,
+        mlperf_bench::figure7,
+        mlperf_bench::offline_throughput,
+        mlperf_bench::laptop,
+        mlperf_bench::codepaths,
+        mlperf_bench::all_insights,
+        mlperf_bench::all_ablations,
+    ];
+    let t = Instant::now();
+    for f in generators {
+        black_box(f().len());
+    }
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    // Measure the artifact sweep first: process-cold compile caches and an
+    // unheated core match the conditions the baseline was recorded under.
+    let baseline_total_wall_ms = std::env::var("BENCH_QUERY_BASELINE_MS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(PRE_PLAN_BASELINE_MS);
+    let total_wall_ms = reproduce_all_wall_ms();
+    eprintln!(
+        "reproduce all: {total_wall_ms:.3} ms (baseline {baseline_total_wall_ms:.3} ms, \
+         {:.2}x)",
+        baseline_total_wall_ms / total_wall_ms
+    );
+
+    let mut cells = Vec::new();
+    for chip in [ChipId::Dimensity820, ChipId::Exynos990, ChipId::Snapdragon865Plus] {
+        for model in [
+            ModelId::MobileNetEdgeTpu,
+            ModelId::SsdMobileNetV2,
+            ModelId::DeepLabV3Plus,
+        ] {
+            let cell = measure_cell(chip, model);
+            eprintln!(
+                "{}/{}: {:.0} qps unplanned, {:.0} qps planned ({:.2}x)",
+                cell.chip, cell.model, cell.unplanned_qps, cell.planned_qps, cell.speedup
+            );
+            cells.push(cell);
+        }
+    }
+
+    let min_speedup = cells.iter().map(|c| c.speedup).fold(f64::INFINITY, f64::min);
+    let geomean_speedup = (cells.iter().map(|c| c.speedup.ln()).sum::<f64>()
+        / cells.len() as f64)
+        .exp();
+
+    let report = Report {
+        cells,
+        min_speedup,
+        geomean_speedup,
+        reproduce_all: ReproduceAll {
+            baseline_total_wall_ms,
+            total_wall_ms,
+            speedup: baseline_total_wall_ms / total_wall_ms,
+        },
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializes") + "\n";
+    match std::fs::write("BENCH_query.json", &json) {
+        Ok(()) => eprintln!(
+            "wrote BENCH_query.json (min speedup {min_speedup:.2}x, geomean \
+             {geomean_speedup:.2}x)"
+        ),
+        Err(e) => eprintln!("could not write BENCH_query.json: {e}"),
+    }
+}

@@ -3,7 +3,7 @@
 //! cooldown intervals — and scores it.
 
 use crate::metrics::metrics;
-use crate::sut_impl::{DatasetScale, DeviceSut, Prediction, TaskData};
+use crate::sut_impl::{DatasetScale, DeviceSut, PlannedDeployment, Prediction, TaskData};
 use crate::task::{BenchmarkDef, Task};
 use loadgen::checker::{check_log, Violation};
 use loadgen::log::RunLog;
@@ -441,7 +441,46 @@ pub fn run_benchmark_with(
     scale: DatasetScale,
     with_offline: bool,
 ) -> BenchmarkScore {
-    run_benchmark_inner(chip, soc, deployment, def, rules, scale, with_offline, false).0
+    let planned = PlannedDeployment::compile(&soc, deployment);
+    run_benchmark_inner(chip, soc, planned, def, rules, scale, with_offline, false).0
+}
+
+/// Runs one benchmark on an already-planned deployment — the fastest
+/// path: compilation *and* query-plan lowering both happened earlier (the
+/// suite runner's caches), so this function goes straight to execution.
+///
+/// Planning is invisible in results: scores are bit-identical to
+/// [`run_benchmark_with`] and [`run_benchmark`] for the same inputs
+/// (`tests/parallel_determinism.rs` proves planned == unplanned ==
+/// serial).
+#[must_use]
+pub fn run_benchmark_planned(
+    chip: ChipId,
+    soc: Arc<Soc>,
+    planned: PlannedDeployment,
+    def: &BenchmarkDef,
+    rules: &RunRules,
+    scale: DatasetScale,
+    with_offline: bool,
+) -> BenchmarkScore {
+    run_benchmark_inner(chip, soc, planned, def, rules, scale, with_offline, false).0
+}
+
+/// [`run_benchmark_planned`] with per-query tracing enabled, returning
+/// the score together with the run trace.
+#[must_use]
+pub fn run_benchmark_planned_with_trace(
+    chip: ChipId,
+    soc: Arc<Soc>,
+    planned: PlannedDeployment,
+    def: &BenchmarkDef,
+    rules: &RunRules,
+    scale: DatasetScale,
+    with_offline: bool,
+) -> (BenchmarkScore, BenchmarkTrace) {
+    let (score, trace) =
+        run_benchmark_inner(chip, soc, planned, def, rules, scale, with_offline, true);
+    (score, trace.expect("traced run always yields a trace"))
 }
 
 /// Runs one benchmark on an already-compiled deployment with per-query
@@ -460,8 +499,9 @@ pub fn run_benchmark_with_trace(
     scale: DatasetScale,
     with_offline: bool,
 ) -> (BenchmarkScore, BenchmarkTrace) {
+    let planned = PlannedDeployment::compile(&soc, deployment);
     let (score, trace) =
-        run_benchmark_inner(chip, soc, deployment, def, rules, scale, with_offline, true);
+        run_benchmark_inner(chip, soc, planned, def, rules, scale, with_offline, true);
     (score, trace.expect("traced run always yields a trace"))
 }
 
@@ -469,17 +509,18 @@ pub fn run_benchmark_with_trace(
 fn run_benchmark_inner(
     chip: ChipId,
     soc: Arc<Soc>,
-    deployment: Arc<Deployment>,
+    planned: PlannedDeployment,
     def: &BenchmarkDef,
     rules: &RunRules,
     scale: DatasetScale,
     with_offline: bool,
     traced: bool,
 ) -> (BenchmarkScore, Option<BenchmarkTrace>) {
-    let backend_id = deployment.backend;
-    let scheme = deployment.scheme;
-    let accelerator = deployment.accelerator_summary(&soc);
-    let mut sut = DeviceSut::new(soc, deployment, def, scale, rules.settings.seed, rules.ambient_c);
+    let backend_id = planned.deployment.backend;
+    let scheme = planned.deployment.scheme;
+    let accelerator = planned.deployment.accelerator_summary(&soc);
+    let mut sut =
+        DeviceSut::with_plans(soc, planned, def, scale, rules.settings.seed, rules.ambient_c);
     if let Some(soc_level) = rules.battery_soc {
         sut.state.battery = Some(BatteryState::new(BatterySpec::default(), soc_level));
     }

@@ -34,6 +34,10 @@ pub struct MetricsSnapshot {
     pub compile_hits: usize,
     /// Deployment lookups that triggered a compile.
     pub compile_misses: usize,
+    /// Query-plan lookups answered from a plan cache.
+    pub plan_hits: usize,
+    /// Query-plan lookups that triggered a plan compilation.
+    pub plan_misses: usize,
     /// Benchmark runs completed (accuracy + performance flows).
     pub runs_completed: usize,
     /// Performance queries issued across all runs.
@@ -54,6 +58,8 @@ impl MetricsSnapshot {
         MetricsSnapshot {
             compile_hits: self.compile_hits.saturating_sub(earlier.compile_hits),
             compile_misses: self.compile_misses.saturating_sub(earlier.compile_misses),
+            plan_hits: self.plan_hits.saturating_sub(earlier.plan_hits),
+            plan_misses: self.plan_misses.saturating_sub(earlier.plan_misses),
             runs_completed: self.runs_completed.saturating_sub(earlier.runs_completed),
             queries_issued: self.queries_issued.saturating_sub(earlier.queries_issued),
             throttled_queries: self.throttled_queries.saturating_sub(earlier.throttled_queries),
@@ -67,6 +73,8 @@ impl MetricsSnapshot {
 pub struct MetricsRegistry {
     compile_hits: AtomicUsize,
     compile_misses: AtomicUsize,
+    plan_hits: AtomicUsize,
+    plan_misses: AtomicUsize,
     runs_completed: AtomicUsize,
     queries_issued: AtomicU64,
     throttled_queries: AtomicU64,
@@ -83,6 +91,16 @@ impl MetricsRegistry {
     /// Records one compile-cache miss (a real compile).
     pub fn record_compile_miss(&self) {
         self.compile_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one plan-cache hit.
+    pub fn record_plan_hit(&self) {
+        self.plan_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one plan-cache miss (a real plan compilation).
+    pub fn record_plan_miss(&self) {
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one completed benchmark run and its query volume.
@@ -119,6 +137,8 @@ impl MetricsRegistry {
         MetricsSnapshot {
             compile_hits: self.compile_hits.load(Ordering::Relaxed),
             compile_misses: self.compile_misses.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
             runs_completed: self.runs_completed.load(Ordering::Relaxed),
             queries_issued: self.queries_issued.load(Ordering::Relaxed),
             throttled_queries: self.throttled_queries.load(Ordering::Relaxed),
@@ -215,13 +235,18 @@ mod tests {
     fn snapshot_delta() {
         let r = MetricsRegistry::default();
         r.record_compile_miss();
+        r.record_plan_miss();
         let before = r.snapshot();
         r.record_compile_hit();
+        r.record_plan_hit();
+        r.record_plan_hit();
         r.record_run(100);
         r.record_throttling(5, 1);
         let delta = r.snapshot().since(&before);
         assert_eq!(delta.compile_hits, 1);
         assert_eq!(delta.compile_misses, 0);
+        assert_eq!(delta.plan_hits, 2);
+        assert_eq!(delta.plan_misses, 0);
         assert_eq!(delta.runs_completed, 1);
         assert_eq!(delta.queries_issued, 100);
         assert_eq!(delta.throttled_queries, 5);

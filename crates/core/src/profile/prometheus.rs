@@ -44,6 +44,20 @@ pub fn prometheus_exposition(snap: &MetricsSnapshot, timings: &[SpecTiming]) -> 
     );
     sample(
         &mut out,
+        "mlperf_plan_cache_hits_total",
+        "Query-plan lookups answered from a plan cache.",
+        "counter",
+        snap.plan_hits,
+    );
+    sample(
+        &mut out,
+        "mlperf_plan_cache_misses_total",
+        "Query-plan lookups that triggered a plan compilation.",
+        "counter",
+        snap.plan_misses,
+    );
+    sample(
+        &mut out,
         "mlperf_runs_completed_total",
         "Benchmark runs completed.",
         "counter",
@@ -97,6 +111,8 @@ mod tests {
         let snap = MetricsSnapshot {
             compile_hits: 3,
             compile_misses: 1,
+            plan_hits: 6,
+            plan_misses: 2,
             runs_completed: 4,
             queries_issued: 128,
             throttled_queries: 5,
@@ -110,9 +126,12 @@ mod tests {
         assert!(text.contains("mlperf_queries_issued_total 128"));
         assert!(text.contains("mlperf_spec_wall_ms{spec=\"a/cls\"} 1.5"));
         // Every sample line is preceded by HELP and TYPE headers.
+        assert!(text.contains("mlperf_plan_cache_hits_total 6"));
         for name in [
             "mlperf_compile_cache_hits_total",
             "mlperf_compile_cache_misses_total",
+            "mlperf_plan_cache_hits_total",
+            "mlperf_plan_cache_misses_total",
             "mlperf_runs_completed_total",
             "mlperf_queries_issued_total",
             "mlperf_throttled_queries_total",

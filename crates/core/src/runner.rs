@@ -8,7 +8,9 @@
 //!
 //! * [`CompileCache`] memoizes `ChipId::build()` and `Backend::compile()`
 //!   per `(chip, backend, model)` triple behind `Arc`s, so a sweep
-//!   compiles each deployment once instead of once per run.
+//!   compiles each deployment once instead of once per run — and
+//!   memoizes the lowered [`PlannedDeployment`] (query + offline plans)
+//!   alongside, so per-query graph traversal happens once per triple too.
 //! * [`SuiteRunner::run`] executes run specs on a fixed-size worker pool
 //!   (`std::thread::scope` + an atomic work index — no external
 //!   dependencies), merging results back into spec order.
@@ -23,9 +25,11 @@
 //! comparing serialized reports.
 
 use crate::app::{submission_backend, AppConfig, SuiteReport};
-use crate::harness::{run_benchmark_with, run_benchmark_with_trace, BenchmarkScore, RunRules};
+use crate::harness::{
+    run_benchmark_planned, run_benchmark_planned_with_trace, BenchmarkScore, RunRules,
+};
 use crate::metrics::{metrics, TraceCollector};
-use crate::sut_impl::DatasetScale;
+use crate::sut_impl::{DatasetScale, PlannedDeployment};
 use crate::task::{suite, BenchmarkDef, SuiteVersion, Task};
 use mobile_backend::backend::{BackendId, CompileError, Deployment};
 use mobile_backend::registry::create;
@@ -47,8 +51,11 @@ use std::sync::{Arc, Mutex};
 pub struct CompileCache {
     socs: Mutex<HashMap<ChipId, Arc<Soc>>>,
     deployments: Mutex<HashMap<DeploymentKey, CompileOutcome>>,
+    plans: Mutex<HashMap<DeploymentKey, PlannedDeployment>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    plan_hits: AtomicUsize,
+    plan_misses: AtomicUsize,
 }
 
 /// Identity of one compiled deployment.
@@ -114,6 +121,43 @@ impl CompileCache {
             .clone()
     }
 
+    /// The planned deployment (query + offline plans) for a
+    /// `(chip, backend, model)` triple, lowered at most once. Backed by
+    /// [`Self::deployment`], so a plan miss also touches the compile
+    /// cache (the deployment lookup counts a compile hit or miss of its
+    /// own). Compile *failures* are not cached here — the deployment
+    /// cache already memoizes the error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's (cached) compile failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned, or if plan lowering finds
+    /// an invalid schedule (backends never emit one).
+    pub fn planned(
+        &self,
+        chip: ChipId,
+        backend: BackendId,
+        model: ModelId,
+    ) -> Result<PlannedDeployment, CompileError> {
+        let key = (chip, backend, model);
+        if let Some(cached) = self.plans.lock().unwrap().get(&key) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            metrics().record_plan_hit();
+            return Ok(cached.clone());
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        metrics().record_plan_miss();
+        let deployment = self.deployment(chip, backend, model)?;
+        let soc = self.soc(chip);
+        // Lower outside the cache lock; racing workers produce identical
+        // plans, first insert wins.
+        let planned = PlannedDeployment::compile(&soc, deployment);
+        Ok(self.plans.lock().unwrap().entry(key).or_insert(planned).clone())
+    }
+
     /// Number of deployment lookups answered from the cache.
     #[must_use]
     pub fn hits(&self) -> usize {
@@ -124,6 +168,18 @@ impl CompileCache {
     #[must_use]
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of plan lookups answered from the cache.
+    #[must_use]
+    pub fn plan_hits(&self) -> usize {
+        self.plan_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of plan lookups that triggered plan lowering.
+    #[must_use]
+    pub fn plan_misses(&self) -> usize {
+        self.plan_misses.load(Ordering::Relaxed)
     }
 }
 
@@ -290,14 +346,14 @@ impl SuiteRunner {
         scale: DatasetScale,
     ) -> Vec<Result<BenchmarkScore, CompileError>> {
         par_map(specs, self.threads, |spec| {
-            let deployment = self.cache.deployment(spec.chip, spec.backend, spec.def.model)?;
+            let planned = self.cache.planned(spec.chip, spec.backend, spec.def.model)?;
             let soc = self.cache.soc(spec.chip);
             let started = std::time::Instant::now();
             let score = if let Some(sink) = &self.trace_sink {
-                let (score, trace) = run_benchmark_with_trace(
+                let (score, trace) = run_benchmark_planned_with_trace(
                     spec.chip,
                     soc,
-                    deployment,
+                    planned,
                     &spec.def,
                     rules,
                     scale,
@@ -306,10 +362,10 @@ impl SuiteRunner {
                 sink.push(trace);
                 score
             } else {
-                run_benchmark_with(
+                run_benchmark_planned(
                     spec.chip,
                     soc,
-                    deployment,
+                    planned,
                     &spec.def,
                     rules,
                     scale,
@@ -408,6 +464,35 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "second lookup must be the cached Arc");
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn plan_cache_lowers_each_triple_once() {
+        let cache = CompileCache::new();
+        let a = cache
+            .planned(ChipId::Snapdragon888, BackendId::Snpe, ModelId::MobileNetEdgeTpu)
+            .unwrap();
+        let b = cache
+            .planned(ChipId::Snapdragon888, BackendId::Snpe, ModelId::MobileNetEdgeTpu)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a.query, &b.query), "second lookup must share the cached plan");
+        assert!(a.offline.is_some(), "submission deployments carry offline streams");
+        assert_eq!(cache.plan_misses(), 1);
+        assert_eq!(cache.plan_hits(), 1);
+        // The one plan miss compiled through the deployment cache once.
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn plan_cache_propagates_compile_failures() {
+        let cache = CompileCache::new();
+        // SNPE refuses non-Qualcomm silicon; the plan lookup surfaces the
+        // deployment cache's memoized error instead of lowering anything.
+        let err = cache.planned(ChipId::Exynos990, BackendId::Snpe, ModelId::MobileNetEdgeTpu);
+        assert!(err.is_err());
+        assert_eq!(cache.plan_misses(), 1);
+        assert_eq!(cache.plan_hits(), 0);
     }
 
     #[test]

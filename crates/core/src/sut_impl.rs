@@ -14,13 +14,59 @@ use mobile_data::types::{AnswerSpan, Detection, LabelMap};
 use loadgen::sut::SystemUnderTest;
 use loadgen::trace::{QueryTelemetry, StageTelemetry};
 use quant::{quality::nominal_retention, Sensitivity};
-use soc_sim::executor::{run_offline, run_query, QueryResult};
+use soc_sim::executor::QueryResult;
+use soc_sim::plan::{OfflinePlan, QueryPlan};
 use soc_sim::soc::{Soc, SocState};
 use soc_sim::time::SimDuration;
 use std::sync::Arc;
 
 /// Offline batch size used when amortizing per-query overheads.
 pub const OFFLINE_BATCH: usize = 32;
+
+/// A deployment together with its compiled execution plans: the
+/// single-stream [`QueryPlan`] and (when the backend emitted offline
+/// streams) the [`OfflinePlan`], both built once per `(soc, deployment)`
+/// and shared across runs behind `Arc`s.
+///
+/// Planning happens at deployment time, so the per-query hot path never
+/// re-validates schedules or re-traverses the graph — bit-identically to
+/// the unplanned executor (see [`QueryPlan`] for the contract).
+#[derive(Debug, Clone)]
+pub struct PlannedDeployment {
+    /// The compiled deployment the plans were lowered from.
+    pub deployment: Arc<Deployment>,
+    /// Compiled single-stream query plan.
+    pub query: Arc<QueryPlan>,
+    /// Compiled offline plan; `None` when the deployment has no offline
+    /// streams (executing a batch then panics, exactly like the unplanned
+    /// executor would).
+    pub offline: Option<Arc<OfflinePlan>>,
+}
+
+impl PlannedDeployment {
+    /// Compiles both plans for a deployment on a SoC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any schedule in the deployment is invalid for its graph
+    /// or places work on an engine that cannot execute it — the same
+    /// panics the unplanned executor raises per query, surfaced once at
+    /// plan time.
+    #[must_use]
+    pub fn compile(soc: &Soc, deployment: Arc<Deployment>) -> Self {
+        let query = Arc::new(QueryPlan::new(soc, &deployment.graph, &deployment.schedule));
+        let offline = if deployment.offline_streams.is_empty() {
+            None
+        } else {
+            Some(Arc::new(OfflinePlan::new(
+                soc,
+                &deployment.graph,
+                &deployment.offline_streams,
+            )))
+        };
+        PlannedDeployment { deployment, query, offline }
+    }
+}
 
 /// How large the synthetic validation sets are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +160,11 @@ pub struct DeviceSut {
     /// Achieved quality level (FP32 quality x numerics retention).
     pub target_quality: f64,
     seed: u64,
+    /// Compiled single-stream plan (graph traversal hoisted out of the
+    /// per-query hot loop).
+    plan: Arc<QueryPlan>,
+    /// Compiled offline plan, when the deployment has offline streams.
+    offline_plan: Option<Arc<OfflinePlan>>,
     /// Full simulator result of the most recent single-stream query,
     /// kept so trace sinks can pull telemetry without re-running or
     /// perturbing the simulation.
@@ -138,7 +189,25 @@ impl DeviceSut {
         ambient_c: f64,
     ) -> Self {
         let soc = soc.into();
-        let deployment = deployment.into();
+        let planned = PlannedDeployment::compile(&soc, deployment.into());
+        Self::with_plans(soc, planned, def, scale, seed, ambient_c)
+    }
+
+    /// Binds an already-planned deployment to a benchmark definition —
+    /// [`Self::new`] minus the plan compilation. The suite runner's plan
+    /// cache hands the same [`PlannedDeployment`] to every run of a
+    /// `(chip, backend, model)` triple.
+    #[must_use]
+    pub fn with_plans(
+        soc: impl Into<Arc<Soc>>,
+        planned: PlannedDeployment,
+        def: &BenchmarkDef,
+        scale: DatasetScale,
+        seed: u64,
+        ambient_c: f64,
+    ) -> Self {
+        let soc = soc.into();
+        let PlannedDeployment { deployment, query: plan, offline: offline_plan } = planned;
         let retention = nominal_retention(deployment.scheme, Sensitivity::for_model(def.model));
         let target_quality = def.fp32_quality * retention;
         let data = match def.task {
@@ -186,7 +255,17 @@ impl DeviceSut {
             }
         };
         let state = soc.new_state(ambient_c);
-        DeviceSut { soc, deployment, state, data, target_quality, seed, last_query: None }
+        DeviceSut {
+            soc,
+            deployment,
+            state,
+            data,
+            target_quality,
+            seed,
+            plan,
+            offline_plan,
+            last_query: None,
+        }
     }
 
     fn predict(&self, sample_index: usize) -> Prediction {
@@ -220,26 +299,18 @@ impl SystemUnderTest for DeviceSut {
     type Response = Prediction;
 
     fn issue_query(&mut self, sample_index: usize) -> (SimDuration, Prediction) {
-        let result = run_query(
-            &self.soc,
-            &self.deployment.graph,
-            &self.deployment.schedule,
-            &mut self.state,
-        );
+        let result = self.plan.execute(&mut self.state);
         let latency = result.latency;
         self.last_query = Some(result);
         (latency, self.predict(sample_index))
     }
 
     fn issue_batch(&mut self, sample_indices: &[usize]) -> (SimDuration, Vec<Prediction>) {
-        let result = run_offline(
-            &self.soc,
-            &self.deployment.graph,
-            &self.deployment.offline_streams,
-            &mut self.state,
-            sample_indices.len() as u64,
-            OFFLINE_BATCH,
-        );
+        let result = self
+            .offline_plan
+            .as_ref()
+            .expect("offline needs at least one stream")
+            .execute(&mut self.state, sample_indices.len() as u64, OFFLINE_BATCH);
         let predictions = sample_indices.iter().map(|&i| self.predict(i)).collect();
         (result.duration, predictions)
     }

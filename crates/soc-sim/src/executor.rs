@@ -5,7 +5,14 @@
 //! - [`run_offline`] executes many samples across concurrent engine
 //!   streams (offline, exercising accelerator-level parallelism), with
 //!   thermal state integrated throughout.
+//!
+//! Both are thin wrappers that compile a [`crate::plan::QueryPlan`] /
+//! [`crate::plan::OfflinePlan`] and execute it once. Hot loops that issue
+//! many queries against one deployment should compile the plan themselves
+//! and call [`crate::plan::QueryPlan::execute`] per query — bit-identical
+//! results, minus the per-query graph traversal.
 
+use crate::plan::{OfflinePlan, QueryPlan, StreamPlan};
 use crate::schedule::Schedule;
 use crate::soc::{Soc, SocState};
 use crate::time::SimDuration;
@@ -58,71 +65,6 @@ pub struct QueryResult {
     pub breakdown: QueryBreakdown,
 }
 
-/// Per-(compute, memory) seconds for one stream, used by the offline loop
-/// to re-evaluate latency as the frequency factor changes.
-#[derive(Debug, Clone)]
-struct StreamProfile {
-    /// (compute_secs_at_full_freq, memory_secs, scheduling_secs) per op.
-    ops: Vec<(f64, f64, f64)>,
-    /// Per-sample overhead at full batch amortization (seconds).
-    overhead_secs: f64,
-    /// Transfers between engines (seconds, frequency independent).
-    transfer_secs: f64,
-    /// Mean active power of the engines this stream occupies (watts).
-    power_w: f64,
-}
-
-impl StreamProfile {
-    fn sample_secs(&self, freq: f64, batch: usize) -> f64 {
-        let ops: f64 = self.ops.iter().map(|&(c, m, s)| (c / freq).max(m) + s).sum();
-        ops + self.transfer_secs + self.overhead_secs / batch.max(1) as f64
-    }
-}
-
-fn build_profile(soc: &Soc, graph: &Graph, schedule: &Schedule) -> StreamProfile {
-    let cross_bytes = schedule.cross_engine_bytes(graph);
-    let mut ops = Vec::with_capacity(graph.len());
-    let mut overhead_secs = 0.0;
-    let mut transfer_secs = 0.0;
-    let mut power_time = 0.0;
-    let mut total_time = 0.0;
-
-    let mut launched: Vec<bool> = vec![false; soc.engines.len()];
-    overhead_secs += schedule.query_overhead_us * 1e-6;
-    for (si, stage) in schedule.stages.iter().enumerate() {
-        let engine = soc.engine(stage.engine);
-        // Launch (runtime init) is paid once per engine per query; the
-        // per-stage framework synchronization is paid on every partition.
-        if !launched[stage.engine.0] {
-            overhead_secs += engine.launch_overhead_us * 1e-6;
-            launched[stage.engine.0] = true;
-        }
-        overhead_secs += stage.sync_overhead_us * 1e-6;
-        if cross_bytes[si] > 0 {
-            transfer_secs += soc.interconnect.transfer_secs(cross_bytes[si]);
-        }
-        let mut stage_time = 0.0;
-        for &nid in &stage.nodes {
-            let node = graph.node(nid);
-            let compute = if node.cost.flops == 0 {
-                0.0
-            } else {
-                node.cost.flops as f64
-                    / (engine.peak_ops(stage.dtype) * engine.efficiency(node.class()))
-            };
-            let memory = node.cost.total_bytes(stage.dtype) as f64
-                / (engine.mem_bandwidth_gbps * 1e9);
-            // Per-op scheduling cost is frequency-independent.
-            ops.push((compute, memory, engine.per_op_overhead_us * 1e-6));
-            stage_time += compute.max(memory) + engine.per_op_overhead_us * 1e-6;
-        }
-        power_time += engine.active_power_w * stage_time;
-        total_time += stage_time;
-    }
-    let power_w = if total_time > 0.0 { power_time / total_time } else { 0.0 };
-    StreamProfile { ops, overhead_secs, transfer_secs, power_w }
-}
-
 /// Estimates one query's latency in seconds at nominal frequency without
 /// touching any mutable state — used by backends for cost-based placement
 /// decisions (e.g. OpenVINO's CPU-vs-iGPU choice, paper Section 7.4).
@@ -135,7 +77,7 @@ pub fn estimate_query_secs(soc: &Soc, graph: &Graph, schedule: &Schedule) -> f64
     schedule
         .validate(graph)
         .unwrap_or_else(|e| panic!("invalid schedule for {}: {e}", graph.name()));
-    build_profile(soc, graph, schedule).sample_secs(1.0, 1)
+    StreamPlan::lower(soc, graph, schedule).sample_secs(1.0, 1)
 }
 
 /// Executes one inference under `schedule`, advancing the SoC state.
@@ -160,105 +102,7 @@ pub fn estimate_query_secs(soc: &Soc, graph: &Graph, schedule: &Schedule) -> f64
 /// engine that cannot execute it (backends validate before running).
 #[must_use]
 pub fn run_query(soc: &Soc, graph: &Graph, schedule: &Schedule, state: &mut SocState) -> QueryResult {
-    schedule
-        .validate(graph)
-        .unwrap_or_else(|e| panic!("invalid schedule for {}: {e}", graph.name()));
-    for stage in &schedule.stages {
-        let engine = soc.engine(stage.engine);
-        for &nid in &stage.nodes {
-            let node = graph.node(nid);
-            if node.cost.flops > 0 {
-                assert!(
-                    engine.supports(node.class(), stage.dtype),
-                    "{} cannot execute {} ({}) at {}",
-                    engine.name,
-                    node.name,
-                    node.class(),
-                    stage.dtype
-                );
-            }
-        }
-    }
-
-    let freq = state.freq_factor();
-    let dvfs_level = state.dvfs_level();
-    let temperature_c = state.thermal.temperature_c();
-    let cross_bytes = schedule.cross_engine_bytes(graph);
-
-    let mut stage_compute = Vec::with_capacity(schedule.stages.len());
-    let mut stage_engines = Vec::with_capacity(schedule.stages.len());
-    let mut transfer = 0.0f64;
-    let mut overhead = 0.0f64;
-    // Launch/sync shares are tracked in separate accumulators so the
-    // `overhead` sum keeps its exact historical addition order (scores are
-    // locked to 0 ULPs by the golden suite).
-    let mut launch_secs = 0.0f64;
-    let mut sync_secs = 0.0f64;
-    let mut energy_terms = 0.0f64;
-
-    let mut launched: Vec<bool> = vec![false; soc.engines.len()];
-    overhead += schedule.query_overhead_us * 1e-6;
-    for (si, stage) in schedule.stages.iter().enumerate() {
-        let engine = soc.engine(stage.engine);
-        if !launched[stage.engine.0] {
-            overhead += engine.launch_overhead_us * 1e-6;
-            launch_secs += engine.launch_overhead_us * 1e-6;
-            launched[stage.engine.0] = true;
-        }
-        overhead += stage.sync_overhead_us * 1e-6;
-        sync_secs += stage.sync_overhead_us * 1e-6;
-        stage_engines.push(stage.engine);
-        if cross_bytes[si] > 0 {
-            transfer += soc.interconnect.transfer_secs(cross_bytes[si]);
-        }
-        let mut t = 0.0f64;
-        for &nid in &stage.nodes {
-            let node = graph.node(nid);
-            let compute = if node.cost.flops == 0 {
-                0.0
-            } else {
-                node.cost.flops as f64
-                    / (engine.peak_ops(stage.dtype) * engine.efficiency(node.class()) * freq)
-            };
-            let memory =
-                node.cost.total_bytes(stage.dtype) as f64 / (engine.mem_bandwidth_gbps * 1e9);
-            t += compute.max(memory) + engine.per_op_overhead_us * 1e-6;
-        }
-        energy_terms += engine.active_power_w * t;
-        stage_compute.push(SimDuration::from_secs_f64(t));
-    }
-
-    let total = stage_compute.iter().copied().sum::<SimDuration>()
-        + SimDuration::from_secs_f64(transfer)
-        + SimDuration::from_secs_f64(overhead);
-
-    // Thermal/energy bookkeeping over the query duration.
-    let avg_power = if total > SimDuration::ZERO {
-        energy_terms / total.as_secs_f64()
-    } else {
-        0.0
-    };
-    state.thermal.advance(avg_power, total);
-    state.energy.record_active(avg_power, total);
-    if let Some(battery) = state.battery.as_mut() {
-        battery.drain(avg_power, total);
-    }
-
-    QueryResult {
-        latency: total,
-        freq_factor: freq,
-        dvfs_level,
-        temperature_c,
-        total_joules: state.energy.total_joules(),
-        breakdown: QueryBreakdown {
-            stage_compute,
-            stage_engines,
-            transfer: SimDuration::from_secs_f64(transfer),
-            overhead: SimDuration::from_secs_f64(overhead),
-            launch: SimDuration::from_secs_f64(launch_secs),
-            sync: SimDuration::from_secs_f64(sync_secs),
-        },
-    }
+    QueryPlan::new(soc, graph, schedule).execute(state)
 }
 
 /// Result of an offline (batched, multi-stream) run.
@@ -270,12 +114,11 @@ pub struct OfflineResult {
     pub throughput_fps: f64,
     /// Fraction of the run spent thermally throttled.
     pub throttled_fraction: f64,
-    /// Samples processed per stream.
+    /// Samples processed per stream. Counts always sum to exactly the
+    /// requested `total_samples` (the fluid-model rounding contract —
+    /// see [`crate::plan::OfflinePlan`]).
     pub per_stream_samples: Vec<u64>,
 }
-
-/// Simulation step for the offline loop.
-const OFFLINE_CHUNK: SimDuration = SimDuration::from_millis(250);
 
 /// Executes `total_samples` inferences spread across concurrent engine
 /// streams (accelerator-level parallelism, paper Insight 3).
@@ -297,58 +140,7 @@ pub fn run_offline(
     total_samples: u64,
     batch_size: usize,
 ) -> OfflineResult {
-    assert!(!streams.is_empty(), "offline needs at least one stream");
-    assert!(total_samples > 0, "offline needs samples");
-    for s in streams {
-        s.validate(graph)
-            .unwrap_or_else(|e| panic!("invalid offline schedule: {e}"));
-    }
-    let profiles: Vec<StreamProfile> =
-        streams.iter().map(|s| build_profile(soc, graph, s)).collect();
-    let total_power: f64 = profiles.iter().map(|p| p.power_w).sum::<f64>() + soc.idle_power_w;
-
-    let mut remaining = total_samples as f64;
-    let mut per_stream = vec![0.0f64; streams.len()];
-    let mut elapsed = SimDuration::ZERO;
-    let mut throttled = SimDuration::ZERO;
-
-    while remaining > 0.0 {
-        let freq = state.freq_factor();
-        if freq < 1.0 {
-            throttled += OFFLINE_CHUNK;
-        }
-        let chunk_secs = OFFLINE_CHUNK.as_secs_f64();
-        let mut processed_this_chunk = 0.0;
-        for (i, p) in profiles.iter().enumerate() {
-            let rate = 1.0 / p.sample_secs(freq, batch_size);
-            let done = (rate * chunk_secs).min(remaining);
-            per_stream[i] += done;
-            processed_this_chunk += done;
-            remaining -= done;
-            if remaining <= 0.0 {
-                break;
-            }
-        }
-        // All streams active concurrently: total power dissipates together.
-        state.thermal.advance(total_power, OFFLINE_CHUNK);
-        state.energy.record_active(total_power - soc.idle_power_w, OFFLINE_CHUNK);
-        if let Some(battery) = state.battery.as_mut() {
-            battery.drain(total_power, OFFLINE_CHUNK);
-        }
-        elapsed += OFFLINE_CHUNK;
-        assert!(
-            processed_this_chunk > 0.0,
-            "offline run stalled: no stream makes progress"
-        );
-    }
-
-    let fps = total_samples as f64 / elapsed.as_secs_f64();
-    OfflineResult {
-        duration: elapsed,
-        throughput_fps: fps,
-        throttled_fraction: throttled.as_secs_f64() / elapsed.as_secs_f64(),
-        per_stream_samples: per_stream.iter().map(|&s| s.round() as u64).collect(),
-    }
+    OfflinePlan::new(soc, graph, streams).execute(state, total_samples, batch_size)
 }
 
 #[cfg(test)]
@@ -524,6 +316,45 @@ mod tests {
         let mut state = soc.new_state(22.0);
         let _ = run_query(&soc, &g, &sched, &mut state);
         assert!(state.energy.total_joules() > 0.0);
+    }
+
+    #[test]
+    fn offline_accounts_every_sample() {
+        // The fluid-model rounding contract: per-stream integer counts sum
+        // to exactly the requested sample total, whatever the fractional
+        // split between streams came out to.
+        let soc = soc();
+        let g = graph();
+        let npu = Schedule::single(&g, EngineId(1), DataType::I8, 0.0);
+        let cpu = Schedule::single(&g, EngineId(0), DataType::I8, 0.0);
+        for total in [1u64, 7, 1000, 24_576, 24_577] {
+            let mut state = soc.new_state(22.0);
+            let r = run_offline(&soc, &g, &[npu.clone(), cpu.clone()], &mut state, total, 32);
+            assert_eq!(
+                r.per_stream_samples.iter().sum::<u64>(),
+                total,
+                "streams must account for all {total} samples, got {:?}",
+                r.per_stream_samples
+            );
+        }
+    }
+
+    #[test]
+    fn planned_queries_match_run_query_bit_for_bit() {
+        // Compiling once and executing many times is the whole point of
+        // the plan; it must be invisible in every result bit.
+        let soc = soc();
+        let g = graph();
+        let sched = Schedule::single(&g, EngineId(1), DataType::I8, 10.0);
+        let plan = crate::plan::QueryPlan::new(&soc, &g, &sched);
+        let mut direct_state = soc.new_state(22.0);
+        let mut planned_state = soc.new_state(22.0);
+        for _ in 0..100 {
+            let direct = run_query(&soc, &g, &sched, &mut direct_state);
+            let planned = plan.execute(&mut planned_state);
+            assert_eq!(direct, planned);
+        }
+        assert_eq!(direct_state, planned_state);
     }
 
     #[test]

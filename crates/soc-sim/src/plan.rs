@@ -1,0 +1,557 @@
+//! Compiled query plans: per-query graph traversal hoisted to compile time.
+//!
+//! Single-stream runs issue thousands of queries per benchmark cell, and
+//! the only inputs that change between two queries of the same deployment
+//! are the DVFS frequency factor and the thermal state. Everything else —
+//! schedule validation, engine-support checks, `cross_engine_bytes`,
+//! per-op roofline denominators, launch/sync/transfer/query overheads and
+//! per-stage power terms — is a pure function of `(soc, graph, schedule)`
+//! and is lowered **once** here, into flat arrays the hot loop streams
+//! through.
+//!
+//! Two plan kinds mirror the executor's two entry points:
+//! - [`QueryPlan`] for single-stream queries ([`crate::executor::run_query`]),
+//! - [`OfflinePlan`] for batched multi-stream runs
+//!   ([`crate::executor::run_offline`]).
+
+use crate::engine::EngineId;
+use crate::executor::{OfflineResult, QueryBreakdown, QueryResult};
+use crate::schedule::Schedule;
+use crate::soc::{Soc, SocState};
+use crate::time::SimDuration;
+use nn_graph::Graph;
+
+/// One lowered graph node: everything the roofline model needs, with all
+/// graph/engine lookups already resolved.
+#[derive(Debug, Clone, Copy)]
+struct PlanOp {
+    /// Node FLOPs as `f64` (0.0 for memory-only ops).
+    flops: f64,
+    /// Roofline denominator `peak_ops(dtype) × efficiency(class)`; the hot
+    /// loop divides by `denom * freq` so the operand order matches the
+    /// unplanned executor bit-for-bit.
+    denom: f64,
+    /// Memory-bound time (seconds) — frequency-independent.
+    memory_secs: f64,
+    /// Per-op scheduling cost (seconds) — frequency-independent.
+    sched_secs: f64,
+}
+
+/// One lowered stage: a half-open op range plus the engine-level terms.
+#[derive(Debug, Clone, Copy)]
+struct PlanStage {
+    /// End of this stage's range in [`QueryPlan::ops`] (the start is the
+    /// previous stage's end).
+    ops_end: usize,
+    /// Engine this stage occupies.
+    engine: EngineId,
+    /// Active power of that engine (watts) — weight for the energy term.
+    power_w: f64,
+}
+
+/// A compiled single-stream query: `(soc, graph, schedule)` lowered to
+/// flat arrays so per-query execution is a tight roofline loop.
+///
+/// # Bit-identity contract
+///
+/// For any sequence of queries, [`QueryPlan::execute`] produces results
+/// **bit-identical** to calling [`crate::executor::run_query`] with the
+/// same `(soc, graph, schedule)` against the same evolving [`SocState`]:
+/// every `f64` in the [`QueryResult`] (latency, breakdown, energy, DVFS
+/// trajectory, temperatures) matches to 0 ULPs. The lowering preserves the
+/// executor's exact operand order (`flops / (denom * freq)` where
+/// `denom = peak_ops × efficiency`) and addition order (query overhead,
+/// then per stage: first-launch overhead, sync overhead, transfer,
+/// per-op `compute.max(memory) + sched`). The golden suite locks this
+/// contract across all v1.0 cells; `tests/plan_equivalence.rs` fuzzes it
+/// over random graphs, schedules, frequencies and thermal states.
+///
+/// Validation (schedule coverage/order, engine support) happens once in
+/// [`QueryPlan::new`] with the same panics as the unplanned path; the hot
+/// loop retains only `debug_assert!`-level checks.
+///
+/// # Examples
+///
+/// ```
+/// use soc_sim::{catalog::ChipId, plan::QueryPlan, schedule::Schedule};
+/// use nn_graph::{graph::retype, models::ModelId, DataType};
+///
+/// let soc = ChipId::Snapdragon888.build();
+/// let graph = retype(&ModelId::MobileNetEdgeTpu.build(), DataType::I8);
+/// let schedule = Schedule::single(&graph, soc.cpu(), DataType::I8, 0.0);
+/// let plan = QueryPlan::new(&soc, &graph, &schedule);
+/// let mut state = soc.new_state(22.0);
+/// let result = plan.execute(&mut state);
+/// assert!(result.latency.as_millis_f64() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Flat per-op roofline terms, concatenated in stage order.
+    ops: Vec<PlanOp>,
+    /// Per-stage op ranges + engine terms, in schedule order.
+    stages: Vec<PlanStage>,
+    /// Precomputed inter-engine transfer time.
+    transfer: SimDuration,
+    /// Precomputed total overhead (query + launch + sync, accumulated in
+    /// the executor's historical order before rounding).
+    overhead: SimDuration,
+    /// The per-engine runtime-launch share of `overhead`.
+    launch: SimDuration,
+    /// The per-stage framework-synchronization share of `overhead`.
+    sync: SimDuration,
+}
+
+impl QueryPlan {
+    /// Compiles a plan: validates the schedule, checks engine support and
+    /// lowers every stage. All per-query-invariant work happens here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is invalid for the graph or places work on
+    /// an engine that cannot execute it — the same panics (and messages)
+    /// [`crate::executor::run_query`] raises.
+    #[must_use]
+    pub fn new(soc: &Soc, graph: &Graph, schedule: &Schedule) -> Self {
+        schedule
+            .validate(graph)
+            .unwrap_or_else(|e| panic!("invalid schedule for {}: {e}", graph.name()));
+        for stage in &schedule.stages {
+            let engine = soc.engine(stage.engine);
+            for &nid in &stage.nodes {
+                let node = graph.node(nid);
+                if node.cost.flops > 0 {
+                    assert!(
+                        engine.supports(node.class(), stage.dtype),
+                        "{} cannot execute {} ({}) at {}",
+                        engine.name,
+                        node.name,
+                        node.class(),
+                        stage.dtype
+                    );
+                }
+            }
+        }
+
+        let cross_bytes = schedule.cross_engine_bytes(graph);
+        let mut ops = Vec::with_capacity(graph.len());
+        let mut stages = Vec::with_capacity(schedule.stages.len());
+        let mut transfer = 0.0f64;
+        let mut overhead = 0.0f64;
+        let mut launch_secs = 0.0f64;
+        let mut sync_secs = 0.0f64;
+
+        let mut launched: Vec<bool> = vec![false; soc.engines.len()];
+        overhead += schedule.query_overhead_us * 1e-6;
+        for (si, stage) in schedule.stages.iter().enumerate() {
+            let engine = soc.engine(stage.engine);
+            // Launch (runtime init) is paid once per engine per query; the
+            // per-stage framework synchronization on every partition.
+            if !launched[stage.engine.0] {
+                overhead += engine.launch_overhead_us * 1e-6;
+                launch_secs += engine.launch_overhead_us * 1e-6;
+                launched[stage.engine.0] = true;
+            }
+            overhead += stage.sync_overhead_us * 1e-6;
+            sync_secs += stage.sync_overhead_us * 1e-6;
+            if cross_bytes[si] > 0 {
+                transfer += soc.interconnect.transfer_secs(cross_bytes[si]);
+            }
+            for &nid in &stage.nodes {
+                let node = graph.node(nid);
+                ops.push(PlanOp {
+                    flops: node.cost.flops as f64,
+                    denom: engine.peak_ops(stage.dtype) * engine.efficiency(node.class()),
+                    memory_secs: node.cost.total_bytes(stage.dtype) as f64
+                        / (engine.mem_bandwidth_gbps * 1e9),
+                    sched_secs: engine.per_op_overhead_us * 1e-6,
+                });
+            }
+            stages.push(PlanStage {
+                ops_end: ops.len(),
+                engine: stage.engine,
+                power_w: engine.active_power_w,
+            });
+        }
+
+        QueryPlan {
+            ops,
+            stages,
+            transfer: SimDuration::from_secs_f64(transfer),
+            overhead: SimDuration::from_secs_f64(overhead),
+            launch: SimDuration::from_secs_f64(launch_secs),
+            sync: SimDuration::from_secs_f64(sync_secs),
+        }
+    }
+
+    /// Number of lowered stages.
+    #[must_use]
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Number of lowered ops across all stages.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Executes one query against the plan, advancing the SoC state —
+    /// the single-stream hot loop. Allocates nothing beyond the returned
+    /// breakdown. See the type-level docs for the bit-identity contract.
+    #[must_use]
+    pub fn execute(&self, state: &mut SocState) -> QueryResult {
+        let freq = state.freq_factor();
+        let dvfs_level = state.dvfs_level();
+        let temperature_c = state.thermal.temperature_c();
+        debug_assert!(
+            freq.is_finite() && freq > 0.0,
+            "DVFS frequency factor must be positive, got {freq}"
+        );
+        debug_assert!(
+            self.stages.last().map_or(self.ops.is_empty(), |s| s.ops_end == self.ops.len()),
+            "plan op ranges must tile the op array"
+        );
+
+        let mut stage_compute = Vec::with_capacity(self.stages.len());
+        let mut stage_engines = Vec::with_capacity(self.stages.len());
+        let mut energy_terms = 0.0f64;
+        let mut compute_total = SimDuration::ZERO;
+        let mut op_start = 0usize;
+        for stage in &self.stages {
+            let mut t = 0.0f64;
+            for op in &self.ops[op_start..stage.ops_end] {
+                let compute = if op.flops == 0.0 {
+                    0.0
+                } else {
+                    op.flops / (op.denom * freq)
+                };
+                t += compute.max(op.memory_secs) + op.sched_secs;
+            }
+            op_start = stage.ops_end;
+            energy_terms += stage.power_w * t;
+            let d = SimDuration::from_secs_f64(t);
+            compute_total += d;
+            stage_compute.push(d);
+            stage_engines.push(stage.engine);
+        }
+
+        let total = compute_total + self.transfer + self.overhead;
+
+        // Thermal/energy bookkeeping over the query duration.
+        let avg_power = if total > SimDuration::ZERO {
+            energy_terms / total.as_secs_f64()
+        } else {
+            0.0
+        };
+        state.thermal.advance(avg_power, total);
+        state.energy.record_active(avg_power, total);
+        if let Some(battery) = state.battery.as_mut() {
+            battery.drain(avg_power, total);
+        }
+
+        QueryResult {
+            latency: total,
+            freq_factor: freq,
+            dvfs_level,
+            temperature_c,
+            total_joules: state.energy.total_joules(),
+            breakdown: QueryBreakdown {
+                stage_compute,
+                stage_engines,
+                transfer: self.transfer,
+                overhead: self.overhead,
+                launch: self.launch,
+                sync: self.sync,
+            },
+        }
+    }
+}
+
+/// One offline stream lowered to the fluid model's per-op terms.
+///
+/// The compute term is pre-divided by the roofline denominator
+/// (`c = flops / (peak_ops × efficiency)`), matching the offline
+/// estimator's historical arithmetic — which differs in rounding from the
+/// single-stream path's `flops / (denom * freq)` and must stay distinct.
+#[derive(Debug, Clone)]
+pub struct StreamPlan {
+    /// `(compute_secs_at_full_freq, memory_secs, scheduling_secs)` per op.
+    ops: Vec<(f64, f64, f64)>,
+    /// Per-sample overhead at full batch amortization (seconds).
+    overhead_secs: f64,
+    /// Transfers between engines (seconds, frequency independent).
+    transfer_secs: f64,
+    /// Mean active power of the engines this stream occupies (watts).
+    power_w: f64,
+}
+
+impl StreamPlan {
+    /// Lowers one stream. Unlike [`QueryPlan::new`] this asserts nothing
+    /// beyond engine-id bounds: the estimator historically tolerates
+    /// unsupported placements (it is used to *cost* candidate placements,
+    /// including bad ones).
+    #[must_use]
+    pub fn lower(soc: &Soc, graph: &Graph, schedule: &Schedule) -> Self {
+        let cross_bytes = schedule.cross_engine_bytes(graph);
+        let mut ops = Vec::with_capacity(graph.len());
+        let mut overhead_secs = 0.0;
+        let mut transfer_secs = 0.0;
+        let mut power_time = 0.0;
+        let mut total_time = 0.0;
+
+        let mut launched: Vec<bool> = vec![false; soc.engines.len()];
+        overhead_secs += schedule.query_overhead_us * 1e-6;
+        for (si, stage) in schedule.stages.iter().enumerate() {
+            let engine = soc.engine(stage.engine);
+            if !launched[stage.engine.0] {
+                overhead_secs += engine.launch_overhead_us * 1e-6;
+                launched[stage.engine.0] = true;
+            }
+            overhead_secs += stage.sync_overhead_us * 1e-6;
+            if cross_bytes[si] > 0 {
+                transfer_secs += soc.interconnect.transfer_secs(cross_bytes[si]);
+            }
+            let mut stage_time = 0.0;
+            for &nid in &stage.nodes {
+                let node = graph.node(nid);
+                let compute = if node.cost.flops == 0 {
+                    0.0
+                } else {
+                    node.cost.flops as f64
+                        / (engine.peak_ops(stage.dtype) * engine.efficiency(node.class()))
+                };
+                let memory = node.cost.total_bytes(stage.dtype) as f64
+                    / (engine.mem_bandwidth_gbps * 1e9);
+                // Per-op scheduling cost is frequency-independent.
+                ops.push((compute, memory, engine.per_op_overhead_us * 1e-6));
+                stage_time += compute.max(memory) + engine.per_op_overhead_us * 1e-6;
+            }
+            power_time += engine.active_power_w * stage_time;
+            total_time += stage_time;
+        }
+        let power_w = if total_time > 0.0 { power_time / total_time } else { 0.0 };
+        StreamPlan { ops, overhead_secs, transfer_secs, power_w }
+    }
+
+    /// Seconds per sample at DVFS factor `freq` with overheads amortized
+    /// over `batch` samples.
+    #[must_use]
+    pub fn sample_secs(&self, freq: f64, batch: usize) -> f64 {
+        let ops: f64 = self.ops.iter().map(|&(c, m, s)| (c / freq).max(m) + s).sum();
+        ops + self.transfer_secs + self.overhead_secs / batch.max(1) as f64
+    }
+
+    /// Mean active power of the engines this stream occupies (watts).
+    #[must_use]
+    pub fn power_w(&self) -> f64 {
+        self.power_w
+    }
+}
+
+/// Simulation step for the offline loop.
+const OFFLINE_CHUNK: SimDuration = SimDuration::from_millis(250);
+
+/// A compiled offline (batched, multi-stream) run: every stream lowered
+/// once, with total run power precomputed. [`OfflinePlan::execute`]
+/// reproduces [`crate::executor::run_offline`] bit-identically, and
+/// memoizes per-stream rates on the chunk's `freq.to_bits()` so
+/// steady-state chunks (unthrottled, or parked at one DVFS point) skip
+/// re-summing the per-op profiles every 250 ms.
+#[derive(Debug, Clone)]
+pub struct OfflinePlan {
+    /// Lowered per-stream profiles, in stream order.
+    streams: Vec<StreamPlan>,
+    /// Power of all streams running concurrently plus platform idle (W).
+    total_power: f64,
+    /// Baseline platform power (watts), excluded from active energy.
+    idle_power_w: f64,
+}
+
+impl OfflinePlan {
+    /// Compiles an offline plan: validates every stream schedule and
+    /// lowers it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty or any schedule is invalid — the same
+    /// panics (and messages) [`crate::executor::run_offline`] raises.
+    #[must_use]
+    pub fn new(soc: &Soc, graph: &Graph, streams: &[Schedule]) -> Self {
+        assert!(!streams.is_empty(), "offline needs at least one stream");
+        for s in streams {
+            s.validate(graph)
+                .unwrap_or_else(|e| panic!("invalid offline schedule: {e}"));
+        }
+        let streams: Vec<StreamPlan> =
+            streams.iter().map(|s| StreamPlan::lower(soc, graph, s)).collect();
+        let total_power: f64 =
+            streams.iter().map(StreamPlan::power_w).sum::<f64>() + soc.idle_power_w;
+        OfflinePlan { streams, total_power, idle_power_w: soc.idle_power_w }
+    }
+
+    /// Number of lowered streams.
+    #[must_use]
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Executes `total_samples` across the plan's streams under the fluid
+    /// model, advancing thermal/energy state chunk by chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_samples == 0` or no stream makes progress.
+    #[must_use]
+    pub fn execute(
+        &self,
+        state: &mut SocState,
+        total_samples: u64,
+        batch_size: usize,
+    ) -> OfflineResult {
+        assert!(total_samples > 0, "offline needs samples");
+
+        let mut remaining = total_samples as f64;
+        let mut per_stream = vec![0.0f64; self.streams.len()];
+        let mut elapsed = SimDuration::ZERO;
+        let mut throttled = SimDuration::ZERO;
+        // Per-stream sample rates keyed by the chunk's exact frequency
+        // bits. The ladder has a handful of operating points, so a linear
+        // scan over a tiny vec beats hashing.
+        let mut rate_memo: Vec<(u64, Box<[f64]>)> = Vec::new();
+
+        while remaining > 0.0 {
+            let freq = state.freq_factor();
+            if freq < 1.0 {
+                throttled += OFFLINE_CHUNK;
+            }
+            let bits = freq.to_bits();
+            let memo_idx = match rate_memo.iter().position(|&(b, _)| b == bits) {
+                Some(i) => i,
+                None => {
+                    let rates: Box<[f64]> = self
+                        .streams
+                        .iter()
+                        .map(|p| 1.0 / p.sample_secs(freq, batch_size))
+                        .collect();
+                    rate_memo.push((bits, rates));
+                    rate_memo.len() - 1
+                }
+            };
+            let rates = &rate_memo[memo_idx].1;
+
+            let chunk_secs = OFFLINE_CHUNK.as_secs_f64();
+            let mut processed_this_chunk = 0.0;
+            for (i, &rate) in rates.iter().enumerate() {
+                let done = (rate * chunk_secs).min(remaining);
+                per_stream[i] += done;
+                processed_this_chunk += done;
+                remaining -= done;
+                if remaining <= 0.0 {
+                    break;
+                }
+            }
+            // All streams active concurrently: total power dissipates
+            // together.
+            state.thermal.advance(self.total_power, OFFLINE_CHUNK);
+            state
+                .energy
+                .record_active(self.total_power - self.idle_power_w, OFFLINE_CHUNK);
+            if let Some(battery) = state.battery.as_mut() {
+                battery.drain(self.total_power, OFFLINE_CHUNK);
+            }
+            elapsed += OFFLINE_CHUNK;
+            assert!(
+                processed_this_chunk > 0.0,
+                "offline run stalled: no stream makes progress"
+            );
+        }
+
+        let fps = total_samples as f64 / elapsed.as_secs_f64();
+        OfflineResult {
+            duration: elapsed,
+            throughput_fps: fps,
+            throttled_fraction: throttled.as_secs_f64() / elapsed.as_secs_f64(),
+            per_stream_samples: apportion_samples(&per_stream, total_samples),
+        }
+    }
+}
+
+/// Rounds the fluid model's fractional per-stream tallies to integers
+/// that account for **every** sample: the returned counts always sum to
+/// exactly `total_samples`.
+///
+/// The fluid-model rounding contract: each stream's tally is rounded to
+/// the nearest integer first (preserving the historical per-stream
+/// counts whenever they already added up); any residual — nearest
+/// rounding can drift by up to ±0.5 per stream — is then settled against
+/// the streams with the largest leftover fraction (largest-remainder
+/// apportionment, ties broken by stream index), never driving a count
+/// negative.
+fn apportion_samples(per_stream: &[f64], total_samples: u64) -> Vec<u64> {
+    let mut counts: Vec<u64> = per_stream.iter().map(|&s| s.round() as u64).collect();
+    let assigned: u64 = counts.iter().sum();
+    if assigned == total_samples {
+        return counts;
+    }
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    if assigned < total_samples {
+        // Hand the missing samples to the streams that rounded down most.
+        order.sort_by(|&a, &b| {
+            let ra = per_stream[a] - counts[a] as f64;
+            let rb = per_stream[b] - counts[b] as f64;
+            rb.partial_cmp(&ra).expect("tallies are finite").then(a.cmp(&b))
+        });
+        let mut deficit = total_samples - assigned;
+        let mut i = 0;
+        while deficit > 0 {
+            counts[order[i % order.len()]] += 1;
+            deficit -= 1;
+            i += 1;
+        }
+    } else {
+        // Claw back the surplus from the streams that rounded up most.
+        order.sort_by(|&a, &b| {
+            let ra = counts[a] as f64 - per_stream[a];
+            let rb = counts[b] as f64 - per_stream[b];
+            rb.partial_cmp(&ra).expect("tallies are finite").then(a.cmp(&b))
+        });
+        let mut surplus = assigned - total_samples;
+        let mut i = 0;
+        while surplus > 0 {
+            let j = order[i % order.len()];
+            if counts[j] > 0 {
+                counts[j] -= 1;
+                surplus -= 1;
+            }
+            i += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apportion_identity_when_counts_already_sum() {
+        assert_eq!(apportion_samples(&[3.0, 5.0], 8), vec![3, 5]);
+        assert_eq!(apportion_samples(&[2.6, 5.4], 8), vec![3, 5]);
+    }
+
+    #[test]
+    fn apportion_settles_deficit_by_largest_remainder() {
+        // round() gives [1, 2] (1.4 -> 1, 2.4 -> 2) but 4 samples ran;
+        // stream 0 and 1 tie on remainder 0.4 so index order wins.
+        assert_eq!(apportion_samples(&[1.4, 2.4], 4), vec![2, 2]);
+        // Half-way ties round away from zero: [1.5, 2.5] -> [2, 3] = 5.
+        assert_eq!(apportion_samples(&[1.5, 2.5], 4), vec![1, 3]);
+    }
+
+    #[test]
+    fn apportion_never_underflows() {
+        assert_eq!(apportion_samples(&[0.4, 0.4, 0.2], 1), vec![1, 0, 0]);
+        let counts = apportion_samples(&[0.5, 0.5], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 1);
+    }
+}

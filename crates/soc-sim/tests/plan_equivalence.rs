@@ -1,0 +1,331 @@
+//! The compiled-plan contract: [`QueryPlan`]/[`OfflinePlan`] execution is
+//! bit-identical — 0 ULPs on every float — to the historical per-query
+//! graph traversal, across random graphs, schedules, frequency factors and
+//! thermal states.
+//!
+//! The reference here is a *legacy oracle*: a verbatim reimplementation of
+//! the pre-plan `run_query` arithmetic (same operand order, same addition
+//! order) written against the public simulator API. Any drift in the plan
+//! lowering — reordered sums, refactored operand grouping, cached terms
+//! rounded differently — trips these tests even if it would survive the
+//! coarser integration suites.
+
+use nn_graph::builder::GraphBuilder;
+use nn_graph::graph::retype;
+use nn_graph::{Activation, DataType, Graph, Shape};
+use proptest::prelude::*;
+use soc_sim::engine::{EngineId, EngineKind, EngineSpecBuilder};
+use soc_sim::executor::{run_offline, run_query, QueryResult};
+use soc_sim::plan::{OfflinePlan, QueryPlan};
+use soc_sim::schedule::{Schedule, Stage};
+use soc_sim::soc::{InterconnectSpec, Soc, SocState};
+use soc_sim::thermal::ThermalSpec;
+use soc_sim::time::SimDuration;
+use nn_graph::OpClass;
+
+/// A two-engine SoC with a hair-trigger thermal envelope, so short query
+/// sequences already traverse several DVFS operating points.
+fn soc() -> Soc {
+    Soc {
+        name: "PlanChip".into(),
+        vendor: "Acme".into(),
+        engines: vec![
+            EngineSpecBuilder::new("cpu", EngineKind::CpuBig, 100.0, 100.0, 50.0)
+                .bandwidth(15.0)
+                .launch_us(5.0)
+                .power_w(6.0)
+                .eff_all(&[OpClass::Conv, OpClass::FullyConnected], 0.4)
+                .build(),
+            EngineSpecBuilder::new("npu", EngineKind::Npu, 2000.0, 500.0, 0.0)
+                .bandwidth(25.0)
+                .launch_us(80.0)
+                .power_w(9.0)
+                .eff(OpClass::Conv, 0.5)
+                .build(),
+        ],
+        interconnect: InterconnectSpec { transfer_gbps: 8.0, handoff_latency_us: 120.0 },
+        thermal: ThermalSpec {
+            resistance_c_per_w: 10.0,
+            capacitance_j_per_c: 0.8,
+            throttle_onset_c: 45.0,
+            throttle_full_c: 80.0,
+            min_freq_factor: 0.4,
+        },
+        idle_power_w: 0.3,
+        is_laptop: false,
+    }
+}
+
+fn small_graph(channels: usize, depth: usize) -> Graph {
+    let mut b = GraphBuilder::new("t", Shape::nhwc(24, 24, 3), DataType::F32);
+    let mut prev = b.input_id();
+    for i in 0..depth.max(1) {
+        prev = b.conv2d(&format!("c{i}"), prev, 3, 1, channels, Activation::Relu6);
+    }
+    let p = b.global_avg_pool("gap", prev);
+    let _ = b.fully_connected("fc", p, 10, Activation::None);
+    b.finish()
+}
+
+/// Splits the graph's node list into up to `stages` contiguous partitions
+/// with per-stage engines/sync drawn from the inputs.
+fn random_schedule(
+    graph: &Graph,
+    cuts: &[usize],
+    engines: &[usize],
+    sync_us: f64,
+    query_us: f64,
+) -> Schedule {
+    let all: Vec<_> = graph.iter().map(|n| n.id).collect();
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % all.len()).collect();
+    bounds.push(0);
+    bounds.push(all.len());
+    bounds.sort_unstable();
+    bounds.dedup();
+    let stages: Vec<Stage> = bounds
+        .windows(2)
+        .enumerate()
+        .map(|(i, w)| Stage {
+            engine: EngineId(engines[i % engines.len()] % 2),
+            dtype: DataType::I8,
+            nodes: all[w[0]..w[1]].to_vec(),
+            sync_overhead_us: sync_us,
+        })
+        .collect();
+    Schedule { stages, query_overhead_us: query_us }
+}
+
+/// The pre-plan `run_query` arithmetic, verbatim: validation, support
+/// asserts, then the roofline traversal in the executor's historical
+/// operand and addition order. Kept as the independent oracle the plan
+/// must match to 0 ULPs.
+fn legacy_run_query(
+    soc: &Soc,
+    graph: &Graph,
+    schedule: &Schedule,
+    state: &mut SocState,
+) -> QueryResult {
+    schedule
+        .validate(graph)
+        .unwrap_or_else(|e| panic!("invalid schedule for {}: {e}", graph.name()));
+    for stage in &schedule.stages {
+        let engine = soc.engine(stage.engine);
+        for &nid in &stage.nodes {
+            let node = graph.node(nid);
+            if node.cost.flops > 0 {
+                assert!(engine.supports(node.class(), stage.dtype));
+            }
+        }
+    }
+
+    let freq = state.freq_factor();
+    let dvfs_level = state.dvfs_level();
+    let temperature_c = state.thermal.temperature_c();
+    let cross_bytes = schedule.cross_engine_bytes(graph);
+
+    let mut stage_compute = Vec::new();
+    let mut stage_engines = Vec::new();
+    let mut transfer = 0.0f64;
+    let mut overhead = 0.0f64;
+    let mut launch_secs = 0.0f64;
+    let mut sync_secs = 0.0f64;
+    let mut energy_terms = 0.0f64;
+
+    let mut launched: Vec<bool> = vec![false; soc.engines.len()];
+    overhead += schedule.query_overhead_us * 1e-6;
+    for (si, stage) in schedule.stages.iter().enumerate() {
+        let engine = soc.engine(stage.engine);
+        if !launched[stage.engine.0] {
+            overhead += engine.launch_overhead_us * 1e-6;
+            launch_secs += engine.launch_overhead_us * 1e-6;
+            launched[stage.engine.0] = true;
+        }
+        overhead += stage.sync_overhead_us * 1e-6;
+        sync_secs += stage.sync_overhead_us * 1e-6;
+        stage_engines.push(stage.engine);
+        if cross_bytes[si] > 0 {
+            transfer += soc.interconnect.transfer_secs(cross_bytes[si]);
+        }
+        let mut t = 0.0f64;
+        for &nid in &stage.nodes {
+            let node = graph.node(nid);
+            let compute = if node.cost.flops == 0 {
+                0.0
+            } else {
+                node.cost.flops as f64
+                    / (engine.peak_ops(stage.dtype) * engine.efficiency(node.class()) * freq)
+            };
+            let memory =
+                node.cost.total_bytes(stage.dtype) as f64 / (engine.mem_bandwidth_gbps * 1e9);
+            t += compute.max(memory) + engine.per_op_overhead_us * 1e-6;
+        }
+        energy_terms += engine.active_power_w * t;
+        stage_compute.push(SimDuration::from_secs_f64(t));
+    }
+
+    let total = stage_compute.iter().copied().sum::<SimDuration>()
+        + SimDuration::from_secs_f64(transfer)
+        + SimDuration::from_secs_f64(overhead);
+
+    let avg_power = if total > SimDuration::ZERO {
+        energy_terms / total.as_secs_f64()
+    } else {
+        0.0
+    };
+    state.thermal.advance(avg_power, total);
+    state.energy.record_active(avg_power, total);
+    if let Some(battery) = state.battery.as_mut() {
+        battery.drain(avg_power, total);
+    }
+
+    QueryResult {
+        latency: total,
+        freq_factor: freq,
+        dvfs_level,
+        temperature_c,
+        total_joules: state.energy.total_joules(),
+        breakdown: soc_sim::executor::QueryBreakdown {
+            stage_compute,
+            stage_engines,
+            transfer: SimDuration::from_secs_f64(transfer),
+            overhead: SimDuration::from_secs_f64(overhead),
+            launch: SimDuration::from_secs_f64(launch_secs),
+            sync: SimDuration::from_secs_f64(sync_secs),
+        },
+    }
+}
+
+/// Asserts two query results are identical down to the float bits.
+fn assert_bit_identical(a: &QueryResult, b: &QueryResult) {
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.freq_factor.to_bits(), b.freq_factor.to_bits(), "freq ULP drift");
+    assert_eq!(a.dvfs_level, b.dvfs_level);
+    assert_eq!(a.temperature_c.to_bits(), b.temperature_c.to_bits(), "temp ULP drift");
+    assert_eq!(a.total_joules.to_bits(), b.total_joules.to_bits(), "energy ULP drift");
+    assert_eq!(a.breakdown, b.breakdown);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Planned execution == unplanned `run_query` == the legacy oracle,
+    /// over an evolving thermal/DVFS/battery trajectory: every query
+    /// result and every piece of device state match to 0 ULPs.
+    #[test]
+    fn planned_matches_legacy_oracle_across_thermal_trajectory(
+        channels in 4usize..48,
+        depth in 1usize..4,
+        cuts in proptest::collection::vec(0usize..16, 0..3),
+        engines in proptest::collection::vec(0usize..2, 1..4),
+        sync_us in 0.0f64..500.0,
+        query_us in 0.0f64..200.0,
+        ambient in 20.0f64..40.0,
+        queries in 1usize..60,
+        on_battery: bool,
+    ) {
+        let soc = soc();
+        let graph = retype(&small_graph(channels, depth), DataType::I8);
+        let schedule = random_schedule(&graph, &cuts, &engines, sync_us, query_us);
+        // Contiguous partitions of the topological node order are always
+        // valid schedules; anything else is a bug in the generator.
+        schedule.validate(&graph).expect("generator must emit valid schedules");
+
+        let new_state = || {
+            if on_battery {
+                soc.new_state_on_battery(
+                    ambient,
+                    soc_sim::battery::BatteryState::new(
+                        soc_sim::battery::BatterySpec::default(),
+                        0.9,
+                    ),
+                )
+            } else {
+                soc.new_state(ambient)
+            }
+        };
+        let mut oracle_state = new_state();
+        let mut direct_state = new_state();
+        let mut planned_state = new_state();
+        let plan = QueryPlan::new(&soc, &graph, &schedule);
+
+        for q in 0..queries {
+            let oracle = legacy_run_query(&soc, &graph, &schedule, &mut oracle_state);
+            let direct = run_query(&soc, &graph, &schedule, &mut direct_state);
+            let planned = plan.execute(&mut planned_state);
+            assert_bit_identical(&oracle, &direct);
+            assert_bit_identical(&oracle, &planned);
+            // The whole DVFS/thermal/energy/battery trajectory stays in
+            // lockstep, not just the visible results.
+            prop_assert_eq!(&oracle_state, &direct_state, "query {}", q);
+            prop_assert_eq!(&oracle_state, &planned_state, "query {}", q);
+        }
+    }
+
+    /// The plan's one-time lowering is just as reusable as it claims: one
+    /// plan driven over two states from different ambients produces the
+    /// same results as two independently compiled plans.
+    #[test]
+    fn one_plan_serves_many_states(
+        channels in 4usize..32,
+        ambient_a in 20.0f64..30.0,
+        ambient_b in 30.0f64..45.0,
+    ) {
+        let soc = soc();
+        let graph = retype(&small_graph(channels, 2), DataType::I8);
+        let schedule = Schedule::single(&graph, EngineId(1), DataType::I8, 40.0);
+        let shared = QueryPlan::new(&soc, &graph, &schedule);
+        for ambient in [ambient_a, ambient_b] {
+            let mut s1 = soc.new_state(ambient);
+            let mut s2 = soc.new_state(ambient);
+            let fresh = QueryPlan::new(&soc, &graph, &schedule);
+            for _ in 0..10 {
+                assert_bit_identical(&shared.execute(&mut s1), &fresh.execute(&mut s2));
+            }
+            prop_assert_eq!(s1, s2);
+        }
+    }
+
+    /// Offline: the planned fluid loop (with its freq-bits rate memo)
+    /// matches `run_offline` exactly, and the integer per-stream counts
+    /// always account for every sample.
+    #[test]
+    fn offline_plan_matches_and_accounts_all_samples(
+        channels in 4usize..32,
+        total in 1u64..20_000,
+        batch in 1usize..64,
+        two_streams: bool,
+    ) {
+        let soc = soc();
+        let graph = retype(&small_graph(channels, 2), DataType::I8);
+        let npu = Schedule::single(&graph, EngineId(1), DataType::I8, 0.0);
+        let cpu = Schedule::single(&graph, EngineId(0), DataType::I8, 0.0);
+        let streams: Vec<Schedule> =
+            if two_streams { vec![npu, cpu] } else { vec![npu] };
+
+        let mut s1 = soc.new_state(22.0);
+        let direct = run_offline(&soc, &graph, &streams, &mut s1, total, batch);
+        let plan = OfflinePlan::new(&soc, &graph, &streams);
+        let mut s2 = soc.new_state(22.0);
+        let planned = plan.execute(&mut s2, total, batch);
+
+        prop_assert_eq!(&direct, &planned);
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(
+            planned.per_stream_samples.iter().sum::<u64>(),
+            total,
+            "rounding must account for every sample"
+        );
+    }
+}
+
+#[test]
+fn estimate_matches_plan_lowering() {
+    // `estimate_query_secs` routes through the same StreamPlan lowering
+    // the offline plan uses; a cold single-stream query agrees closely.
+    let soc = soc();
+    let graph = retype(&small_graph(24, 2), DataType::I8);
+    let schedule = Schedule::single(&graph, EngineId(0), DataType::I8, 0.0);
+    let est = soc_sim::executor::estimate_query_secs(&soc, &graph, &schedule);
+    let lowered = soc_sim::plan::StreamPlan::lower(&soc, &graph, &schedule).sample_secs(1.0, 1);
+    assert_eq!(est.to_bits(), lowered.to_bits(), "estimator must be the plan lowering verbatim");
+}

@@ -192,6 +192,66 @@ fn cache_hit_scores_match_fresh_compile_scores() {
 }
 
 #[test]
+fn planned_runs_match_fresh_compiles_bit_identically() {
+    // Three routes into the same benchmark — a fresh compile (plans built
+    // inside the harness), an explicitly pre-planned deployment, and a
+    // plan-cache hit — must produce bit-identical scores. Compiled query
+    // plans are a pure performance optimisation, invisible in every score.
+    use mlperf_mobile::harness::run_benchmark_planned;
+    use mlperf_mobile::sut_impl::PlannedDeployment;
+
+    let specs = matrix();
+    let rules = RunRules::smoke_test();
+    let scale = DatasetScale::Reduced(48);
+    let cache = CompileCache::new();
+
+    for spec in &specs {
+        let fresh = run_benchmark(
+            spec.chip,
+            create(spec.backend).as_ref(),
+            &spec.def,
+            &rules,
+            scale,
+            spec.with_offline,
+        )
+        .expect("matrix spec compiles");
+
+        // Hand-built plan, bypassing the cache entirely.
+        let soc = cache.soc(spec.chip);
+        let deployment = create(spec.backend)
+            .compile(&spec.def.model.build(), &soc)
+            .expect("matrix spec compiles");
+        let hand_planned = PlannedDeployment::compile(&soc, Arc::new(deployment));
+        let planned = run_benchmark_planned(
+            spec.chip,
+            Arc::clone(&soc),
+            hand_planned,
+            &spec.def,
+            &rules,
+            scale,
+            spec.with_offline,
+        );
+
+        // Cached plan: second lookup of the same triple is a hit.
+        let cached_plan = cache.planned(spec.chip, spec.backend, spec.def.model).unwrap();
+        let from_cache = run_benchmark_planned(
+            spec.chip,
+            soc,
+            cached_plan,
+            &spec.def,
+            &rules,
+            scale,
+            spec.with_offline,
+        );
+
+        let want = serde_json::to_string(&fresh).unwrap();
+        assert_eq!(want, serde_json::to_string(&planned).unwrap(), "{:?}", spec.chip);
+        assert_eq!(want, serde_json::to_string(&from_cache).unwrap(), "{:?}", spec.chip);
+    }
+    assert_eq!(cache.plan_misses(), specs.len(), "one plan compilation per distinct triple");
+}
+
+#[test]
 fn sweep_matches_per_chip_suite_reports() {
     // The cross-chip sweep parallelizes over the flat matrix but must
     // regroup into exactly the reports a chip-by-chip loop produces.
