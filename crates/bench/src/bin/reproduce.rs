@@ -50,12 +50,26 @@ struct CacheStats {
     misses: usize,
 }
 
+/// Per-sub-report wall-clock inside the `ablations` artifact.
+#[derive(Serialize)]
+struct AblationTiming {
+    name: String,
+    wall_ms: f64,
+}
+
 /// The `BENCH_suite.json` schema.
 #[derive(Serialize)]
 struct SuiteTimings {
     artifacts: Vec<ArtifactTiming>,
+    /// Wall-clock of each sub-report inside the `ablations` artifact
+    /// (sync/merge/sticky/interconnect/batch sweeps, tax, extensions,
+    /// power), in report order.
+    ablation_breakdown: Vec<AblationTiming>,
     total_wall_ms: f64,
     compile_cache: CacheStats,
+    /// Sweep-engine cache counters (delta re-lowerings, schedule-equality
+    /// estimate reuse, shared accuracy scores) over the whole sweep.
+    sweep_cache: CacheStats,
 }
 
 /// An artifact name and its generator.
@@ -144,10 +158,16 @@ fn run_all(out: Option<(&Path, bool)>) -> String {
     }
     let total_ms = total.elapsed().as_secs_f64() * 1e3;
     let cache = mlperf_bench::cache();
+    let sweep = metrics().snapshot();
     let suite_json = SuiteTimings {
         artifacts: timings,
+        ablation_breakdown: mlperf_bench::take_ablation_breakdown()
+            .into_iter()
+            .map(|(name, wall_ms)| AblationTiming { name, wall_ms })
+            .collect(),
         total_wall_ms: total_ms,
         compile_cache: CacheStats { hits: cache.hits(), misses: cache.misses() },
+        sweep_cache: CacheStats { hits: sweep.sweep_hits, misses: sweep.sweep_misses },
     };
     match std::fs::write(
         "BENCH_suite.json",

@@ -177,10 +177,13 @@ pub fn insight5() -> String {
     )
 }
 
-/// All five insights.
+/// All five insights, computed in parallel and joined in insight order
+/// (each insight reads only the shared compile cache, so the join is
+/// byte-identical to the serial concatenation — locked by a test below).
 #[must_use]
 pub fn all_insights() -> String {
-    [insight1(), insight2(), insight3(), insight4(), insight5()].join("\n")
+    let insights: [fn() -> String; 5] = [insight1, insight2, insight3, insight4, insight5];
+    mlperf_mobile::runner::par_map(&insights, crate::worker_threads(), |f| f()).join("\n")
 }
 
 #[cfg(test)]
@@ -207,5 +210,11 @@ mod tests {
         let text = all_insights();
         assert!(text.contains("Insight 1"));
         assert!(text.contains("Insight 5"));
+    }
+
+    #[test]
+    fn parallel_insights_match_serial_byte_for_byte() {
+        let serial = [insight1(), insight2(), insight3(), insight4(), insight5()].join("\n");
+        assert_eq!(all_insights(), serial);
     }
 }

@@ -17,10 +17,14 @@ pub use insights::all_insights;
 pub use ablations::{
     ablation_batch_size, ablation_interconnect, ablation_merge_window,
     ablation_sticky_fallback, ablation_sync_overhead, all_ablations, end_to_end_tax,
-    extensions_report, power_report,
+    extensions_report, power_report, take_ablation_breakdown,
 };
 
-use mlperf_mobile::harness::{run_benchmark_with, run_benchmark_with_trace, RunRules};
+use mlperf_mobile::harness::{
+    run_benchmark_planned, run_benchmark_planned_with_trace, run_benchmark_with,
+    run_benchmark_with_trace, RunRules,
+};
+use mlperf_mobile::sut_impl::PlannedDeployment;
 use mlperf_mobile::metrics::TraceCollector;
 use mlperf_mobile::report::render_table;
 use mlperf_mobile::runner::CompileCache;
@@ -92,6 +96,43 @@ pub(crate) fn run_scored(
     } else {
         run_benchmark_with(chip, soc, deployment, def, rules, scale, with_offline)
     }
+}
+
+/// [`run_scored`] for an already-planned deployment: skips the per-run
+/// plan compilation by reusing the process-wide plan cache's lowering.
+/// Scores are bit-identical either way (plan lowering is deterministic).
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_scored_planned(
+    chip: ChipId,
+    soc: Arc<Soc>,
+    planned: PlannedDeployment,
+    def: &BenchmarkDef,
+    rules: &RunRules,
+    scale: DatasetScale,
+    with_offline: bool,
+) -> BenchmarkScore {
+    if tracing() {
+        let (score, trace) = run_benchmark_planned_with_trace(
+            chip,
+            soc,
+            planned,
+            def,
+            rules,
+            scale,
+            with_offline,
+        );
+        trace_sink().push(trace);
+        score
+    } else {
+        run_benchmark_planned(chip, soc, planned, def, rules, scale, with_offline)
+    }
+}
+
+/// Worker-thread count for the parallel sweep paths: one per available
+/// core, clamped to at least one.
+pub(crate) fn worker_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Vendor-path single-stream latency estimate in ms.

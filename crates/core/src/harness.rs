@@ -8,7 +8,8 @@ use crate::task::{BenchmarkDef, Task};
 use loadgen::checker::{check_log, Violation};
 use loadgen::log::RunLog;
 use loadgen::run::{
-    run_accuracy, run_offline_scenario_traced, run_single_stream_traced, PerformanceResult,
+    run_accuracy_advance, run_accuracy_parallel, run_offline_scenario_traced,
+    run_single_stream_traced, PerformanceResult,
 };
 use loadgen::scenario::TestSettings;
 use loadgen::trace::RunTrace;
@@ -19,7 +20,8 @@ use soc_sim::battery::{BatterySpec, BatteryState};
 use soc_sim::catalog::ChipId;
 use soc_sim::soc::Soc;
 use soc_sim::time::SimDuration;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Run-rule environment (paper Section 6.1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -505,6 +507,55 @@ pub fn run_benchmark_with_trace(
     (score, trace.expect("traced run always yields a trace"))
 }
 
+/// Accuracy-mode scores keyed by everything the prediction + scoring
+/// pipeline reads, shared process-wide across chips and backends.
+static ACCURACY_SCORES: OnceLock<Mutex<HashMap<String, f64>>> = OnceLock::new();
+
+/// Produces the accuracy score for this run, reusing a previously
+/// computed one when the whole prediction pipeline's input is identical.
+///
+/// The returned score, the device-state evolution, and the log records
+/// are all byte-identical to [`loadgen::run::run_accuracy`] +
+/// [`score_accuracy`]: a hit
+/// replays only the stateful advance half ([`run_accuracy_advance`]), a
+/// miss synthesizes predictions across threads with order-preserving
+/// assembly ([`run_accuracy_parallel`]). Hits and misses feed the
+/// sweep-cache counters in the [`metrics`] registry.
+fn cached_accuracy_score(
+    sut: &mut DeviceSut,
+    def: &BenchmarkDef,
+    scale: DatasetScale,
+    dataset_len: usize,
+    rules: &RunRules,
+    log: &mut RunLog,
+) -> f64 {
+    // The scale discriminator is part of the key even though the length
+    // already is: super-resolution datasets change *resolution* (not just
+    // length) between Full and Reduced, so equal lengths can still mean
+    // different data.
+    let key = format!(
+        "{:?}|{:?}|{:?}|{dataset_len}|{}|{:016x}",
+        def.task,
+        def.model,
+        scale,
+        rules.settings.seed,
+        sut.target_quality.to_bits()
+    );
+    let cache = ACCURACY_SCORES.get_or_init(|| Mutex::new(HashMap::new()));
+    let cached = cache.lock().unwrap().get(&key).copied();
+    if let Some(score) = cached {
+        metrics().record_sweep_hit();
+        let _ = run_accuracy_advance(sut, dataset_len, &rules.settings, log);
+        return score;
+    }
+    metrics().record_sweep_miss();
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let acc = run_accuracy_parallel(sut, dataset_len, &rules.settings, log, threads);
+    let score = score_accuracy(&sut.data, &acc.predictions);
+    cache.lock().unwrap().insert(key, score);
+    score
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_benchmark_inner(
     chip: ChipId,
@@ -526,10 +577,16 @@ fn run_benchmark_inner(
     }
     let dataset_len = sut.data.len();
 
-    // 1. Accuracy mode over the whole validation set.
+    // 1. Accuracy mode over the whole validation set. The prediction and
+    // scoring half is a pure function of (task, model, scale, dataset
+    // length, seed, quality target) — notably *not* of the chip or
+    // backend — so a process-wide sweep cache shares the score across
+    // deployments while the device-state half still advances every query
+    // (thermals must carry into the cooldown and performance phases
+    // exactly as in an uncached run).
     let mut accuracy_log = RunLog::new();
-    let acc = run_accuracy(&mut sut, dataset_len, &rules.settings, &mut accuracy_log);
-    let accuracy = score_accuracy(&sut.data, &acc.predictions);
+    let accuracy =
+        cached_accuracy_score(&mut sut, def, scale, dataset_len, rules, &mut accuracy_log);
 
     // 2. Cooldown before the performance run.
     sut.state.thermal.cooldown(rules.cooldown);

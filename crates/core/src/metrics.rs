@@ -38,6 +38,11 @@ pub struct MetricsSnapshot {
     pub plan_hits: usize,
     /// Query-plan lookups that triggered a plan compilation.
     pub plan_misses: usize,
+    /// Sweep-engine lookups (accuracy scores, delta re-lowerings,
+    /// steady-state replays) answered from a sweep cache.
+    pub sweep_hits: usize,
+    /// Sweep-engine lookups that had to do the full computation.
+    pub sweep_misses: usize,
     /// Benchmark runs completed (accuracy + performance flows).
     pub runs_completed: usize,
     /// Performance queries issued across all runs.
@@ -60,6 +65,8 @@ impl MetricsSnapshot {
             compile_misses: self.compile_misses.saturating_sub(earlier.compile_misses),
             plan_hits: self.plan_hits.saturating_sub(earlier.plan_hits),
             plan_misses: self.plan_misses.saturating_sub(earlier.plan_misses),
+            sweep_hits: self.sweep_hits.saturating_sub(earlier.sweep_hits),
+            sweep_misses: self.sweep_misses.saturating_sub(earlier.sweep_misses),
             runs_completed: self.runs_completed.saturating_sub(earlier.runs_completed),
             queries_issued: self.queries_issued.saturating_sub(earlier.queries_issued),
             throttled_queries: self.throttled_queries.saturating_sub(earlier.throttled_queries),
@@ -75,6 +82,8 @@ pub struct MetricsRegistry {
     compile_misses: AtomicUsize,
     plan_hits: AtomicUsize,
     plan_misses: AtomicUsize,
+    sweep_hits: AtomicUsize,
+    sweep_misses: AtomicUsize,
     runs_completed: AtomicUsize,
     queries_issued: AtomicU64,
     throttled_queries: AtomicU64,
@@ -101,6 +110,17 @@ impl MetricsRegistry {
     /// Records one plan-cache miss (a real plan compilation).
     pub fn record_plan_miss(&self) {
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one sweep-cache hit (a reused accuracy score, delta
+    /// re-lowering, or steady-state replay).
+    pub fn record_sweep_hit(&self) {
+        self.sweep_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one sweep-cache miss (the full computation ran).
+    pub fn record_sweep_miss(&self) {
+        self.sweep_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one completed benchmark run and its query volume.
@@ -139,6 +159,8 @@ impl MetricsRegistry {
             compile_misses: self.compile_misses.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            sweep_hits: self.sweep_hits.load(Ordering::Relaxed),
+            sweep_misses: self.sweep_misses.load(Ordering::Relaxed),
             runs_completed: self.runs_completed.load(Ordering::Relaxed),
             queries_issued: self.queries_issued.load(Ordering::Relaxed),
             throttled_queries: self.throttled_queries.load(Ordering::Relaxed),
@@ -240,6 +262,9 @@ mod tests {
         r.record_compile_hit();
         r.record_plan_hit();
         r.record_plan_hit();
+        r.record_sweep_hit();
+        r.record_sweep_hit();
+        r.record_sweep_miss();
         r.record_run(100);
         r.record_throttling(5, 1);
         let delta = r.snapshot().since(&before);
@@ -247,6 +272,8 @@ mod tests {
         assert_eq!(delta.compile_misses, 0);
         assert_eq!(delta.plan_hits, 2);
         assert_eq!(delta.plan_misses, 0);
+        assert_eq!(delta.sweep_hits, 2);
+        assert_eq!(delta.sweep_misses, 1);
         assert_eq!(delta.runs_completed, 1);
         assert_eq!(delta.queries_issued, 100);
         assert_eq!(delta.throttled_queries, 5);

@@ -58,6 +58,20 @@ pub fn prometheus_exposition(snap: &MetricsSnapshot, timings: &[SpecTiming]) -> 
     );
     sample(
         &mut out,
+        "mlperf_sweep_cache_hits_total",
+        "Sweep-engine lookups answered from a sweep cache.",
+        "counter",
+        snap.sweep_hits,
+    );
+    sample(
+        &mut out,
+        "mlperf_sweep_cache_misses_total",
+        "Sweep-engine lookups that had to do the full computation.",
+        "counter",
+        snap.sweep_misses,
+    );
+    sample(
+        &mut out,
         "mlperf_runs_completed_total",
         "Benchmark runs completed.",
         "counter",
@@ -113,6 +127,8 @@ mod tests {
             compile_misses: 1,
             plan_hits: 6,
             plan_misses: 2,
+            sweep_hits: 9,
+            sweep_misses: 3,
             runs_completed: 4,
             queries_issued: 128,
             throttled_queries: 5,
@@ -132,6 +148,8 @@ mod tests {
             "mlperf_compile_cache_misses_total",
             "mlperf_plan_cache_hits_total",
             "mlperf_plan_cache_misses_total",
+            "mlperf_sweep_cache_hits_total",
+            "mlperf_sweep_cache_misses_total",
             "mlperf_runs_completed_total",
             "mlperf_queries_issued_total",
             "mlperf_throttled_queries_total",

@@ -33,6 +33,7 @@
 
 pub mod checker;
 pub mod log;
+pub mod par;
 pub mod run;
 pub mod scenario;
 pub mod sut;
@@ -41,10 +42,11 @@ pub mod trace;
 pub use checker::{check_log, Violation};
 pub use log::{LogRecord, RunLog};
 pub use run::{
-    performance_sample_set, run_accuracy, run_offline_scenario,
-    run_offline_scenario_traced, run_single_stream, run_single_stream_traced,
-    AccuracyResult, PerformanceResult,
+    performance_sample_set, run_accuracy, run_accuracy_advance,
+    run_accuracy_parallel, run_offline_scenario, run_offline_scenario_traced,
+    run_single_stream, run_single_stream_traced, AccuracyResult,
+    PerformanceResult,
 };
 pub use scenario::{Scenario, TestMode, TestSettings};
-pub use sut::{ConstantSut, SystemUnderTest};
+pub use sut::{ConstantSut, SplitQuery, SystemUnderTest};
 pub use trace::{BurstSpan, QuerySpan, QueryTelemetry, RunTrace, StageTelemetry};

@@ -1,0 +1,60 @@
+//! Order-preserving chunked parallel map.
+//!
+//! The accuracy pipeline scores thousands of *independent* predictions,
+//! but the LoadGen's determinism contract demands the output be
+//! indistinguishable from the serial loop. This helper splits the input
+//! into one contiguous chunk per worker and reassembles the results in
+//! chunk order, so the output vector is element-for-element identical to
+//! `items.iter().map(f).collect()` regardless of thread count or
+//! scheduling.
+
+/// Maps `f` over `items` on up to `threads` workers, preserving order.
+///
+/// The slice is split into at most `threads` contiguous chunks (sized
+/// within one element of each other); each worker maps its own chunk, and
+/// the chunks are concatenated in order. With `threads <= 1`, or a single
+/// chunk, this is exactly the serial map — no threads are spawned.
+pub fn par_map_chunked<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Ceil-divide so every chunk is non-empty and order is trivially
+    // preserved by concatenating per-chunk outputs.
+    let chunk_len = items.len().div_ceil(threads);
+    let mut results: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        results = handles.into_iter().map(|h| h.join().expect("par_map worker")).collect();
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_across_thread_counts() {
+        let items: Vec<usize> = (0..1001).collect();
+        let serial: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64, 2000] {
+            assert_eq!(par_map_chunked(&items, threads, |&x| x * 3 + 1), serial, "{threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map_chunked(&empty, 4, |&x| x).is_empty());
+        assert_eq!(par_map_chunked(&[7u8], 4, |&x| x + 1), vec![8]);
+    }
+}

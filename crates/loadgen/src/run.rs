@@ -290,6 +290,75 @@ pub fn run_accuracy<S: SystemUnderTest>(
     AccuracyResult { predictions, duration }
 }
 
+/// The device-advance half of [`run_accuracy`]: walks the whole
+/// validation set through [`SplitQuery::advance_query`], producing the
+/// same state evolution, log records and duration as the full accuracy
+/// run — without synthesizing a single prediction.
+///
+/// Callers that already know the accuracy outcome (e.g. a sweep cache
+/// that has scored this exact `(dataset, quality)` pair before) use this
+/// to keep the thermal trajectory and the unedited log byte-identical to
+/// a from-scratch run.
+///
+/// [`SplitQuery::advance_query`]: crate::sut::SplitQuery::advance_query
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn run_accuracy_advance<S: crate::sut::SplitQuery>(
+    sut: &mut S,
+    dataset_len: usize,
+    settings: &TestSettings,
+    log: &mut RunLog,
+) -> SimDuration {
+    assert!(dataset_len > 0, "empty dataset");
+    log.start(
+        Scenario::SingleStream,
+        TestMode::Accuracy,
+        settings.seed,
+        sut.description(),
+    );
+    let mut now = SimInstant::EPOCH;
+    for s in 0..dataset_len {
+        now += sut.advance_query(s);
+    }
+    let duration = now.duration_since(SimInstant::EPOCH);
+    log.push(LogRecord::TestEnd { queries: dataset_len as u64, duration_ns: duration.as_nanos() });
+    duration
+}
+
+/// [`run_accuracy`] with the prediction work spread over `threads`
+/// workers.
+///
+/// The device advance stays serial — each query's latency depends on the
+/// state the previous one left behind — while the predictions, pure
+/// per-sample functions under the [`SplitQuery`] contract, run through an
+/// order-preserving chunked [`crate::par::par_map_chunked`]. The returned
+/// result and the log records are **byte-identical** to the serial
+/// [`run_accuracy`] for any thread count (enforced by
+/// `accuracy_parallel_is_byte_identical_to_serial` below).
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn run_accuracy_parallel<S>(
+    sut: &mut S,
+    dataset_len: usize,
+    settings: &TestSettings,
+    log: &mut RunLog,
+    threads: usize,
+) -> AccuracyResult<S::Response>
+where
+    S: crate::sut::SplitQuery + Sync,
+    S::Response: Send,
+{
+    let duration = run_accuracy_advance(sut, dataset_len, settings, log);
+    let samples: Vec<usize> = (0..dataset_len).collect();
+    let responses = crate::par::par_map_chunked(&samples, threads, |&s| sut.predict(s));
+    let predictions = samples.into_iter().zip(responses).collect();
+    AccuracyResult { predictions, duration }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,5 +439,58 @@ mod tests {
         let mut log = RunLog::new();
         let r = run_single_stream(&mut sut, 100, &TestSettings::smoke_test(), &mut log);
         assert_eq!(log.latencies_ns().len() as u64, r.queries);
+    }
+
+    /// A stateful split SUT: latency grows with every query served (so any
+    /// reordering of the advance loop desynchronizes the duration), while
+    /// the prediction is a pure per-sample function.
+    struct WarmingSut {
+        queries_served: u64,
+    }
+
+    impl crate::sut::SystemUnderTest for WarmingSut {
+        type Response = u64;
+        fn issue_query(&mut self, sample_index: usize) -> (SimDuration, u64) {
+            use crate::sut::SplitQuery;
+            let latency = self.advance_query(sample_index);
+            (latency, self.predict(sample_index))
+        }
+        fn description(&self) -> String {
+            "warming split SUT".to_owned()
+        }
+    }
+
+    impl crate::sut::SplitQuery for WarmingSut {
+        fn advance_query(&mut self, _sample_index: usize) -> SimDuration {
+            self.queries_served += 1;
+            SimDuration::from_micros(100 + self.queries_served * 3)
+        }
+        fn predict(&self, sample_index: usize) -> u64 {
+            (sample_index as u64).wrapping_mul(0x9E37_79B9).rotate_left(13)
+        }
+    }
+
+    #[test]
+    fn accuracy_parallel_is_byte_identical_to_serial() {
+        let settings = TestSettings::smoke_test();
+        let mut serial_log = RunLog::new();
+        let serial = run_accuracy(&mut WarmingSut { queries_served: 0 }, 777, &settings, &mut serial_log);
+        for threads in [1, 2, 5, 16] {
+            let mut log = RunLog::new();
+            let par = run_accuracy_parallel(
+                &mut WarmingSut { queries_served: 0 },
+                777,
+                &settings,
+                &mut log,
+                threads,
+            );
+            assert_eq!(serial.predictions, par.predictions, "{threads} threads");
+            assert_eq!(serial.duration, par.duration, "{threads} threads");
+            assert_eq!(
+                serde_json::to_string(&serial_log).unwrap(),
+                serde_json::to_string(&log).unwrap(),
+                "accuracy log must be byte-identical at {threads} threads"
+            );
+        }
     }
 }

@@ -51,6 +51,33 @@ pub trait SystemUnderTest {
     }
 }
 
+/// A SUT whose query is separable into a *stateful* device advance and a
+/// *pure* prediction.
+///
+/// Simulated (and well-instrumented real) SUTs compute a query's latency
+/// from device state — DVFS, thermals, battery — while the prediction
+/// depends only on the sample index. Splitting the two lets accuracy mode
+/// advance the device serially (cheap, order-sensitive) and synthesize
+/// predictions in parallel (expensive, order-free), see
+/// [`crate::run::run_accuracy_parallel`].
+///
+/// # Contract
+///
+/// `issue_query(s)` must be observably equivalent to
+/// `(advance_query(s), predict(s))` — same latency, same response, same
+/// state evolution. The accuracy-path byte-identity test in
+/// `run.rs` holds implementations to it.
+pub trait SplitQuery: SystemUnderTest {
+    /// Advances device state for one query on `sample_index`, returning
+    /// the simulated latency [`SystemUnderTest::issue_query`] would have
+    /// reported.
+    fn advance_query(&mut self, sample_index: usize) -> SimDuration;
+
+    /// The prediction for `sample_index` — a pure function of the sample,
+    /// safe to evaluate on any thread and in any order.
+    fn predict(&self, sample_index: usize) -> Self::Response;
+}
+
 /// A deterministic synthetic SUT for LoadGen self-tests: fixed latency,
 /// echoes the sample index.
 #[derive(Debug, Clone)]

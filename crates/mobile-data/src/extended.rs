@@ -118,6 +118,19 @@ impl SyntheticDiv2k {
         SyntheticDiv2k { seed, len, hr_height, hr_width }
     }
 
+    /// Generator seed — with [`Dataset::len`] and [`Self::hr_size`], the
+    /// dataset's full identity (used as a calibration-cache key).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Ground-truth resolution `(height, width)`.
+    #[must_use]
+    pub fn hr_size(&self) -> (usize, usize) {
+        (self.hr_height, self.hr_width)
+    }
+
     /// Ground-truth (high-resolution) image.
     ///
     /// # Panics

@@ -42,12 +42,115 @@ pub fn coco_map<D: AsRef<[Detection]>>(gts: &[Vec<GtObject>], dets: &[D]) -> f64
     if classes.is_empty() {
         return 0.0;
     }
+    // Everything threshold-independent is hoisted out of the ten-threshold
+    // loop: the score-ranked detection list, the per-image ground-truth
+    // indices of the class, and every detection/GT IoU. Each threshold
+    // then replays only the greedy matching and the PR curve over those
+    // cached values — the exact comparison sequence of
+    // [`average_precision`], so the result is bit-identical (the tests
+    // below pin `coco_map` to per-class `average_precision` sums).
     let thresholds = coco_iou_thresholds();
     let mut ap_sum = 0.0;
     let mut ap_count = 0usize;
     for &class in &classes {
+        // Rank this class's detections once (stable sort, ties keep
+        // image/index order — identical to the per-threshold gather).
+        let mut all: Vec<(usize, f32, usize)> = Vec::new();
+        for (img, img_dets) in dets.iter().enumerate() {
+            for (di, d) in img_dets.as_ref().iter().enumerate() {
+                if d.class == class {
+                    all.push((img, d.score, di));
+                }
+            }
+        }
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        // Per-image GT indices of this class, in GT order, plus the IoU of
+        // every ranked detection against each of them.
+        let class_gt: Vec<Vec<usize>> = gts
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .enumerate()
+                    .filter_map(|(gi, o)| (o.class == class).then_some(gi))
+                    .collect()
+            })
+            .collect();
+        let total_gt: usize = class_gt.iter().map(Vec::len).sum();
+        if total_gt == 0 {
+            ap_count += thresholds.len();
+            continue;
+        }
+        let iou_rows: Vec<Vec<f32>> = all
+            .iter()
+            .map(|&(img, _score, di)| {
+                let det = &dets[img].as_ref()[di];
+                class_gt[img].iter().map(|&gi| det.bbox.iou(&gts[img][gi].bbox)).collect()
+            })
+            .collect();
+        let mut claimed: Vec<Vec<bool>> = class_gt.iter().map(|g| vec![false; g.len()]).collect();
+        let mut tp: Vec<bool> = Vec::with_capacity(all.len());
+        let mut precisions: Vec<f64> = Vec::with_capacity(all.len());
+        let mut recalls: Vec<f64> = Vec::with_capacity(all.len());
         for &thr in &thresholds {
-            ap_sum += average_precision(gts, dets, class, thr);
+            for row in &mut claimed {
+                row.fill(false);
+            }
+            // Greedy matching over the cached IoUs: same candidate order
+            // and the same `iou >= best_iou` comparisons as the scan over
+            // `gts[img]`, with the non-class entries pre-filtered away.
+            tp.clear();
+            for (rank, &(img, _score, _di)) in all.iter().enumerate() {
+                let mut best_iou = thr as f32;
+                let mut best_gt: Option<usize> = None;
+                for (j, &iou) in iou_rows[rank].iter().enumerate() {
+                    if claimed[img][j] {
+                        continue;
+                    }
+                    if iou >= best_iou {
+                        best_iou = iou;
+                        best_gt = Some(j);
+                    }
+                }
+                if let Some(j) = best_gt {
+                    claimed[img][j] = true;
+                    tp.push(true);
+                } else {
+                    tp.push(false);
+                }
+            }
+
+            // Precision-recall curve.
+            let mut cum_tp = 0usize;
+            precisions.clear();
+            recalls.clear();
+            for (rank, &is_tp) in tp.iter().enumerate() {
+                if is_tp {
+                    cum_tp += 1;
+                }
+                precisions.push(cum_tp as f64 / (rank + 1) as f64);
+                recalls.push(cum_tp as f64 / total_gt as f64);
+            }
+
+            // Monotone non-increasing precision envelope.
+            for i in (0..precisions.len().saturating_sub(1)).rev() {
+                if precisions[i] < precisions[i + 1] {
+                    precisions[i] = precisions[i + 1];
+                }
+            }
+
+            // 101-point interpolation.
+            let mut ap = 0.0;
+            let mut idx = 0usize;
+            for r in 0..=100 {
+                let recall_point = r as f64 / 100.0;
+                while idx < recalls.len() && recalls[idx] < recall_point {
+                    idx += 1;
+                }
+                if idx < precisions.len() {
+                    ap += precisions[idx];
+                }
+            }
+            ap_sum += ap / 101.0;
             ap_count += 1;
         }
     }
@@ -218,6 +321,35 @@ mod tests {
         let dets = vec![vec![det(1, 0.9, 0.1)]];
         let ap = average_precision(&gts, &dets, 1, 0.5);
         assert!((ap - 0.5).abs() < 0.01, "ap = {ap}");
+    }
+
+    #[test]
+    fn coco_map_matches_per_class_average_precision_bitwise() {
+        // A messy synthetic dataset: shared and disjoint classes, ties,
+        // duplicates, false positives, and images with no detections.
+        let gts = vec![
+            vec![gt(1, 0.1), gt(1, 0.6), gt(2, 0.3)],
+            vec![gt(2, 0.2), gt(3, 0.5)],
+            vec![gt(1, 0.4)],
+            vec![gt(4, 0.1), gt(4, 0.11)],
+        ];
+        let dets = vec![
+            vec![det(1, 0.9, 0.11), det(1, 0.9, 0.62), det(2, 0.7, 0.31), det(3, 0.6, 0.3)],
+            vec![det(2, 0.8, 0.21), det(3, 0.5, 0.52), det(3, 0.4, 0.52)],
+            vec![det(1, 0.3, 0.41), det(5, 0.99, 0.4)],
+            vec![],
+        ];
+        let classes: BTreeSet<u32> = gts.iter().flatten().map(|g| g.class).collect();
+        let mut ap_sum = 0.0;
+        let mut ap_count = 0usize;
+        for &class in &classes {
+            for &thr in &coco_iou_thresholds() {
+                ap_sum += average_precision(&gts, &dets, class, thr);
+                ap_count += 1;
+            }
+        }
+        let oracle = ap_sum / ap_count as f64;
+        assert_eq!(coco_map(&gts, &dets).to_bits(), oracle.to_bits());
     }
 
     #[test]

@@ -44,6 +44,21 @@ impl ConfusionMatrix {
         self.counts[g * self.n + p] += 1;
     }
 
+    /// Records `count` pixels of the same `(gt, pred)` cell at once —
+    /// equivalent to `count` calls to [`Self::record`]. Confusion counts
+    /// are plain integers, so bulk accumulation is exact; callers that
+    /// know a run of identical pixels (e.g. the mIoU calibration's
+    /// all-correct baseline) skip the per-pixel loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record_n(&mut self, gt: u8, pred: u8, count: u64) {
+        let (g, p) = (gt as usize, pred as usize);
+        assert!(g < self.n && p < self.n, "label out of range");
+        self.counts[g * self.n + p] += count;
+    }
+
     /// Accumulates a full ground-truth/prediction map pair.
     ///
     /// # Panics

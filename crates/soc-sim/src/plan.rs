@@ -200,6 +200,33 @@ impl QueryPlan {
     /// breakdown. See the type-level docs for the bit-identity contract.
     #[must_use]
     pub fn execute(&self, state: &mut SocState) -> QueryResult {
+        self.execute_inner(state, None)
+    }
+
+    /// [`Self::execute`] with a steady-state fast-forward memo.
+    ///
+    /// Every `f64` the per-op roofline loop produces is a pure function of
+    /// the plan and the query's DVFS frequency factor: the loop reads
+    /// nothing else from [`SocState`]. Once a query has run at a given
+    /// `freq.to_bits()`, any later query at the same operating point can
+    /// replay the recorded per-stage durations, energy terms and total
+    /// latency on the accumulator — bit-identical by construction (the
+    /// memo stores the *results* of the original operand and addition
+    /// order) but O(1) in the op count. Thermal, energy and battery
+    /// bookkeeping still advances per query, so trajectories (and
+    /// therefore throttle transitions, which change `freq` and miss the
+    /// memo) are untouched.
+    ///
+    /// This subsumes exact-state repetition detection: a repeated
+    /// (freq bits, temperature bits, cycle position) triple necessarily
+    /// repeats the frequency bits, so the memo is already warm by the
+    /// time the full executor state revisits a fixed point.
+    #[must_use]
+    pub fn execute_memo(&self, state: &mut SocState, memo: &mut ExecMemo) -> QueryResult {
+        self.execute_inner(state, Some(memo))
+    }
+
+    fn execute_inner(&self, state: &mut SocState, memo: Option<&mut ExecMemo>) -> QueryResult {
         let freq = state.freq_factor();
         let dvfs_level = state.dvfs_level();
         let temperature_c = state.thermal.temperature_c();
@@ -212,28 +239,12 @@ impl QueryPlan {
             "plan op ranges must tile the op array"
         );
 
-        let mut stage_compute = Vec::with_capacity(self.stages.len());
-        let mut stage_engines = Vec::with_capacity(self.stages.len());
-        let mut energy_terms = 0.0f64;
-        let mut compute_total = SimDuration::ZERO;
-        let mut op_start = 0usize;
-        for stage in &self.stages {
-            let mut t = 0.0f64;
-            for op in &self.ops[op_start..stage.ops_end] {
-                let compute = if op.flops == 0.0 {
-                    0.0
-                } else {
-                    op.flops / (op.denom * freq)
-                };
-                t += compute.max(op.memory_secs) + op.sched_secs;
-            }
-            op_start = stage.ops_end;
-            energy_terms += stage.power_w * t;
-            let d = SimDuration::from_secs_f64(t);
-            compute_total += d;
-            stage_compute.push(d);
-            stage_engines.push(stage.engine);
-        }
+        let steady = match memo {
+            Some(memo) => memo.lookup_or_record(self, freq),
+            None => SteadyState::from_plan(self, freq),
+        };
+        let SteadyState { stage_compute, energy_terms, compute_total } = steady;
+        let stage_engines: Vec<EngineId> = self.stages.iter().map(|s| s.engine).collect();
 
         let total = compute_total + self.transfer + self.overhead;
 
@@ -264,6 +275,90 @@ impl QueryPlan {
                 sync: self.sync,
             },
         }
+    }
+}
+
+/// The frequency-dependent slice of one executed query: everything the
+/// per-op roofline loop produces before the (state-dependent) thermal and
+/// energy bookkeeping.
+#[derive(Debug, Clone)]
+struct SteadyState {
+    stage_compute: Vec<SimDuration>,
+    energy_terms: f64,
+    compute_total: SimDuration,
+}
+
+impl SteadyState {
+    /// The full O(ops) roofline walk — the exact loop `execute` has always
+    /// run, factored so the memoized path can replay its recorded output.
+    fn from_plan(plan: &QueryPlan, freq: f64) -> Self {
+        let mut stage_compute = Vec::with_capacity(plan.stages.len());
+        let mut energy_terms = 0.0f64;
+        let mut compute_total = SimDuration::ZERO;
+        let mut op_start = 0usize;
+        for stage in &plan.stages {
+            let mut t = 0.0f64;
+            for op in &plan.ops[op_start..stage.ops_end] {
+                let compute = if op.flops == 0.0 {
+                    0.0
+                } else {
+                    op.flops / (op.denom * freq)
+                };
+                t += compute.max(op.memory_secs) + op.sched_secs;
+            }
+            op_start = stage.ops_end;
+            energy_terms += stage.power_w * t;
+            let d = SimDuration::from_secs_f64(t);
+            compute_total += d;
+            stage_compute.push(d);
+        }
+        SteadyState { stage_compute, energy_terms, compute_total }
+    }
+}
+
+/// Steady-state fast-forward memo for [`QueryPlan::execute_memo`], keyed
+/// by the exact bits of the query's DVFS frequency factor.
+///
+/// The DVFS ladder has a handful of operating points, so — like
+/// [`OfflinePlan::execute`]'s rate memo — a linear scan over a tiny vec
+/// beats hashing. The memo belongs to the caller (one per benchmark run),
+/// never to the plan: plans are shared across threads and runs.
+#[derive(Debug, Clone, Default)]
+pub struct ExecMemo {
+    entries: Vec<(u64, SteadyState)>,
+    hits: u64,
+}
+
+impl ExecMemo {
+    /// An empty memo; the first query at each operating point pays the
+    /// full roofline walk.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queries replayed from the memo so far (excludes the recording
+    /// walks).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Distinct DVFS operating points recorded.
+    #[must_use]
+    pub fn operating_points(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn lookup_or_record(&mut self, plan: &QueryPlan, freq: f64) -> SteadyState {
+        let bits = freq.to_bits();
+        if let Some((_, hit)) = self.entries.iter().find(|&&(b, _)| b == bits) {
+            self.hits += 1;
+            return hit.clone();
+        }
+        let fresh = SteadyState::from_plan(plan, freq);
+        self.entries.push((bits, fresh.clone()));
+        fresh
     }
 }
 
@@ -345,6 +440,191 @@ impl StreamPlan {
     #[must_use]
     pub fn power_w(&self) -> f64 {
         self.power_w
+    }
+}
+
+/// A single-knob change to an already-lowered plan, for parameter sweeps.
+///
+/// Each variant names one scalar the ablation studies sweep. Everything
+/// else about the `(soc, graph, schedule)` triple — placement, op
+/// rooflines, power terms — is unaffected by these knobs, so
+/// [`SweepPlan`] can re-lower just the overhead/transfer splits in
+/// O(stages) instead of re-validating the schedule and re-walking the
+/// graph.
+///
+/// The two remaining swept knobs need no delta at all: the offline batch
+/// size is already an argument of [`OfflinePlan::execute`], and DVFS
+/// frequency / thermal parameters are runtime [`SocState`], read fresh on
+/// every [`QueryPlan::execute`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanDelta {
+    /// Set the framework synchronization overhead of **every** stage to
+    /// this value (µs) — the schedule-wide knob the partition planner
+    /// annotates uniformly onto each stage.
+    SyncOverheadUs(f64),
+    /// Set the per-query fixed overhead (µs).
+    QueryOverheadUs(f64),
+    /// Set the interconnect's effective transfer bandwidth (GB/s); the
+    /// per-handoff latency is unchanged.
+    InterconnectGbps(f64),
+}
+
+/// A `(soc, graph, schedule)` triple lowered once, with enough of the
+/// lowering inputs cached that any [`PlanDelta`] re-lowers in O(stages).
+///
+/// # Bit-identity contract
+///
+/// [`SweepPlan::relower_query`] (resp. [`relower_stream`]) returns a plan
+/// bit-identical — every `f64`, 0 ULPs — to a fresh [`QueryPlan::new`]
+/// (resp. [`StreamPlan::lower`]) against the knob-modified schedule or
+/// SoC. The re-lowering replays the original accumulation loops (query
+/// overhead, then per stage: first-launch overhead, sync, transfer) with
+/// identical operand order; only the swept scalar changes.
+/// `tests/plan_equivalence.rs` fuzzes this over random graphs, schedules
+/// and knob values.
+///
+/// [`relower_stream`]: Self::relower_stream
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// Fully-lowered baseline single-stream plan.
+    query: QueryPlan,
+    /// Fully-lowered baseline estimator profile.
+    stream: StreamPlan,
+    /// The schedule-wide per-query overhead knob (µs).
+    query_overhead_us: f64,
+    /// Per stage: runtime-launch overhead charged at this stage (µs);
+    /// `0.0` when the stage's engine already launched earlier in the
+    /// schedule. Adding the zero is bit-identical to skipping it (the
+    /// overhead accumulators never go negative).
+    launch_us: Vec<f64>,
+    /// Per stage: framework synchronization overhead (µs).
+    sync_us: Vec<f64>,
+    /// Per stage: bytes crossing the interconnect *into* this stage.
+    cross_bytes: Vec<u64>,
+    /// The SoC's interconnect (bandwidth knob + fixed handoff latency).
+    interconnect: crate::soc::InterconnectSpec,
+}
+
+impl SweepPlan {
+    /// Lowers the triple once, caching the per-stage lowering inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics exactly as [`QueryPlan::new`] does: on an invalid schedule
+    /// or an unsupported placement.
+    #[must_use]
+    pub fn new(soc: &Soc, graph: &Graph, schedule: &Schedule) -> Self {
+        let query = QueryPlan::new(soc, graph, schedule);
+        let stream = StreamPlan::lower(soc, graph, schedule);
+        let cross_bytes = schedule.cross_engine_bytes(graph);
+        let mut launched: Vec<bool> = vec![false; soc.engines.len()];
+        let mut launch_us = Vec::with_capacity(schedule.stages.len());
+        let mut sync_us = Vec::with_capacity(schedule.stages.len());
+        for stage in &schedule.stages {
+            let engine = soc.engine(stage.engine);
+            launch_us.push(if launched[stage.engine.0] {
+                0.0
+            } else {
+                launched[stage.engine.0] = true;
+                engine.launch_overhead_us
+            });
+            sync_us.push(stage.sync_overhead_us);
+        }
+        SweepPlan {
+            query,
+            stream,
+            query_overhead_us: schedule.query_overhead_us,
+            launch_us,
+            sync_us,
+            cross_bytes,
+            interconnect: soc.interconnect,
+        }
+    }
+
+    /// The baseline (no-delta) single-stream plan.
+    #[must_use]
+    pub fn query_plan(&self) -> &QueryPlan {
+        &self.query
+    }
+
+    /// The baseline (no-delta) estimator profile.
+    #[must_use]
+    pub fn stream_plan(&self) -> &StreamPlan {
+        &self.stream
+    }
+
+    /// Replays the overhead/transfer accumulation with `delta` applied.
+    /// Returns `(transfer, overhead, launch, sync)` in seconds, summed in
+    /// the exact order [`QueryPlan::new`] and [`StreamPlan::lower`] use.
+    fn relower_overheads(&self, delta: PlanDelta) -> (f64, f64, f64, f64) {
+        let query_overhead_us = match delta {
+            PlanDelta::QueryOverheadUs(v) => v,
+            _ => self.query_overhead_us,
+        };
+        let interconnect = match delta {
+            PlanDelta::InterconnectGbps(v) => crate::soc::InterconnectSpec {
+                transfer_gbps: v,
+                handoff_latency_us: self.interconnect.handoff_latency_us,
+            },
+            _ => self.interconnect,
+        };
+        let mut transfer = 0.0f64;
+        let mut overhead = 0.0f64;
+        let mut launch_secs = 0.0f64;
+        let mut sync_secs = 0.0f64;
+        overhead += query_overhead_us * 1e-6;
+        for si in 0..self.sync_us.len() {
+            let sync_us = match delta {
+                PlanDelta::SyncOverheadUs(v) => v,
+                _ => self.sync_us[si],
+            };
+            overhead += self.launch_us[si] * 1e-6;
+            launch_secs += self.launch_us[si] * 1e-6;
+            overhead += sync_us * 1e-6;
+            sync_secs += sync_us * 1e-6;
+            if self.cross_bytes[si] > 0 {
+                transfer += interconnect.transfer_secs(self.cross_bytes[si]);
+            }
+        }
+        (transfer, overhead, launch_secs, sync_secs)
+    }
+
+    /// Re-lowers the single-stream plan under `delta` — O(stages), no
+    /// schedule re-validation, no graph walk. Bit-identical to a fresh
+    /// [`QueryPlan::new`] against the knob-modified inputs.
+    #[must_use]
+    pub fn relower_query(&self, delta: PlanDelta) -> QueryPlan {
+        let (transfer, overhead, launch_secs, sync_secs) = self.relower_overheads(delta);
+        QueryPlan {
+            ops: self.query.ops.clone(),
+            stages: self.query.stages.clone(),
+            transfer: SimDuration::from_secs_f64(transfer),
+            overhead: SimDuration::from_secs_f64(overhead),
+            launch: SimDuration::from_secs_f64(launch_secs),
+            sync: SimDuration::from_secs_f64(sync_secs),
+        }
+    }
+
+    /// Re-lowers the estimator profile under `delta` — the [`StreamPlan`]
+    /// analogue of [`Self::relower_query`].
+    #[must_use]
+    pub fn relower_stream(&self, delta: PlanDelta) -> StreamPlan {
+        let (transfer_secs, overhead_secs, _, _) = self.relower_overheads(delta);
+        StreamPlan {
+            ops: self.stream.ops.clone(),
+            overhead_secs,
+            transfer_secs,
+            power_w: self.stream.power_w,
+        }
+    }
+
+    /// [`crate::executor::estimate_query_secs`] under `delta`: the
+    /// single-sample, full-frequency latency estimate the backends rank
+    /// candidate placements by. The schedule was validated once at
+    /// construction.
+    #[must_use]
+    pub fn estimate_query_secs(&self, delta: PlanDelta) -> f64 {
+        self.relower_stream(delta).sample_secs(1.0, 1)
     }
 }
 

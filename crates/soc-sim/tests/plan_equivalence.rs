@@ -16,7 +16,7 @@ use nn_graph::{Activation, DataType, Graph, Shape};
 use proptest::prelude::*;
 use soc_sim::engine::{EngineId, EngineKind, EngineSpecBuilder};
 use soc_sim::executor::{run_offline, run_query, QueryResult};
-use soc_sim::plan::{OfflinePlan, QueryPlan};
+use soc_sim::plan::{ExecMemo, OfflinePlan, PlanDelta, QueryPlan, StreamPlan, SweepPlan};
 use soc_sim::schedule::{Schedule, Stage};
 use soc_sim::soc::{InterconnectSpec, Soc, SocState};
 use soc_sim::thermal::ThermalSpec;
@@ -195,6 +195,47 @@ fn legacy_run_query(
     }
 }
 
+/// Asserts a delta re-lowering is bit-identical to a fresh full compile of
+/// the knob-modified `(soc, graph, schedule)`: the [`QueryPlan`]s execute
+/// identically over an evolving trajectory, the [`StreamPlan`]s sample
+/// identically across frequencies and batch sizes, and the ranked-estimate
+/// scalar matches the executor's.
+fn assert_delta_matches_fresh(
+    soc: &Soc,
+    graph: &Graph,
+    modified: &Schedule,
+    sweep: &SweepPlan,
+    delta: PlanDelta,
+    queries: usize,
+) {
+    let fresh = QueryPlan::new(soc, graph, modified);
+    let relowered = sweep.relower_query(delta);
+    let mut fresh_state = soc.new_state(24.0);
+    let mut relowered_state = soc.new_state(24.0);
+    for _ in 0..queries {
+        assert_bit_identical(
+            &fresh.execute(&mut fresh_state),
+            &relowered.execute(&mut relowered_state),
+        );
+    }
+    assert_eq!(fresh_state, relowered_state, "{delta:?} state drift");
+
+    let fresh_stream = StreamPlan::lower(soc, graph, modified);
+    let relowered_stream = sweep.relower_stream(delta);
+    for (freq, batch) in [(1.0, 1), (0.7, 8), (0.4, 128)] {
+        assert_eq!(
+            fresh_stream.sample_secs(freq, batch).to_bits(),
+            relowered_stream.sample_secs(freq, batch).to_bits(),
+            "{delta:?} stream ULP drift at freq {freq} batch {batch}"
+        );
+    }
+    assert_eq!(
+        soc_sim::executor::estimate_query_secs(soc, graph, modified).to_bits(),
+        sweep.estimate_query_secs(delta).to_bits(),
+        "{delta:?} estimate ULP drift"
+    );
+}
+
 /// Asserts two query results are identical down to the float bits.
 fn assert_bit_identical(a: &QueryResult, b: &QueryResult) {
     assert_eq!(a.latency, b.latency);
@@ -316,6 +357,124 @@ proptest! {
             "rounding must account for every sample"
         );
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sweep engine's bit-identity contract: for every [`PlanDelta`]
+    /// knob, delta re-lowering an already-compiled [`SweepPlan`] equals a
+    /// fresh full compile of the knob-modified inputs — query execution,
+    /// stream sampling and the ranked estimate, all to 0 ULPs.
+    #[test]
+    fn sweep_delta_matches_fresh_recompile(
+        channels in 4usize..48,
+        depth in 1usize..4,
+        cuts in proptest::collection::vec(0usize..16, 0..3),
+        engines in proptest::collection::vec(0usize..2, 1..4),
+        sync_us in 0.0f64..500.0,
+        query_us in 0.0f64..200.0,
+        sync_knob in 0.0f64..500.0,
+        query_knob in 0.0f64..300.0,
+        gbps_knob in 0.5f64..64.0,
+        queries in 1usize..30,
+    ) {
+        let soc = soc();
+        let graph = retype(&small_graph(channels, depth), DataType::I8);
+        let schedule = random_schedule(&graph, &cuts, &engines, sync_us, query_us);
+        let sweep = SweepPlan::new(&soc, &graph, &schedule);
+
+        // Sync knob: the partition planner annotates it uniformly onto
+        // every stage.
+        let mut sync_mod = schedule.clone();
+        for stage in &mut sync_mod.stages {
+            stage.sync_overhead_us = sync_knob;
+        }
+        assert_delta_matches_fresh(
+            &soc, &graph, &sync_mod, &sweep,
+            PlanDelta::SyncOverheadUs(sync_knob), queries,
+        );
+
+        // Per-query fixed-overhead knob.
+        let mut query_mod = schedule.clone();
+        query_mod.query_overhead_us = query_knob;
+        assert_delta_matches_fresh(
+            &soc, &graph, &query_mod, &sweep,
+            PlanDelta::QueryOverheadUs(query_knob), queries,
+        );
+
+        // Interconnect bandwidth knob: the schedule is unchanged but the
+        // SoC is; the fresh compile sees the modified SoC.
+        let mut soc_mod = soc.clone();
+        soc_mod.interconnect.transfer_gbps = gbps_knob;
+        assert_delta_matches_fresh(
+            &soc_mod, &graph, &schedule, &sweep,
+            PlanDelta::InterconnectGbps(gbps_knob), queries,
+        );
+    }
+
+    /// The steady-state fast-forward contract: [`QueryPlan::execute_memo`]
+    /// is bit-identical to [`QueryPlan::execute`] across the whole thermal
+    /// trajectory (including throttle transitions, which change the DVFS
+    /// frequency and miss the memo), and every query is accounted for as
+    /// either a replay hit or a first-visit recording walk.
+    #[test]
+    fn fast_forward_matches_full_walk(
+        channels in 4usize..48,
+        depth in 1usize..4,
+        cuts in proptest::collection::vec(0usize..16, 0..3),
+        engines in proptest::collection::vec(0usize..2, 1..4),
+        sync_us in 0.0f64..500.0,
+        query_us in 0.0f64..200.0,
+        ambient in 20.0f64..40.0,
+        queries in 1usize..80,
+    ) {
+        let soc = soc();
+        let graph = retype(&small_graph(channels, depth), DataType::I8);
+        let schedule = random_schedule(&graph, &cuts, &engines, sync_us, query_us);
+        let plan = QueryPlan::new(&soc, &graph, &schedule);
+
+        let mut walk_state = soc.new_state(ambient);
+        let mut memo_state = soc.new_state(ambient);
+        let mut memo = ExecMemo::new();
+        for q in 0..queries {
+            let walked = plan.execute(&mut walk_state);
+            let replayed = plan.execute_memo(&mut memo_state, &mut memo);
+            assert_bit_identical(&walked, &replayed);
+            prop_assert_eq!(&walk_state, &memo_state, "query {}", q);
+        }
+        prop_assert_eq!(
+            memo.hits() + memo.operating_points() as u64,
+            queries as u64,
+            "every query is either a replay or a recording walk"
+        );
+    }
+}
+
+/// At a thermal fixed point (an envelope that never throttles) the DVFS
+/// frequency is pinned, so after the first query's recording walk every
+/// subsequent query replays from the memo: O(1) in the op count.
+#[test]
+fn steady_state_fast_forward_replays_at_thermal_fixed_point() {
+    let mut soc = soc();
+    soc.thermal.throttle_onset_c = 10_000.0;
+    soc.thermal.throttle_full_c = 20_000.0;
+    let graph = retype(&small_graph(24, 3), DataType::I8);
+    let schedule = Schedule::single(&graph, EngineId(1), DataType::I8, 25.0);
+    let plan = QueryPlan::new(&soc, &graph, &schedule);
+
+    let mut walk_state = soc.new_state(22.0);
+    let mut memo_state = soc.new_state(22.0);
+    let mut memo = ExecMemo::new();
+    for _ in 0..200 {
+        assert_bit_identical(
+            &plan.execute(&mut walk_state),
+            &plan.execute_memo(&mut memo_state, &mut memo),
+        );
+    }
+    assert_eq!(walk_state, memo_state);
+    assert_eq!(memo.operating_points(), 1, "unthrottled run stays at one operating point");
+    assert_eq!(memo.hits(), 199, "every query after the first replays");
 }
 
 #[test]

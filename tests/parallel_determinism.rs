@@ -252,6 +252,88 @@ fn planned_runs_match_fresh_compiles_bit_identically() {
 }
 
 #[test]
+fn fast_forwarded_hot_loop_matches_unmemoized_walk() {
+    // The production single-stream hot loop fast-forwards steady-state
+    // queries through a DVFS-keyed memo ([`DeviceSut`] ->
+    // `QueryPlan::execute_memo`). Driving the loadgen loop over the
+    // identical compiled plan *without* the memo must reproduce the exact
+    // PerformanceResult and the exact final device state — which, chained
+    // with `planned_runs_match_fresh_compiles_bit_identically` above,
+    // closes the planned == fresh == fast-forwarded identity.
+    use loadgen::{run_single_stream, RunLog, SystemUnderTest};
+    use mlperf_mobile::sut_impl::DeviceSut;
+    use soc_sim::plan::QueryPlan;
+    use soc_sim::soc::SocState;
+    use soc_sim::time::SimDuration;
+
+    struct UnmemoizedSut {
+        plan: Arc<QueryPlan>,
+        state: SocState,
+        desc: String,
+    }
+    impl SystemUnderTest for UnmemoizedSut {
+        type Response = ();
+        fn issue_query(&mut self, _sample_index: usize) -> (SimDuration, ()) {
+            (self.plan.execute(&mut self.state).latency, ())
+        }
+        fn description(&self) -> String {
+            self.desc.clone()
+        }
+    }
+
+    let rules = RunRules::smoke_test();
+    let scale = DatasetScale::Reduced(48);
+    let cache = CompileCache::new();
+    for spec in matrix() {
+        let soc = cache.soc(spec.chip);
+        let planned = cache.planned(spec.chip, spec.backend, spec.def.model).unwrap();
+        let mut device = DeviceSut::with_plans(
+            Arc::clone(&soc),
+            planned.clone(),
+            &spec.def,
+            scale,
+            rules.settings.seed,
+            22.0,
+        );
+        let mut oracle = UnmemoizedSut {
+            plan: Arc::clone(&planned.query),
+            state: soc.new_state(22.0),
+            desc: device.description(),
+        };
+
+        let mut device_log = RunLog::new();
+        let fast = run_single_stream(&mut device, 48, &rules.settings, &mut device_log);
+        let mut oracle_log = RunLog::new();
+        let walked = run_single_stream(&mut oracle, 48, &rules.settings, &mut oracle_log);
+
+        assert_eq!(
+            format!("{fast:?}"),
+            format!("{walked:?}"),
+            "{:?}: fast-forwarded result must match the unmemoized walk",
+            spec.chip
+        );
+        assert_eq!(
+            device.state, oracle.state,
+            "{:?}: device state must stay in lockstep",
+            spec.chip
+        );
+        // Every query is accounted for as a memo replay or a first-visit
+        // recording walk, and steady state actually engaged the memo.
+        assert_eq!(
+            device.fast_forward_hits() + device.fast_forward_operating_points() as u64,
+            fast.queries,
+            "{:?}",
+            spec.chip
+        );
+        assert!(
+            device.fast_forward_hits() > 0,
+            "{:?}: steady-state queries must replay from the memo",
+            spec.chip
+        );
+    }
+}
+
+#[test]
 fn sweep_matches_per_chip_suite_reports() {
     // The cross-chip sweep parallelizes over the flat matrix but must
     // regroup into exactly the reports a chip-by-chip loop produces.
