@@ -40,14 +40,17 @@ profile:
 	$(CARGO) run --release -p mlperf-bench --bin reproduce -- all --profile out/profile
 
 ## Serial-vs-parallel suite sweep, the planned-vs-unplanned query hot
-## loop, the serial-vs-sweep ablation artifact, and the BENCH_query.json /
-## BENCH_ablations.json speedup reports.
+## loop, the serial-vs-sweep ablation artifact, the batched lockstep
+## executor lane sweep, and the BENCH_query.json / BENCH_ablations.json /
+## BENCH_batch.json speedup reports.
 bench:
 	$(CARGO) bench -p mlperf-bench --bench suite_sweep
 	$(CARGO) bench -p mlperf-bench --bench query_hot_loop
 	$(CARGO) bench -p mlperf-bench --bench ablation_sweep
+	$(CARGO) bench -p mlperf-bench --bench batch_lanes
 	$(CARGO) run --release -p mlperf-bench --bin bench_query
 	$(CARGO) run --release -p mlperf-bench --bin bench_ablations
+	$(CARGO) run --release -p mlperf-bench --bin bench_batch
 
 ## Regenerate every paper artifact; writes BENCH_suite.json with
 ## per-table wall-clock and compile-cache counters.

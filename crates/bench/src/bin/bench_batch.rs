@@ -1,0 +1,198 @@
+//! `bench_batch` — measure the batched lockstep executor's aggregate
+//! throughput and write `BENCH_batch.json`.
+//!
+//! ```sh
+//! cargo run --release -p mlperf-bench --bin bench_batch
+//! ```
+//!
+//! For each single-stream cell (chip x model) the compiled
+//! [`soc_sim::plan::QueryPlan`] is executed three ways:
+//!
+//! 1. **Scalar** (the K=1 baseline): one device, one
+//!    [`QueryPlan::execute`] per query — the planned hot loop
+//!    `BENCH_query.json` already measures.
+//! 2. **Batched, uniform fleet**: K identical devices stepped in lockstep
+//!    through [`soc_sim::plan_batch::BatchPlan::execute_latencies`]. All
+//!    lanes share identical frequency bits at every step, so the executor
+//!    runs one op-array walk per step regardless of K — the
+//!    population-sweep case the batching exists for.
+//! 3. **Batched, distinct frequencies**: every lane pinned to its own
+//!    single-point DVFS ladder, so no two lanes ever share frequency bits
+//!    and every step pays K accumulator lanes through one walk — the
+//!    adversarial bound.
+//!
+//! The reported `speedup` is aggregate lane-queries/sec at K over the
+//! scalar K=1 qps. Every batched lane is bit-identical to a scalar run of
+//! the same device (`crates/soc-sim/tests/plan_equivalence.rs`), so the
+//! speedup is free of accuracy caveats. Results land in
+//! `BENCH_batch.json` in the current directory.
+
+use mobile_backend::registry::{create, vendor_backend};
+use nn_graph::models::ModelId;
+use serde::Serialize;
+use soc_sim::catalog::ChipId;
+use soc_sim::dvfs::DvfsLadder;
+use soc_sim::plan::QueryPlan;
+use soc_sim::plan_batch::{BatchPlan, BatchState};
+use soc_sim::soc::{Soc, SocState};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Lane counts measured per cell.
+const LANE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+/// Warmup iterations before each timed series.
+const WARMUP_ITERS: u32 = 1_000;
+/// Each series runs until at least this much wall-clock has elapsed.
+const MIN_MEASURE_SECS: f64 = 0.25;
+
+#[derive(Serialize)]
+struct LanePoint {
+    lanes: usize,
+    /// Aggregate simulated lane-queries per second.
+    lane_qps: f64,
+    /// `lane_qps` over the cell's scalar K=1 qps.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Cell {
+    chip: String,
+    model: &'static str,
+    scalar_qps: f64,
+    /// Uniform fleet: K clones, frequency bits shared every step.
+    uniform: Vec<LanePoint>,
+    /// Adversarial fleet: every lane at its own frequency, no sharing.
+    distinct: Vec<LanePoint>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    /// Minimum uniform-fleet speedup at K=8 across cells — the
+    /// acceptance headline (target >= 4x).
+    min_uniform_speedup_k8: f64,
+    geomean_uniform_speedup_k8: f64,
+    min_distinct_speedup_k8: f64,
+    cells: Vec<Cell>,
+}
+
+/// Runs `f` in a timed loop (after warmup) and returns iterations/sec.
+fn measure_ips(mut f: impl FnMut()) -> f64 {
+    for _ in 0..WARMUP_ITERS {
+        f();
+    }
+    let mut iters: u64 = 0;
+    let t = Instant::now();
+    loop {
+        // Batches keep the clock off the hot path.
+        for _ in 0..256 {
+            f();
+        }
+        iters += 256;
+        let elapsed = t.elapsed().as_secs_f64();
+        if elapsed >= MIN_MEASURE_SECS {
+            return iters as f64 / elapsed;
+        }
+    }
+}
+
+/// K fresh identical devices — the uniform fleet.
+fn uniform_states(soc: &Soc, lanes: usize) -> Vec<SocState> {
+    (0..lanes).map(|_| soc.new_state(22.0)).collect()
+}
+
+/// K devices pinned to distinct single-point DVFS ladders, so no two
+/// lanes ever share frequency bits.
+fn distinct_states(soc: &Soc, lanes: usize) -> Vec<SocState> {
+    (0..lanes)
+        .map(|i| {
+            let mut state = soc.new_state(22.0);
+            state.dvfs = DvfsLadder::new(vec![1.0 - 0.001 * i as f64]);
+            state
+        })
+        .collect()
+}
+
+fn measure_lane_points(
+    plan: &Arc<QueryPlan>,
+    scalar_qps: f64,
+    states_for: impl Fn(usize) -> Vec<SocState>,
+) -> Vec<LanePoint> {
+    LANE_COUNTS
+        .iter()
+        .map(|&lanes| {
+            let batch_plan = BatchPlan::broadcast(Arc::clone(plan), lanes);
+            let mut batch = BatchState::gather(&states_for(lanes));
+            let steps_per_sec = measure_ips(|| {
+                black_box(batch_plan.execute_latencies(&mut batch).len());
+            });
+            let lane_qps = steps_per_sec * lanes as f64;
+            LanePoint { lanes, lane_qps, speedup: lane_qps / scalar_qps }
+        })
+        .collect()
+}
+
+fn measure_cell(chip: ChipId, model: ModelId) -> Cell {
+    let soc: Soc = chip.build();
+    let backend = create(vendor_backend(&soc).unwrap());
+    let dep = backend.compile(&model.build(), &soc).unwrap();
+    let plan = Arc::new(QueryPlan::new(&soc, &dep.graph, &dep.schedule));
+
+    let mut state = soc.new_state(22.0);
+    let scalar_qps = measure_ips(|| {
+        black_box(plan.execute(&mut state).latency);
+    });
+
+    let uniform = measure_lane_points(&plan, scalar_qps, |lanes| uniform_states(&soc, lanes));
+    let distinct = measure_lane_points(&plan, scalar_qps, |lanes| distinct_states(&soc, lanes));
+
+    Cell { chip: chip.to_string(), model: model.name(), scalar_qps, uniform, distinct }
+}
+
+fn speedup_at(points: &[LanePoint], lanes: usize) -> f64 {
+    points
+        .iter()
+        .find(|p| p.lanes == lanes)
+        .map_or(f64::NAN, |p| p.speedup)
+}
+
+fn main() {
+    let mut cells = Vec::new();
+    for chip in [ChipId::Dimensity820, ChipId::Exynos990, ChipId::Snapdragon865Plus] {
+        for model in [
+            ModelId::MobileNetEdgeTpu,
+            ModelId::SsdMobileNetV2,
+            ModelId::DeepLabV3Plus,
+        ] {
+            let cell = measure_cell(chip, model);
+            eprintln!(
+                "{}/{}: scalar {:.0} qps; K=8 uniform {:.2}x, distinct {:.2}x",
+                cell.chip,
+                cell.model,
+                cell.scalar_qps,
+                speedup_at(&cell.uniform, 8),
+                speedup_at(&cell.distinct, 8),
+            );
+            cells.push(cell);
+        }
+    }
+
+    let k8: Vec<f64> = cells.iter().map(|c| speedup_at(&c.uniform, 8)).collect();
+    let min_uniform_speedup_k8 = k8.iter().copied().fold(f64::INFINITY, f64::min);
+    let geomean_uniform_speedup_k8 =
+        (k8.iter().map(|s| s.ln()).sum::<f64>() / k8.len() as f64).exp();
+    let min_distinct_speedup_k8 = cells
+        .iter()
+        .map(|c| speedup_at(&c.distinct, 8))
+        .fold(f64::INFINITY, f64::min);
+
+    let report = Report { min_uniform_speedup_k8, geomean_uniform_speedup_k8, min_distinct_speedup_k8, cells };
+    let json = serde_json::to_string_pretty(&report).expect("serializes") + "\n";
+    match std::fs::write("BENCH_batch.json", &json) {
+        Ok(()) => eprintln!(
+            "wrote BENCH_batch.json (K=8 uniform min {min_uniform_speedup_k8:.2}x, geomean \
+             {geomean_uniform_speedup_k8:.2}x; distinct min {min_distinct_speedup_k8:.2}x)"
+        ),
+        Err(e) => eprintln!("could not write BENCH_batch.json: {e}"),
+    }
+}

@@ -64,8 +64,8 @@ pub use extensions::{extended_suite, extension_defs};
 pub use submission::{Date, SubmissionEntry, SubmissionRegistry};
 pub use audit::{audit, AuditFinding, AuditReport, SubmissionPackage};
 pub use harness::{
-    run_benchmark, run_benchmark_with, run_benchmark_with_trace, BenchmarkScore, BenchmarkTrace,
-    RunRules,
+    run_benchmark, run_benchmark_with, run_benchmark_with_trace, run_single_stream_lanes,
+    BenchmarkScore, BenchmarkTrace, RunRules,
 };
 pub use harness::{EngineActivity, RunEnergy};
 pub use metrics::{metrics, MetricsRegistry, MetricsSnapshot, SpecTiming, TraceCollector};
@@ -73,5 +73,5 @@ pub use profile::{
     benchmark_perfetto_json, profile_report, prometheus_exposition, ArtifactTrace, CellProfile,
 };
 pub use runner::{par_map, CompileCache, RunSpec, SuiteRunner};
-pub use sut_impl::{DatasetScale, DeviceSut, Prediction, TaskData};
+pub use sut_impl::{BatchDeviceSut, DatasetScale, DeviceSut, Prediction, TaskData};
 pub use task::{suite, BenchmarkDef, SuiteVersion, Task};

@@ -38,6 +38,12 @@ pub struct MetricsSnapshot {
     pub plan_hits: usize,
     /// Query-plan lookups that triggered a plan compilation.
     pub plan_misses: usize,
+    /// Batched single-stream runs completed through the lockstep plan
+    /// executor.
+    pub plan_batch_runs: usize,
+    /// Lane-queries executed by the batched plan executor (K lanes per
+    /// step count K).
+    pub plan_batch_lanes_executed: u64,
     /// Sweep-engine lookups (accuracy scores, delta re-lowerings,
     /// steady-state replays) answered from a sweep cache.
     pub sweep_hits: usize,
@@ -65,6 +71,10 @@ impl MetricsSnapshot {
             compile_misses: self.compile_misses.saturating_sub(earlier.compile_misses),
             plan_hits: self.plan_hits.saturating_sub(earlier.plan_hits),
             plan_misses: self.plan_misses.saturating_sub(earlier.plan_misses),
+            plan_batch_runs: self.plan_batch_runs.saturating_sub(earlier.plan_batch_runs),
+            plan_batch_lanes_executed: self
+                .plan_batch_lanes_executed
+                .saturating_sub(earlier.plan_batch_lanes_executed),
             sweep_hits: self.sweep_hits.saturating_sub(earlier.sweep_hits),
             sweep_misses: self.sweep_misses.saturating_sub(earlier.sweep_misses),
             runs_completed: self.runs_completed.saturating_sub(earlier.runs_completed),
@@ -82,6 +92,8 @@ pub struct MetricsRegistry {
     compile_misses: AtomicUsize,
     plan_hits: AtomicUsize,
     plan_misses: AtomicUsize,
+    plan_batch_runs: AtomicUsize,
+    plan_batch_lanes_executed: AtomicU64,
     sweep_hits: AtomicUsize,
     sweep_misses: AtomicUsize,
     runs_completed: AtomicUsize,
@@ -110,6 +122,13 @@ impl MetricsRegistry {
     /// Records one plan-cache miss (a real plan compilation).
     pub fn record_plan_miss(&self) {
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed batched single-stream run and the
+    /// lane-queries it executed through the lockstep plan executor.
+    pub fn record_plan_batch_run(&self, lanes_executed: u64) {
+        self.plan_batch_runs.fetch_add(1, Ordering::Relaxed);
+        self.plan_batch_lanes_executed.fetch_add(lanes_executed, Ordering::Relaxed);
     }
 
     /// Records one sweep-cache hit (a reused accuracy score, delta
@@ -159,6 +178,8 @@ impl MetricsRegistry {
             compile_misses: self.compile_misses.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            plan_batch_runs: self.plan_batch_runs.load(Ordering::Relaxed),
+            plan_batch_lanes_executed: self.plan_batch_lanes_executed.load(Ordering::Relaxed),
             sweep_hits: self.sweep_hits.load(Ordering::Relaxed),
             sweep_misses: self.sweep_misses.load(Ordering::Relaxed),
             runs_completed: self.runs_completed.load(Ordering::Relaxed),
@@ -267,11 +288,15 @@ mod tests {
         r.record_sweep_miss();
         r.record_run(100);
         r.record_throttling(5, 1);
+        r.record_plan_batch_run(64);
+        r.record_plan_batch_run(32);
         let delta = r.snapshot().since(&before);
         assert_eq!(delta.compile_hits, 1);
         assert_eq!(delta.compile_misses, 0);
         assert_eq!(delta.plan_hits, 2);
         assert_eq!(delta.plan_misses, 0);
+        assert_eq!(delta.plan_batch_runs, 2);
+        assert_eq!(delta.plan_batch_lanes_executed, 96);
         assert_eq!(delta.sweep_hits, 2);
         assert_eq!(delta.sweep_misses, 1);
         assert_eq!(delta.runs_completed, 1);

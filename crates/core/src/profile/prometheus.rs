@@ -58,6 +58,20 @@ pub fn prometheus_exposition(snap: &MetricsSnapshot, timings: &[SpecTiming]) -> 
     );
     sample(
         &mut out,
+        "mlperf_plan_batch_runs_total",
+        "Batched single-stream runs completed through the lockstep plan executor.",
+        "counter",
+        snap.plan_batch_runs,
+    );
+    sample(
+        &mut out,
+        "mlperf_plan_batch_lanes_executed_total",
+        "Lane-queries executed by the batched plan executor.",
+        "counter",
+        snap.plan_batch_lanes_executed,
+    );
+    sample(
+        &mut out,
         "mlperf_sweep_cache_hits_total",
         "Sweep-engine lookups answered from a sweep cache.",
         "counter",
@@ -127,6 +141,8 @@ mod tests {
             compile_misses: 1,
             plan_hits: 6,
             plan_misses: 2,
+            plan_batch_runs: 7,
+            plan_batch_lanes_executed: 512,
             sweep_hits: 9,
             sweep_misses: 3,
             runs_completed: 4,
@@ -143,11 +159,15 @@ mod tests {
         assert!(text.contains("mlperf_spec_wall_ms{spec=\"a/cls\"} 1.5"));
         // Every sample line is preceded by HELP and TYPE headers.
         assert!(text.contains("mlperf_plan_cache_hits_total 6"));
+        assert!(text.contains("mlperf_plan_batch_runs_total 7"));
+        assert!(text.contains("mlperf_plan_batch_lanes_executed_total 512"));
         for name in [
             "mlperf_compile_cache_hits_total",
             "mlperf_compile_cache_misses_total",
             "mlperf_plan_cache_hits_total",
             "mlperf_plan_cache_misses_total",
+            "mlperf_plan_batch_runs_total",
+            "mlperf_plan_batch_lanes_executed_total",
             "mlperf_sweep_cache_hits_total",
             "mlperf_sweep_cache_misses_total",
             "mlperf_runs_completed_total",

@@ -44,9 +44,9 @@ pub use log::{LogRecord, RunLog};
 pub use run::{
     performance_sample_set, run_accuracy, run_accuracy_advance,
     run_accuracy_parallel, run_offline_scenario, run_offline_scenario_traced,
-    run_single_stream, run_single_stream_traced, AccuracyResult,
-    PerformanceResult,
+    run_single_stream, run_single_stream_batched, run_single_stream_traced,
+    AccuracyResult, PerformanceResult,
 };
 pub use scenario::{Scenario, TestMode, TestSettings};
-pub use sut::{ConstantSut, SplitQuery, SystemUnderTest};
+pub use sut::{BatchSut, ConstantBatchSut, ConstantSut, SplitQuery, SystemUnderTest};
 pub use trace::{BurstSpan, QuerySpan, QueryTelemetry, RunTrace, StageTelemetry};

@@ -35,6 +35,7 @@ pub mod dvfs;
 pub mod engine;
 pub mod executor;
 pub mod plan;
+pub mod plan_batch;
 pub mod power;
 pub mod schedule;
 pub mod soc;
@@ -46,7 +47,8 @@ pub use catalog::{ChipId, Generation};
 pub use dvfs::DvfsLadder;
 pub use engine::{EngineId, EngineKind, EngineSpec, EngineSpecBuilder};
 pub use executor::{estimate_query_secs, run_offline, run_query, OfflineResult, QueryBreakdown, QueryResult};
-pub use plan::{OfflinePlan, QueryPlan, StreamPlan};
+pub use plan::{ExecMemo, OfflinePlan, QueryPlan, RateMemo, StreamPlan};
+pub use plan_batch::{BatchPlan, BatchState};
 pub use power::{EnergyMeter, EnergySnapshot};
 pub use schedule::{Schedule, ScheduleError, Stage};
 pub use soc::{InterconnectSpec, Soc, SocState};

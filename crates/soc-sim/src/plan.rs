@@ -16,37 +16,39 @@
 
 use crate::engine::EngineId;
 use crate::executor::{OfflineResult, QueryBreakdown, QueryResult};
+use crate::plan_batch::BatchPlan;
 use crate::schedule::Schedule;
 use crate::soc::{Soc, SocState};
 use crate::time::SimDuration;
 use nn_graph::Graph;
 
 /// One lowered graph node: everything the roofline model needs, with all
-/// graph/engine lookups already resolved.
+/// graph/engine lookups already resolved. Crate-visible so the batched
+/// lockstep executor ([`crate::plan_batch`]) can stream the same arrays.
 #[derive(Debug, Clone, Copy)]
-struct PlanOp {
+pub(crate) struct PlanOp {
     /// Node FLOPs as `f64` (0.0 for memory-only ops).
-    flops: f64,
+    pub(crate) flops: f64,
     /// Roofline denominator `peak_ops(dtype) × efficiency(class)`; the hot
     /// loop divides by `denom * freq` so the operand order matches the
     /// unplanned executor bit-for-bit.
-    denom: f64,
+    pub(crate) denom: f64,
     /// Memory-bound time (seconds) — frequency-independent.
-    memory_secs: f64,
+    pub(crate) memory_secs: f64,
     /// Per-op scheduling cost (seconds) — frequency-independent.
-    sched_secs: f64,
+    pub(crate) sched_secs: f64,
 }
 
 /// One lowered stage: a half-open op range plus the engine-level terms.
 #[derive(Debug, Clone, Copy)]
-struct PlanStage {
+pub(crate) struct PlanStage {
     /// End of this stage's range in [`QueryPlan::ops`] (the start is the
     /// previous stage's end).
-    ops_end: usize,
+    pub(crate) ops_end: usize,
     /// Engine this stage occupies.
-    engine: EngineId,
+    pub(crate) engine: EngineId,
     /// Active power of that engine (watts) — weight for the energy term.
-    power_w: f64,
+    pub(crate) power_w: f64,
 }
 
 /// A compiled single-stream query: `(soc, graph, schedule)` lowered to
@@ -87,18 +89,18 @@ struct PlanStage {
 #[derive(Debug, Clone)]
 pub struct QueryPlan {
     /// Flat per-op roofline terms, concatenated in stage order.
-    ops: Vec<PlanOp>,
+    pub(crate) ops: Vec<PlanOp>,
     /// Per-stage op ranges + engine terms, in schedule order.
-    stages: Vec<PlanStage>,
+    pub(crate) stages: Vec<PlanStage>,
     /// Precomputed inter-engine transfer time.
-    transfer: SimDuration,
+    pub(crate) transfer: SimDuration,
     /// Precomputed total overhead (query + launch + sync, accumulated in
     /// the executor's historical order before rounding).
-    overhead: SimDuration,
+    pub(crate) overhead: SimDuration,
     /// The per-engine runtime-launch share of `overhead`.
-    launch: SimDuration,
+    pub(crate) launch: SimDuration,
     /// The per-stage framework-synchronization share of `overhead`.
-    sync: SimDuration,
+    pub(crate) sync: SimDuration,
 }
 
 impl QueryPlan {
@@ -319,22 +321,53 @@ impl SteadyState {
 /// Steady-state fast-forward memo for [`QueryPlan::execute_memo`], keyed
 /// by the exact bits of the query's DVFS frequency factor.
 ///
-/// The DVFS ladder has a handful of operating points, so — like
-/// [`OfflinePlan::execute`]'s rate memo — a linear scan over a tiny vec
-/// beats hashing. The memo belongs to the caller (one per benchmark run),
-/// never to the plan: plans are shared across threads and runs.
-#[derive(Debug, Clone, Default)]
+/// Entries are kept **sorted by frequency bits** so lookups are a binary
+/// search, and the number of retained operating points is bounded: past
+/// [`ExecMemo::DEFAULT_CAPACITY`] the least-recently-used entry is
+/// evicted (a later query at that frequency simply re-records the walk —
+/// correctness never depends on residency). Real DVFS ladders have a
+/// handful of points, so the default bound never evicts in practice; it
+/// exists so adversarial frequency streams (battery caps flapping across
+/// fine-grained ladders, fuzzers) cannot grow the memo without limit.
+/// The memo belongs to the caller (one per benchmark run), never to the
+/// plan: plans are shared across threads and runs.
+#[derive(Debug, Clone)]
 pub struct ExecMemo {
-    entries: Vec<(u64, SteadyState)>,
+    /// `(freq bits, recorded walk, last-use stamp)`, sorted by bits.
+    entries: Vec<(u64, SteadyState, u64)>,
     hits: u64,
+    evictions: u64,
+    clock: u64,
+    capacity: usize,
+}
+
+impl Default for ExecMemo {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ExecMemo {
-    /// An empty memo; the first query at each operating point pays the
-    /// full roofline walk.
+    /// Default bound on retained operating points — comfortably above any
+    /// catalog DVFS ladder (the deepest ships six points).
+    pub const DEFAULT_CAPACITY: usize = 32;
+
+    /// An empty memo with the default operating-point bound; the first
+    /// query at each operating point pays the full roofline walk.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty memo retaining at most `capacity` operating points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "memo needs room for at least one operating point");
+        ExecMemo { entries: Vec::new(), hits: 0, evictions: 0, clock: 0, capacity }
     }
 
     /// Queries replayed from the memo so far (excludes the recording
@@ -344,21 +377,48 @@ impl ExecMemo {
         self.hits
     }
 
-    /// Distinct DVFS operating points recorded.
+    /// Distinct DVFS operating points currently resident (≤ capacity).
     #[must_use]
     pub fn operating_points(&self) -> usize {
         self.entries.len()
     }
 
+    /// Recorded walks discarded to stay within the operating-point bound.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     fn lookup_or_record(&mut self, plan: &QueryPlan, freq: f64) -> SteadyState {
         let bits = freq.to_bits();
-        if let Some((_, hit)) = self.entries.iter().find(|&&(b, _)| b == bits) {
-            self.hits += 1;
-            return hit.clone();
+        self.clock += 1;
+        match self.entries.binary_search_by_key(&bits, |e| e.0) {
+            Ok(i) => {
+                self.hits += 1;
+                self.entries[i].2 = self.clock;
+                self.entries[i].1.clone()
+            }
+            Err(mut i) => {
+                let fresh = SteadyState::from_plan(plan, freq);
+                if self.entries.len() >= self.capacity {
+                    let lru = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.2)
+                        .map(|(j, _)| j)
+                        .expect("a full memo has a least-recently-used entry");
+                    self.entries.remove(lru);
+                    self.evictions += 1;
+                    // Removing below the insertion point shifts it left.
+                    if lru < i {
+                        i -= 1;
+                    }
+                }
+                self.entries.insert(i, (bits, fresh.clone(), self.clock));
+                fresh
+            }
         }
-        let fresh = SteadyState::from_plan(plan, freq);
-        self.entries.push((bits, fresh.clone()));
-        fresh
     }
 }
 
@@ -440,6 +500,66 @@ impl StreamPlan {
     #[must_use]
     pub fn power_w(&self) -> f64 {
         self.power_w
+    }
+
+    /// [`Self::sample_secs`] through a shared [`RateMemo`]: the first
+    /// lookup at a given `freq.to_bits()` pays the per-op sum and records
+    /// it; every later lookup — another 250 ms chunk at the same
+    /// operating point, another batch lane in lockstep — replays the
+    /// recorded value, bit-identical by construction.
+    ///
+    /// One memo is scoped to exactly one `(stream plan, batch)` pair;
+    /// callers evaluating several streams or batch sizes keep one memo
+    /// per pair (as [`OfflinePlan::execute`] does per stream).
+    #[must_use]
+    pub fn sample_secs_memo(&self, freq: f64, batch: usize, memo: &mut RateMemo) -> f64 {
+        let bits = freq.to_bits();
+        match memo.entries.binary_search_by_key(&bits, |e| e.0) {
+            Ok(i) => {
+                memo.hits += 1;
+                memo.entries[i].1
+            }
+            Err(i) => {
+                let secs = self.sample_secs(freq, batch);
+                memo.entries.insert(i, (bits, secs));
+                secs
+            }
+        }
+    }
+}
+
+/// Per-operating-point memo for [`StreamPlan::sample_secs_memo`], keyed
+/// by the exact bits of the DVFS frequency factor and sorted for binary
+/// search.
+///
+/// Historically each caller of the offline estimator re-derived the
+/// per-sample cost for identical frequency bits; sharing one memo across
+/// the callers that evaluate the same stream — batch lanes, successive
+/// offline chunks — collapses those to one walk per operating point.
+#[derive(Debug, Clone, Default)]
+pub struct RateMemo {
+    /// `(freq bits, sample_secs)`, sorted by bits.
+    entries: Vec<(u64, f64)>,
+    hits: u64,
+}
+
+impl RateMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lookups answered from the memo (excludes the recording walks).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Distinct operating points recorded.
+    #[must_use]
+    pub fn operating_points(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -626,6 +746,41 @@ impl SweepPlan {
     pub fn estimate_query_secs(&self, delta: PlanDelta) -> f64 {
         self.relower_stream(delta).sample_secs(1.0, 1)
     }
+
+    /// Re-lowers the single-stream plan under **each** delta in `deltas`,
+    /// packed as one [`BatchPlan`] lane per knob variant: the ablation /
+    /// auto-tuner path evaluates K variants in one pass over the op
+    /// arrays. All lanes share the baseline op/stage arrays (no swept
+    /// knob touches them); each lane carries its own re-lowered overhead
+    /// terms. Lane `k` executes bit-identically to
+    /// `self.relower_query(deltas[k]).execute(..)` against the same
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas` is empty.
+    #[must_use]
+    pub fn relower_query_batch(&self, deltas: &[PlanDelta]) -> BatchPlan {
+        assert!(!deltas.is_empty(), "batch re-lowering needs at least one delta");
+        let mut transfer = Vec::with_capacity(deltas.len());
+        let mut overhead = Vec::with_capacity(deltas.len());
+        let mut launch = Vec::with_capacity(deltas.len());
+        let mut sync = Vec::with_capacity(deltas.len());
+        for &delta in deltas {
+            let (t, o, l, s) = self.relower_overheads(delta);
+            transfer.push(SimDuration::from_secs_f64(t));
+            overhead.push(SimDuration::from_secs_f64(o));
+            launch.push(SimDuration::from_secs_f64(l));
+            sync.push(SimDuration::from_secs_f64(s));
+        }
+        BatchPlan::from_lanes(
+            std::sync::Arc::new(self.query.clone()),
+            transfer,
+            overhead,
+            launch,
+            sync,
+        )
+    }
 }
 
 /// Simulation step for the offline loop.
@@ -694,34 +849,22 @@ impl OfflinePlan {
         let mut per_stream = vec![0.0f64; self.streams.len()];
         let mut elapsed = SimDuration::ZERO;
         let mut throttled = SimDuration::ZERO;
-        // Per-stream sample rates keyed by the chunk's exact frequency
-        // bits. The ladder has a handful of operating points, so a linear
-        // scan over a tiny vec beats hashing.
-        let mut rate_memo: Vec<(u64, Box<[f64]>)> = Vec::new();
+        // Per-stream sample costs keyed by the chunk's exact frequency
+        // bits, one shared memo per stream: steady-state chunks (and any
+        // other caller at the same operating point) replay the recorded
+        // per-op sum instead of re-deriving it.
+        let mut rate_memos: Vec<RateMemo> = vec![RateMemo::new(); self.streams.len()];
 
         while remaining > 0.0 {
             let freq = state.freq_factor();
             if freq < 1.0 {
                 throttled += OFFLINE_CHUNK;
             }
-            let bits = freq.to_bits();
-            let memo_idx = match rate_memo.iter().position(|&(b, _)| b == bits) {
-                Some(i) => i,
-                None => {
-                    let rates: Box<[f64]> = self
-                        .streams
-                        .iter()
-                        .map(|p| 1.0 / p.sample_secs(freq, batch_size))
-                        .collect();
-                    rate_memo.push((bits, rates));
-                    rate_memo.len() - 1
-                }
-            };
-            let rates = &rate_memo[memo_idx].1;
 
             let chunk_secs = OFFLINE_CHUNK.as_secs_f64();
             let mut processed_this_chunk = 0.0;
-            for (i, &rate) in rates.iter().enumerate() {
+            for (i, stream) in self.streams.iter().enumerate() {
+                let rate = 1.0 / stream.sample_secs_memo(freq, batch_size, &mut rate_memos[i]);
                 let done = (rate * chunk_secs).min(remaining);
                 per_stream[i] += done;
                 processed_this_chunk += done;
@@ -833,5 +976,82 @@ mod tests {
         assert_eq!(apportion_samples(&[0.4, 0.4, 0.2], 1), vec![1, 0, 0]);
         let counts = apportion_samples(&[0.5, 0.5], 1);
         assert_eq!(counts.iter().sum::<u64>(), 1);
+    }
+
+    /// A minimal hand-built plan for memo tests: one stage, one op.
+    fn memo_plan() -> QueryPlan {
+        QueryPlan {
+            ops: vec![PlanOp { flops: 1.0e9, denom: 1.0e12, memory_secs: 1.0e-5, sched_secs: 1.0e-6 }],
+            stages: vec![PlanStage { ops_end: 1, engine: EngineId(0), power_w: 2.0 }],
+            transfer: SimDuration::ZERO,
+            overhead: SimDuration::from_micros(100),
+            launch: SimDuration::from_micros(100),
+            sync: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn exec_memo_evicts_least_recently_used() {
+        let plan = memo_plan();
+        let mut memo = ExecMemo::with_capacity(2);
+        let _ = memo.lookup_or_record(&plan, 1.0); // {1.0}
+        let _ = memo.lookup_or_record(&plan, 0.9); // {1.0, 0.9}
+        let _ = memo.lookup_or_record(&plan, 1.0); // touch 1.0 -> 0.9 is LRU
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.evictions(), 0);
+        let _ = memo.lookup_or_record(&plan, 0.8); // evicts 0.9
+        assert_eq!(memo.evictions(), 1);
+        assert_eq!(memo.operating_points(), 2);
+        // 1.0 and 0.8 are resident; 0.9 must re-record (and evict again).
+        let _ = memo.lookup_or_record(&plan, 1.0);
+        let _ = memo.lookup_or_record(&plan, 0.8);
+        assert_eq!(memo.hits(), 3);
+        let _ = memo.lookup_or_record(&plan, 0.9);
+        assert_eq!(memo.hits(), 3);
+        assert_eq!(memo.evictions(), 2);
+    }
+
+    #[test]
+    fn exec_memo_recorded_walks_match_fresh_lowering() {
+        let plan = memo_plan();
+        let mut memo = ExecMemo::with_capacity(2);
+        for freq in [1.0, 0.9, 0.8, 0.9, 1.0] {
+            let mut via_memo = crate::soc::SocState {
+                thermal: crate::thermal::ThermalState::new(crate::thermal::ThermalSpec::default(), 22.0),
+                energy: crate::power::EnergyMeter::new(0.1),
+                battery: None,
+                dvfs: crate::dvfs::DvfsLadder::new(vec![freq]),
+            };
+            let mut fresh = via_memo.clone();
+            let a = plan.execute_memo(&mut via_memo, &mut memo);
+            let b = plan.execute(&mut fresh);
+            assert_eq!(a, b, "memoized walk diverged at freq {freq}");
+            assert_eq!(via_memo, fresh);
+        }
+    }
+
+    #[test]
+    fn rate_memo_shares_rate_across_equal_freq_lanes() {
+        let soc = crate::catalog::ChipId::Dimensity1100.build();
+        let graph = nn_graph::graph::retype(
+            &nn_graph::models::ModelId::MobileNetEdgeTpu.build(),
+            nn_graph::DataType::U8,
+        );
+        let npu = soc.engine_of_kind(crate::engine::EngineKind::Npu).unwrap();
+        let schedule = crate::schedule::Schedule::single(&graph, npu, nn_graph::DataType::U8, 0.0);
+        let stream = StreamPlan::lower(&soc, &graph, &schedule);
+        let mut memo = RateMemo::new();
+        // Two lanes at the same dispatch frequency: the second lookup
+        // must hit instead of re-deriving the rate.
+        let lane_a = stream.sample_secs_memo(0.9, 16, &mut memo);
+        let lane_b = stream.sample_secs_memo(0.9, 16, &mut memo);
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.operating_points(), 1);
+        assert_eq!(lane_a.to_bits(), lane_b.to_bits());
+        assert_eq!(lane_a.to_bits(), stream.sample_secs(0.9, 16).to_bits());
+        // A third lane at a different frequency records a second point.
+        let _ = stream.sample_secs_memo(1.0, 16, &mut memo);
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.operating_points(), 2);
     }
 }

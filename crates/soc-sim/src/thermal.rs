@@ -106,16 +106,41 @@ impl ThermalState {
         }
     }
 
+    /// The RC time constant `R * C` in seconds.
+    #[must_use]
+    pub fn time_constant_secs(&self) -> f64 {
+        self.spec.resistance_c_per_w * self.spec.capacitance_j_per_c
+    }
+
+    /// The exponential decay factor `exp(-dt / tau)` the RC integration
+    /// applies over `dt`.
+    ///
+    /// A pure function of `dt` and [`Self::time_constant_secs`] — states
+    /// agreeing on both (to the bit) share the same factor, which lets a
+    /// lockstep batch executor pay the `exp` once per distinct
+    /// `(dt, tau)` pair instead of once per lane.
+    #[must_use]
+    pub fn decay_alpha(&self, dt: SimDuration) -> f64 {
+        (-dt.as_secs_f64() / self.time_constant_secs()).exp()
+    }
+
     /// Integrates the RC model over `dt` with dissipation `power_w`.
     ///
     /// Uses the exact exponential solution of the first-order ODE, so the
     /// result is step-size independent — important because query durations
     /// vary over five orders of magnitude across the suite.
     pub fn advance(&mut self, power_w: f64, dt: SimDuration) {
-        let s = &self.spec;
-        let tau = s.resistance_c_per_w * s.capacitance_j_per_c;
-        let target = s.steady_state_c(power_w, self.ambient_c);
-        let alpha = (-dt.as_secs_f64() / tau).exp();
+        let alpha = self.decay_alpha(dt);
+        self.advance_with_alpha(power_w, alpha);
+    }
+
+    /// [`Self::advance`] with a precomputed decay factor.
+    ///
+    /// `alpha` must be `self.decay_alpha(dt)` for the `dt` the power was
+    /// dissipated over; with that input this is bit-identical to
+    /// [`Self::advance`].
+    pub fn advance_with_alpha(&mut self, power_w: f64, alpha: f64) {
+        let target = self.spec.steady_state_c(power_w, self.ambient_c);
         self.temperature_c = target + (self.temperature_c - target) * alpha;
     }
 

@@ -451,6 +451,164 @@ proptest! {
     }
 }
 
+/// Builds `k` heterogeneous device states: ambients spread over the
+/// throttle ramp and battery lanes whose state of charge straddles the
+/// power-saving threshold, so lanes disperse across DVFS operating
+/// points as the run evolves.
+fn heterogeneous_states(soc: &Soc, k: usize, ambients: &[f64], socs: &[f64]) -> Vec<SocState> {
+    (0..k)
+        .map(|i| {
+            let ambient = ambients[i % ambients.len()];
+            if i % 3 == 2 {
+                soc.new_state_on_battery(
+                    ambient,
+                    soc_sim::battery::BatteryState::new(
+                        soc_sim::battery::BatterySpec::default(),
+                        socs[i % socs.len()],
+                    ),
+                )
+            } else {
+                soc.new_state(ambient)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The batched lockstep executor's bit-identity contract: every lane
+    /// of a [`BatchPlan`] over heterogeneous device states — mixed
+    /// ambients, battery lanes crossing the power-saving threshold —
+    /// matches a fresh scalar [`QueryPlan::execute`] of the same device
+    /// at 0 ULPs (latency, breakdown, energy, DVFS/thermal trajectory),
+    /// for K in {1, 2, 4, 8, 16}.
+    #[test]
+    fn batched_lanes_match_scalar_execute(
+        channels in 4usize..48,
+        depth in 1usize..4,
+        cuts in proptest::collection::vec(0usize..16, 0..3),
+        engines in proptest::collection::vec(0usize..2, 1..4),
+        sync_us in 0.0f64..500.0,
+        query_us in 0.0f64..200.0,
+        k_index in 0usize..5,
+        ambients in proptest::collection::vec(20.0f64..45.0, 1..6),
+        battery_socs in proptest::collection::vec(0.05f64..1.0, 1..4),
+        queries in 1usize..40,
+    ) {
+        let k = [1usize, 2, 4, 8, 16][k_index];
+        let soc = soc();
+        let graph = retype(&small_graph(channels, depth), DataType::I8);
+        let schedule = random_schedule(&graph, &cuts, &engines, sync_us, query_us);
+        let plan = std::sync::Arc::new(QueryPlan::new(&soc, &graph, &schedule));
+
+        let states = heterogeneous_states(&soc, k, &ambients, &battery_socs);
+        let batch_plan = soc_sim::plan_batch::BatchPlan::broadcast(std::sync::Arc::clone(&plan), k);
+        let mut batch = soc_sim::plan_batch::BatchState::gather(&states);
+        let mut scalar: Vec<SocState> = states;
+        for q in 0..queries {
+            let results = batch_plan.execute(&mut batch);
+            for (lane, state) in scalar.iter_mut().enumerate() {
+                let reference = plan.execute(state);
+                assert_bit_identical(&reference, &results[lane]);
+            }
+            prop_assert_eq!(&batch.scatter(), &scalar, "state drift at query {}", q);
+        }
+    }
+
+    /// The batched fast path ([`BatchPlan::execute_latencies`]) advances
+    /// lane states identically to the full [`BatchPlan::execute`] and
+    /// reports the same latencies.
+    #[test]
+    fn batched_fast_path_matches_full_execute(
+        channels in 4usize..32,
+        k_index in 0usize..5,
+        ambients in proptest::collection::vec(20.0f64..45.0, 1..6),
+        queries in 1usize..40,
+    ) {
+        let k = [1usize, 2, 4, 8, 16][k_index];
+        let soc = soc();
+        let graph = retype(&small_graph(channels, 2), DataType::I8);
+        let schedule = Schedule::single(&graph, EngineId(1), DataType::I8, 40.0);
+        let plan = std::sync::Arc::new(QueryPlan::new(&soc, &graph, &schedule));
+
+        let states = heterogeneous_states(&soc, k, &ambients, &[0.5]);
+        let batch_plan = soc_sim::plan_batch::BatchPlan::broadcast(std::sync::Arc::clone(&plan), k);
+        let mut full = soc_sim::plan_batch::BatchState::gather(&states);
+        let mut fast = soc_sim::plan_batch::BatchState::gather(&states);
+        for _ in 0..queries {
+            let results = batch_plan.execute(&mut full);
+            let latencies = fast_path_latencies(&batch_plan, &mut fast);
+            for (r, l) in results.iter().zip(&latencies) {
+                prop_assert_eq!(r.latency, *l);
+            }
+        }
+        prop_assert_eq!(full.scatter(), fast.scatter());
+    }
+
+    /// The `PlanDelta`-relowered batch path: K knob variants evaluated in
+    /// one pass ([`SweepPlan::relower_query_batch`]) match per-delta
+    /// scalar re-lowerings ([`SweepPlan::relower_query`]) lane by lane at
+    /// 0 ULPs, over heterogeneous lane states.
+    #[test]
+    fn relowered_batch_matches_scalar_relowerings(
+        channels in 4usize..48,
+        depth in 1usize..4,
+        cuts in proptest::collection::vec(0usize..16, 0..3),
+        engines in proptest::collection::vec(0usize..2, 1..4),
+        sync_us in 0.0f64..500.0,
+        query_us in 0.0f64..200.0,
+        sync_knobs in proptest::collection::vec(0.0f64..500.0, 1..9),
+        query_knobs in proptest::collection::vec(0.0f64..300.0, 1..9),
+        ambients in proptest::collection::vec(20.0f64..45.0, 1..6),
+        queries in 1usize..30,
+    ) {
+        let soc = soc();
+        let graph = retype(&small_graph(channels, depth), DataType::I8);
+        let schedule = random_schedule(&graph, &cuts, &engines, sync_us, query_us);
+        let sweep = SweepPlan::new(&soc, &graph, &schedule);
+
+        // Interleave the two knob kinds so adjacent lanes differ in
+        // delta *kind*, not just value.
+        let deltas: Vec<PlanDelta> = sync_knobs
+            .iter()
+            .map(|&v| PlanDelta::SyncOverheadUs(v))
+            .chain(query_knobs.iter().map(|&v| PlanDelta::QueryOverheadUs(v)))
+            .collect();
+        let batch_plan = sweep.relower_query_batch(&deltas);
+        prop_assert_eq!(batch_plan.lanes(), deltas.len());
+
+        let states = heterogeneous_states(&soc, deltas.len(), &ambients, &[0.15, 0.8]);
+        let mut batch = soc_sim::plan_batch::BatchState::gather(&states);
+        let mut scalar: Vec<(QueryPlan, SocState)> = deltas
+            .iter()
+            .zip(&states)
+            .map(|(&delta, state)| (sweep.relower_query(delta), state.clone()))
+            .collect();
+        for q in 0..queries {
+            let results = batch_plan.execute(&mut batch);
+            for (lane, (lane_plan, state)) in scalar.iter_mut().enumerate() {
+                let reference = lane_plan.execute(state);
+                assert_bit_identical(&reference, &results[lane]);
+            }
+            prop_assert_eq!(
+                &batch.scatter(),
+                &scalar.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>(),
+                "state drift at query {}", q
+            );
+        }
+    }
+}
+
+/// Borrow-friendly wrapper: copies the fast-path latency slice out of the
+/// batch state so callers can keep using the state afterwards.
+fn fast_path_latencies(
+    plan: &soc_sim::plan_batch::BatchPlan,
+    batch: &mut soc_sim::plan_batch::BatchState,
+) -> Vec<SimDuration> {
+    plan.execute_latencies(batch).to_vec()
+}
+
 /// At a thermal fixed point (an envelope that never throttles) the DVFS
 /// frequency is pinned, so after the first query's recording walk every
 /// subsequent query replays from the memo: O(1) in the op count.
