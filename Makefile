@@ -3,11 +3,12 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test clippy golden bless trace profile bench reproduce clean
+.PHONY: check build test clippy golden bless scenarios trace profile bench reproduce clean
 
-## Full gate: release build, tests, warning-free clippy, and the
-## golden-trace regression suite (plus the examples it ships with).
-check: build test clippy golden
+## Full gate: release build, tests, warning-free clippy, the
+## golden-trace regression suite (plus the examples it ships with), and
+## the four-scenario smoke run.
+check: build test clippy golden scenarios
 
 build:
 	$(CARGO) build --release
@@ -27,6 +28,11 @@ golden:
 ## Re-bless the goldens after an intentional scoring change.
 bless:
 	BLESS=1 $(CARGO) test --release --test golden_suite
+
+## Smoke-run all four LoadGen scenarios (single-stream, offline, server,
+## multi-stream) end to end through the reproduce CLI.
+scenarios:
+	$(CARGO) run --release -p mlperf-bench --bin reproduce -- scenarios
 
 ## Regenerate every artifact with per-query tracing; one JSON trace per
 ## artifact lands in out/trace/.

@@ -87,6 +87,7 @@ const ARTIFACTS: &[Artifact] = &[
     ("offline", mlperf_bench::offline_throughput),
     ("laptop", mlperf_bench::laptop),
     ("codepaths", mlperf_bench::codepaths),
+    ("scenarios", mlperf_bench::scenarios),
     ("insights", mlperf_bench::all_insights),
     ("ablations", mlperf_bench::all_ablations),
 ];
@@ -207,7 +208,7 @@ fn usage_exit() -> ! {
         "usage: reproduce [ARTIFACT] [--trace DIR] [--profile DIR]\n\
          \x20      reproduce explain <trace.json>\n\
          artifacts: table1 table2 table3 table4 figure6 figure7 offline laptop \
-         codepaths insights ablations endtoend extensions power all"
+         codepaths scenarios insights ablations endtoend extensions power all"
     );
     std::process::exit(2);
 }

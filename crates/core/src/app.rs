@@ -92,11 +92,18 @@ pub struct AppConfig {
     /// Whether to run the offline scenario for classification (optional
     /// for submitters, paper Section 7.2).
     pub offline_classification: bool,
+    /// Whether to also run the server and multi-stream scenario searches
+    /// for classification — the full four-scenario matrix.
+    pub scenario_matrix: bool,
 }
 
 impl Default for AppConfig {
     fn default() -> Self {
-        AppConfig { rules: RunRules::default(), offline_classification: true }
+        AppConfig {
+            rules: RunRules::default(),
+            offline_classification: true,
+            scenario_matrix: false,
+        }
     }
 }
 
@@ -187,7 +194,7 @@ mod tests {
 
     #[test]
     fn report_json_round_trips_with_logs() {
-        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: false };
+        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: false, scenario_matrix: false };
         let report = run_suite(
             ChipId::Dimensity1100,
             SuiteVersion::V1_0,
@@ -209,6 +216,7 @@ mod tests {
         let config = AppConfig {
             rules: RunRules::smoke_test(),
             offline_classification: true,
+            scenario_matrix: false,
         };
         let report =
             run_suite(ChipId::Exynos2100, SuiteVersion::V1_0, &config, DatasetScale::Reduced(48))
@@ -224,7 +232,7 @@ mod tests {
 
     #[test]
     fn traced_suite_is_bit_identical_and_traces_validate() {
-        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true };
+        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true, scenario_matrix: false };
         let chip = ChipId::Dimensity1100;
         let scale = DatasetScale::Reduced(32);
         let plain = run_suite(chip, SuiteVersion::V1_0, &config, scale).unwrap();
@@ -244,6 +252,7 @@ mod tests {
         let config = AppConfig {
             rules: RunRules::smoke_test(),
             offline_classification: false,
+            scenario_matrix: false,
         };
         let report = run_suite(
             ChipId::CoreI7_1165G7,

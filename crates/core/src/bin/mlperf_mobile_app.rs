@@ -35,8 +35,8 @@ fn chip_by_slug(slug: &str) -> Option<ChipId> {
 
 fn usage() -> &'static str {
     "usage: mlperf-mobile-app [--list] [--chip <slug>] [--version v0.7|v1.0]\n\
-     \u{20}                       [--scale <n>|full] [--offline] [--ambient <degC>]\n\
-     \u{20}                       [--battery <0..1>]\n\
+     \u{20}                       [--scale <n>|full] [--offline] [--scenarios]\n\
+     \u{20}                       [--ambient <degC>] [--battery <0..1>]\n\
      \n\
      --list       print the device catalog and exit\n\
      --chip       device slug (default dimensity-1100)\n\
@@ -44,6 +44,8 @@ fn usage() -> &'static str {
      --scale      validation-set size per task, or 'full' (default 2048;\n\
      \u{20}             reduced sets add sampling noise near the tight gates)\n\
      --offline    also run the offline scenario for classification\n\
+     --scenarios  also run the server and multi-stream searches for\n\
+     \u{20}             classification (the full four-scenario matrix)\n\
      --ambient    room temperature; the rules require 20-25 degC\n\
      --battery    initial state of charge (default 1.0 = full, per rules)"
 }
@@ -54,6 +56,7 @@ fn main() -> ExitCode {
     let mut version: Option<SuiteVersion> = None;
     let mut scale = DatasetScale::Reduced(2048);
     let mut offline = false;
+    let mut scenarios = false;
     let mut rules = RunRules::default();
 
     let mut i = 0;
@@ -116,6 +119,7 @@ fn main() -> ExitCode {
                 };
             }
             "--offline" => offline = true,
+            "--scenarios" => scenarios = true,
             "--ambient" => {
                 i += 1;
                 match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
@@ -159,12 +163,23 @@ fn main() -> ExitCode {
             rules.ambient_c
         );
     }
-    let config = AppConfig { rules, offline_classification: offline };
+    let config = AppConfig { rules, offline_classification: offline, scenario_matrix: scenarios };
     println!("running MLPerf Mobile {version} on {chip} ...");
     match run_suite(chip, version, &config, scale) {
         Ok(report) => {
             print!("{}", format_report(&report));
             for s in &report.scores {
+                if let (Some(srv), Some(ms)) = (&s.server, &s.multi_stream) {
+                    println!(
+                        "scenarios: {} server max {:.1} QPS (p90 <= {:.2} ms) | \
+                         multi-stream {} streams per {:.0} ms frame",
+                        s.def.task,
+                        srv.max_qps,
+                        srv.target_latency_ns as f64 / 1e6,
+                        ms.streams,
+                        ms.interval_ns as f64 / 1e6,
+                    );
+                }
                 if s.power_saving_entered {
                     println!(
                         "note: {} ran in battery power-saving mode — recharge and rerun",

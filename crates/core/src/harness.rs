@@ -3,12 +3,15 @@
 //! cooldown intervals — and scores it.
 
 use crate::metrics::metrics;
-use crate::sut_impl::{DatasetScale, DeviceSut, PlannedDeployment, Prediction, TaskData};
+use crate::sut_impl::{
+    DatasetScale, DeviceSut, PerfDeviceSut, PlannedDeployment, Prediction, TaskData,
+};
 use crate::task::{BenchmarkDef, Task};
 use loadgen::checker::{check_log, Violation};
 use loadgen::log::RunLog;
 use loadgen::run::{
-    run_accuracy_advance, run_accuracy_parallel, run_offline_scenario_traced,
+    find_max_qps, find_max_streams, run_accuracy_advance, run_accuracy_parallel,
+    run_multi_stream_traced, run_offline_scenario_traced, run_server_traced,
     run_single_stream_traced, PerformanceResult,
 };
 use loadgen::scenario::TestSettings;
@@ -68,6 +71,76 @@ impl RunRules {
     }
 }
 
+/// Which performance scenarios run after the mandatory single-stream leg
+/// (paper Section 4: single-stream always runs; offline, server, and
+/// multi-stream are per-benchmark options).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioMix {
+    /// Run the offline throughput scenario.
+    pub offline: bool,
+    /// Run the server scenario: binary-search the maximum Poisson offered
+    /// load whose p90 latency stays under the per-model bound.
+    pub server: bool,
+    /// Run the multi-stream scenario: search the widest frame that still
+    /// fits the fixed frame interval.
+    pub multi_stream: bool,
+}
+
+impl ScenarioMix {
+    /// The historical two-scenario mix: single-stream plus optionally
+    /// offline.
+    #[must_use]
+    pub const fn offline_only(offline: bool) -> Self {
+        ScenarioMix { offline, server: false, multi_stream: false }
+    }
+
+    /// All four scenarios.
+    #[must_use]
+    pub const fn all() -> Self {
+        ScenarioMix { offline: true, server: true, multi_stream: true }
+    }
+}
+
+/// The server scenario's latency bound as a multiple of the measured
+/// single-stream p90: a device meets the bound while queueing delay stays
+/// within two extra service times of the knee.
+pub const SERVER_LATENCY_BOUND_X: u64 = 3;
+
+/// How far past the device's zero-queueing capacity the QPS search
+/// brackets: the knee always lies below `capacity x this factor`.
+const SERVER_SEARCH_HEADROOM: f64 = 2.0;
+
+/// Scored outcome of the server scenario's offered-load search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerScore {
+    /// Headline: the largest offered load (queries/s) whose p90 latency
+    /// met the bound; `0.0` if even the lightest probe missed it.
+    pub max_qps: f64,
+    /// The per-model latency bound the search held probes to (ns) —
+    /// [`SERVER_LATENCY_BOUND_X`] times the measured single-stream p90.
+    pub target_latency_ns: u64,
+    /// Probe runs the bisection executed.
+    pub probes: u64,
+    /// The winning probe's full performance result (arrival-to-completion
+    /// latency statistics, queueing included).
+    pub result: PerformanceResult,
+}
+
+/// Scored outcome of the multi-stream scenario's stream-count search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiStreamScore {
+    /// Headline: the widest frame (streams per frame) whose p90 frame
+    /// latency fits the frame interval; `0` if one stream already misses.
+    pub streams: u64,
+    /// The fixed frame interval the search held probes to (ns).
+    pub interval_ns: u64,
+    /// Probe runs the search executed.
+    pub probes: u64,
+    /// The winning probe's full performance result (frame-latency
+    /// statistics: each frame scores the max over its lanes).
+    pub result: PerformanceResult,
+}
+
 /// Complete scored result of one benchmark run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchmarkScore {
@@ -91,6 +164,10 @@ pub struct BenchmarkScore {
     pub single_stream: PerformanceResult,
     /// Offline performance (when run).
     pub offline: Option<PerformanceResult>,
+    /// Server-scenario search outcome (when run).
+    pub server: Option<ServerScore>,
+    /// Multi-stream-scenario search outcome (when run).
+    pub multi_stream: Option<MultiStreamScore>,
     /// Run-rule violations found by the submission checker.
     pub violations: Vec<Violation>,
     /// Whether the ambient temperature was rule-compliant.
@@ -119,6 +196,20 @@ impl BenchmarkScore {
     #[must_use]
     pub fn latency_ms(&self) -> f64 {
         self.single_stream.score()
+    }
+
+    /// Headline server metric: max passing offered load (queries/s), when
+    /// the scenario ran.
+    #[must_use]
+    pub fn server_qps(&self) -> Option<f64> {
+        self.server.as_ref().map(|s| s.max_qps)
+    }
+
+    /// Headline multi-stream metric: max passing stream count, when the
+    /// scenario ran.
+    #[must_use]
+    pub fn multi_stream_streams(&self) -> Option<u64> {
+        self.multi_stream.as_ref().map(|s| s.streams)
     }
 }
 
@@ -255,6 +346,12 @@ pub struct BenchmarkTrace {
     pub single_stream: RunTrace,
     /// Burst record of the offline run, when one ran.
     pub offline: Option<RunTrace>,
+    /// Span timeline of the server scenario's winning probe (overlapping
+    /// spans; dispatch may lag arrival), when the scenario ran.
+    pub server: Option<RunTrace>,
+    /// Span timeline of the multi-stream scenario's winning probe, when
+    /// the scenario ran.
+    pub multi_stream: Option<RunTrace>,
     /// Run-end energy accounting (meter totals + per-engine attribution).
     pub energy: RunEnergy,
 }
@@ -295,6 +392,12 @@ impl BenchmarkTrace {
             .map_err(|e| format!("{}: single-stream: {e}", self.label()))?;
         if let Some(offline) = &self.offline {
             offline.validate().map_err(|e| format!("{}: offline: {e}", self.label()))?;
+        }
+        if let Some(server) = &self.server {
+            server.validate().map_err(|e| format!("{}: server: {e}", self.label()))?;
+        }
+        if let Some(ms) = &self.multi_stream {
+            ms.validate().map_err(|e| format!("{}: multi-stream: {e}", self.label()))?;
         }
         Ok(())
     }
@@ -419,9 +522,28 @@ pub fn run_benchmark(
     scale: DatasetScale,
     with_offline: bool,
 ) -> Result<BenchmarkScore, CompileError> {
+    run_benchmark_scenarios(chip, backend, def, rules, scale, ScenarioMix::offline_only(with_offline))
+}
+
+/// [`run_benchmark`] with an explicit scenario mix: any combination of
+/// offline, server, and multi-stream after the mandatory single-stream
+/// leg.
+///
+/// # Errors
+///
+/// Propagates backend compilation failures.
+pub fn run_benchmark_scenarios(
+    chip: ChipId,
+    backend: &dyn Backend,
+    def: &BenchmarkDef,
+    rules: &RunRules,
+    scale: DatasetScale,
+    mix: ScenarioMix,
+) -> Result<BenchmarkScore, CompileError> {
     let soc = Arc::new(chip.build());
     let deployment = Arc::new(backend.compile(&def.model.build(), &soc)?);
-    Ok(run_benchmark_with(chip, soc, deployment, def, rules, scale, with_offline))
+    let planned = PlannedDeployment::compile(&soc, deployment);
+    Ok(run_benchmark_inner(chip, soc, planned, def, rules, scale, mix, false).0)
 }
 
 /// Runs one benchmark on an already-compiled deployment.
@@ -444,7 +566,8 @@ pub fn run_benchmark_with(
     with_offline: bool,
 ) -> BenchmarkScore {
     let planned = PlannedDeployment::compile(&soc, deployment);
-    run_benchmark_inner(chip, soc, planned, def, rules, scale, with_offline, false).0
+    let mix = ScenarioMix::offline_only(with_offline);
+    run_benchmark_inner(chip, soc, planned, def, rules, scale, mix, false).0
 }
 
 /// Runs one benchmark on an already-planned deployment — the fastest
@@ -465,7 +588,39 @@ pub fn run_benchmark_planned(
     scale: DatasetScale,
     with_offline: bool,
 ) -> BenchmarkScore {
-    run_benchmark_inner(chip, soc, planned, def, rules, scale, with_offline, false).0
+    let mix = ScenarioMix::offline_only(with_offline);
+    run_benchmark_inner(chip, soc, planned, def, rules, scale, mix, false).0
+}
+
+/// [`run_benchmark_planned`] with an explicit scenario mix.
+#[must_use]
+pub fn run_benchmark_planned_scenarios(
+    chip: ChipId,
+    soc: Arc<Soc>,
+    planned: PlannedDeployment,
+    def: &BenchmarkDef,
+    rules: &RunRules,
+    scale: DatasetScale,
+    mix: ScenarioMix,
+) -> BenchmarkScore {
+    run_benchmark_inner(chip, soc, planned, def, rules, scale, mix, false).0
+}
+
+/// [`run_benchmark_planned_scenarios`] with per-query tracing enabled,
+/// returning the score together with the run trace (which carries one
+/// [`RunTrace`] per scenario that ran).
+#[must_use]
+pub fn run_benchmark_planned_scenarios_with_trace(
+    chip: ChipId,
+    soc: Arc<Soc>,
+    planned: PlannedDeployment,
+    def: &BenchmarkDef,
+    rules: &RunRules,
+    scale: DatasetScale,
+    mix: ScenarioMix,
+) -> (BenchmarkScore, BenchmarkTrace) {
+    let (score, trace) = run_benchmark_inner(chip, soc, planned, def, rules, scale, mix, true);
+    (score, trace.expect("traced run always yields a trace"))
 }
 
 /// [`run_benchmark_planned`] with per-query tracing enabled, returning
@@ -480,8 +635,8 @@ pub fn run_benchmark_planned_with_trace(
     scale: DatasetScale,
     with_offline: bool,
 ) -> (BenchmarkScore, BenchmarkTrace) {
-    let (score, trace) =
-        run_benchmark_inner(chip, soc, planned, def, rules, scale, with_offline, true);
+    let mix = ScenarioMix::offline_only(with_offline);
+    let (score, trace) = run_benchmark_inner(chip, soc, planned, def, rules, scale, mix, true);
     (score, trace.expect("traced run always yields a trace"))
 }
 
@@ -502,8 +657,8 @@ pub fn run_benchmark_with_trace(
     with_offline: bool,
 ) -> (BenchmarkScore, BenchmarkTrace) {
     let planned = PlannedDeployment::compile(&soc, deployment);
-    let (score, trace) =
-        run_benchmark_inner(chip, soc, planned, def, rules, scale, with_offline, true);
+    let mix = ScenarioMix::offline_only(with_offline);
+    let (score, trace) = run_benchmark_inner(chip, soc, planned, def, rules, scale, mix, true);
     (score, trace.expect("traced run always yields a trace"))
 }
 
@@ -593,12 +748,17 @@ fn run_benchmark_inner(
     def: &BenchmarkDef,
     rules: &RunRules,
     scale: DatasetScale,
-    with_offline: bool,
+    mix: ScenarioMix,
     traced: bool,
 ) -> (BenchmarkScore, Option<BenchmarkTrace>) {
     let backend_id = planned.deployment.backend;
     let scheme = planned.deployment.scheme;
     let accelerator = planned.deployment.accelerator_summary(&soc);
+    // The searches mint fresh probe devices from the shared plans; keep a
+    // handle before the planned deployment moves into the device SUT
+    // (clone = a few `Arc` bumps).
+    let probe_plans = planned.clone();
+    let probe_soc = Arc::clone(&soc);
     let mut sut =
         DeviceSut::with_plans(soc, planned, def, scale, rules.settings.seed, rules.ambient_c);
     if let Some(soc_level) = rules.battery_soc {
@@ -637,7 +797,7 @@ fn run_benchmark_inner(
 
     // 4. Offline, after another cooldown.
     let mut offline_trace = RunTrace::new();
-    let offline = if with_offline {
+    let offline = if mix.offline {
         sut.state.thermal.cooldown(rules.cooldown);
         Some(run_offline_scenario_traced(
             &mut sut,
@@ -646,6 +806,91 @@ fn run_benchmark_inner(
             &mut log,
             traced.then_some(&mut offline_trace),
         ))
+    } else {
+        None
+    };
+
+    // 5. Server: bisect the maximum Poisson offered load whose p90
+    // arrival-to-completion latency meets the per-model bound (3x the
+    // single-stream p90 just measured). Every probe runs on a fresh
+    // device so one candidate's thermal history cannot leak into the
+    // next; the winning probe's log is spliced into the submission log so
+    // the checker validates that segment alongside the others.
+    let ss_p90_ns = single_stream.latency.as_ref().map_or(0, |l| l.p90_ns).max(1);
+    let mut server_trace = None;
+    let server = if mix.server {
+        let target = SimDuration::from_nanos(ss_p90_ns.saturating_mul(SERVER_LATENCY_BOUND_X));
+        // Zero-queueing capacity of the device: concurrency lanes each
+        // retiring a query per p90. The knee sits below it; bracket past
+        // it so the bisection always straddles.
+        let capacity =
+            rules.settings.server_concurrency.max(1) as f64 / (ss_p90_ns as f64 / 1e9);
+        let search = find_max_qps(
+            || PerfDeviceSut::new(Arc::clone(&probe_soc), &probe_plans, rules.ambient_c),
+            dataset_len,
+            &rules.settings,
+            target,
+            capacity * SERVER_SEARCH_HEADROOM,
+        );
+        log.append(&search.log);
+        if traced {
+            // Re-run the winning probe traced: same seed, same fresh
+            // device, so the result must reproduce exactly.
+            let mut t = RunTrace::new();
+            let mut probe = PerfDeviceSut::new(Arc::clone(&probe_soc), &probe_plans, rules.ambient_c);
+            let mut probe_log = RunLog::new();
+            let replay = run_server_traced(
+                &mut probe,
+                dataset_len,
+                search.result.offered_qps.expect("server result carries its offered load"),
+                &rules.settings,
+                &mut probe_log,
+                Some(&mut t),
+            );
+            assert_eq!(replay, search.result, "traced server replay must be bit-identical");
+            server_trace = Some(t);
+        }
+        Some(ServerScore {
+            max_qps: search.max_passing_qps,
+            target_latency_ns: search.target_latency.as_nanos(),
+            probes: search.probes,
+            result: search.result,
+        })
+    } else {
+        None
+    };
+
+    // 6. Multi-stream: search the widest frame whose p90 frame latency
+    // fits the fixed frame interval, again on fresh probe devices.
+    let mut multi_stream_trace = None;
+    let multi_stream = if mix.multi_stream {
+        let search = find_max_streams(
+            || PerfDeviceSut::new(Arc::clone(&probe_soc), &probe_plans, rules.ambient_c),
+            dataset_len,
+            &rules.settings,
+        );
+        log.append(&search.log);
+        if traced {
+            let mut t = RunTrace::new();
+            let mut probe = PerfDeviceSut::new(Arc::clone(&probe_soc), &probe_plans, rules.ambient_c);
+            let mut probe_log = RunLog::new();
+            let replay = run_multi_stream_traced(
+                &mut probe,
+                dataset_len,
+                search.result.streams.expect("multi-stream result carries its width"),
+                &rules.settings,
+                &mut probe_log,
+                Some(&mut t),
+            );
+            assert_eq!(replay, search.result, "traced multi-stream replay must be bit-identical");
+            multi_stream_trace = Some(t);
+        }
+        Some(MultiStreamScore {
+            streams: search.streams,
+            interval_ns: search.interval.as_nanos(),
+            probes: search.probes,
+            result: search.result,
+        })
     } else {
         None
     };
@@ -665,7 +910,9 @@ fn run_benchmark_inner(
             task: def.task,
             backend: backend_id,
             single_stream: ss_trace,
-            offline: with_offline.then_some(offline_trace),
+            offline: mix.offline.then_some(offline_trace),
+            server: server_trace,
+            multi_stream: multi_stream_trace,
             energy,
         };
         metrics().record_throttling(trace.throttled_queries(), trace.throttle_events());
@@ -692,6 +939,8 @@ fn run_benchmark_inner(
         accuracy_passed: accuracy >= quality_target,
         single_stream,
         offline,
+        server,
+        multi_stream,
         violations,
         ambient_compliant: rules.ambient_compliant(),
         joules_per_query,

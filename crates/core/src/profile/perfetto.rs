@@ -281,6 +281,7 @@ mod tests {
                 query_index: i,
                 sample_index: i as usize,
                 issue_ns: now,
+                dispatch_ns: now,
                 complete_ns: now + latency,
                 latency_ns: latency,
                 telemetry: Some(telemetry(if i >= queries / 2 { 0.8 } else { 1.0 })),

@@ -87,6 +87,22 @@ pub fn format_details(s: &BenchmarkScore) -> String {
             off.throughput_fps, off.queries
         ));
     }
+    if let Some(srv) = &s.server {
+        out.push_str(&format!(
+            "  server           max {:.1} QPS (p90 ≤ {:.2} ms, {} probes)\n",
+            srv.max_qps,
+            srv.target_latency_ns as f64 / 1e6,
+            srv.probes,
+        ));
+    }
+    if let Some(ms) = &s.multi_stream {
+        out.push_str(&format!(
+            "  multi-stream     {} streams per {:.0} ms frame ({} probes)\n",
+            ms.streams,
+            ms.interval_ns as f64 / 1e6,
+            ms.probes,
+        ));
+    }
     out.push_str(&format!(
         "  energy           {:.2} mJ/query | {:.2} W average\n",
         s.joules_per_query * 1e3,
@@ -123,7 +139,12 @@ pub fn format_trace_summary(traces: &[BenchmarkTrace]) -> String {
             t.throttled_queries(),
             t.throttle_events(),
             peak,
-            if t.offline.is_some() { " | +offline burst" } else { "" },
+            match (t.offline.is_some(), t.server.is_some() || t.multi_stream.is_some()) {
+                (true, true) => " | +offline burst | +scenario probes",
+                (true, false) => " | +offline burst",
+                (false, true) => " | +scenario probes",
+                (false, false) => "",
+            },
         ));
         let engines = t
             .energy
@@ -189,7 +210,7 @@ mod tests {
 
     #[test]
     fn report_mentions_every_task() {
-        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: false };
+        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: false, scenario_matrix: false };
         let report = run_suite(
             ChipId::Snapdragon888,
             SuiteVersion::V1_0,
@@ -206,7 +227,7 @@ mod tests {
 
     #[test]
     fn detail_view_covers_fig8_fields() {
-        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true };
+        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true, scenario_matrix: false };
         let report = run_suite(
             ChipId::Exynos2100,
             SuiteVersion::V1_0,
@@ -223,9 +244,37 @@ mod tests {
     }
 
     #[test]
+    fn detail_view_lists_scenario_searches() {
+        let config = AppConfig {
+            rules: RunRules::smoke_test(),
+            offline_classification: true,
+            scenario_matrix: true,
+        };
+        let report = run_suite(
+            ChipId::Dimensity1100,
+            SuiteVersion::V1_0,
+            &config,
+            DatasetScale::Reduced(32),
+        )
+        .unwrap();
+        let classification = &report.scores[0];
+        let detail = format_details(classification);
+        assert!(detail.contains("server"), "{detail}");
+        assert!(detail.contains("QPS"), "{detail}");
+        assert!(detail.contains("multi-stream"), "{detail}");
+        assert!(detail.contains("streams per"), "{detail}");
+        // The headline metrics are reachable straight off the score too.
+        assert!(classification.server_qps().unwrap() > 0.0);
+        assert!(classification.multi_stream_streams().unwrap() >= 1);
+        // Non-classification rows ran single-stream only.
+        let qa = &report.scores[3];
+        assert!(qa.server.is_none() && qa.multi_stream.is_none());
+    }
+
+    #[test]
     fn trace_summary_lists_cells() {
         use crate::app::run_suite_traced;
-        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true };
+        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true, scenario_matrix: false };
         let (_, traces) = run_suite_traced(
             ChipId::Snapdragon888,
             SuiteVersion::V1_0,

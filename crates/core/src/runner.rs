@@ -26,7 +26,8 @@
 
 use crate::app::{submission_backend, AppConfig, SuiteReport};
 use crate::harness::{
-    run_benchmark_planned, run_benchmark_planned_with_trace, BenchmarkScore, RunRules,
+    run_benchmark_planned_scenarios, run_benchmark_planned_scenarios_with_trace, BenchmarkScore,
+    RunRules, ScenarioMix,
 };
 use crate::metrics::{metrics, TraceCollector};
 use crate::sut_impl::{DatasetScale, PlannedDeployment};
@@ -254,7 +255,7 @@ where
 }
 
 /// One cell of the benchmark matrix: which deployment to run on which
-/// chip, and whether the offline scenario follows the single-stream run.
+/// chip, and which scenarios follow the single-stream run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunSpec {
     /// Platform.
@@ -263,23 +264,32 @@ pub struct RunSpec {
     pub backend: BackendId,
     /// Benchmark definition (task, model, quality target).
     pub def: BenchmarkDef,
-    /// Whether to also run the offline scenario.
-    pub with_offline: bool,
+    /// Scenarios to run after the mandatory single-stream leg.
+    pub mix: ScenarioMix,
 }
 
 impl RunSpec {
     /// The specs for one suite run on one chip, in the prescribed task
     /// order, using the per-task submission backends of paper Table 2.
+    /// Offline rides along with classification when the config enables
+    /// it; the server and multi-stream searches ride along with
+    /// classification when `config.scenario_matrix` is set.
     #[must_use]
     pub fn suite(chip: ChipId, version: SuiteVersion, config: &AppConfig) -> Vec<RunSpec> {
         suite(version)
             .into_iter()
-            .map(|def| RunSpec {
-                chip,
-                backend: submission_backend(chip, version, def.task),
-                with_offline: config.offline_classification
-                    && def.task == Task::ImageClassification,
-                def,
+            .map(|def| {
+                let classification = def.task == Task::ImageClassification;
+                RunSpec {
+                    chip,
+                    backend: submission_backend(chip, version, def.task),
+                    mix: ScenarioMix {
+                        offline: config.offline_classification && classification,
+                        server: config.scenario_matrix && classification,
+                        multi_stream: config.scenario_matrix && classification,
+                    },
+                    def,
+                }
             })
             .collect()
     }
@@ -374,26 +384,26 @@ impl SuiteRunner {
             let soc = self.cache.soc(spec.chip);
             let started = std::time::Instant::now();
             let score = if let Some(sink) = &self.trace_sink {
-                let (score, trace) = run_benchmark_planned_with_trace(
+                let (score, trace) = run_benchmark_planned_scenarios_with_trace(
                     spec.chip,
                     soc,
                     planned,
                     &spec.def,
                     rules,
                     scale,
-                    spec.with_offline,
+                    spec.mix,
                 );
                 sink.push(trace);
                 score
             } else {
-                run_benchmark_planned(
+                run_benchmark_planned_scenarios(
                     spec.chip,
                     soc,
                     planned,
                     &spec.def,
                     rules,
                     scale,
-                    spec.with_offline,
+                    spec.mix,
                 )
             };
             let label = format!("{}/{:?}/{}", spec.chip, spec.def.task, spec.backend);
@@ -546,8 +556,10 @@ mod tests {
         let specs = RunSpec::suite(ChipId::Exynos990, SuiteVersion::V0_7, &config);
         assert_eq!(specs.len(), 4);
         assert!(specs.iter().all(|s| s.backend == BackendId::Enn));
-        // Offline rides along with classification only.
-        assert!(specs[0].with_offline && specs[0].def.task == Task::ImageClassification);
-        assert!(specs[1..].iter().all(|s| !s.with_offline));
+        // Offline rides along with classification only; the server and
+        // multi-stream searches stay off without `scenario_matrix`.
+        assert!(specs[0].mix.offline && specs[0].def.task == Task::ImageClassification);
+        assert!(specs[1..].iter().all(|s| !s.mix.offline));
+        assert!(specs.iter().all(|s| !s.mix.server && !s.mix.multi_stream));
     }
 }

@@ -63,6 +63,11 @@ pub struct SubmissionEntry {
     pub latency_ms: f64,
     /// Offline throughput (FPS), when submitted.
     pub offline_fps: Option<f64>,
+    /// Server scenario: max offered load meeting the latency bound
+    /// (queries/s), when submitted.
+    pub server_qps: Option<f64>,
+    /// Multi-stream scenario: max streams per frame, when submitted.
+    pub multi_stream_streams: Option<u64>,
     /// Measured accuracy (metric units).
     pub accuracy: f64,
 }
@@ -80,6 +85,8 @@ impl SubmissionEntry {
             backend: score.backend,
             latency_ms: score.latency_ms(),
             offline_fps: score.offline.as_ref().map(|o| o.throughput_fps),
+            server_qps: score.server_qps(),
+            multi_stream_streams: score.multi_stream_streams(),
             accuracy: score.accuracy,
         }
     }
@@ -226,6 +233,8 @@ mod tests {
             backend: BackendId::Snpe,
             latency_ms: latency,
             offline_fps: None,
+            server_qps: None,
+            multi_stream_streams: None,
             accuracy,
         }
     }

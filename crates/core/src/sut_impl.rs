@@ -333,6 +333,10 @@ impl SystemUnderTest for DeviceSut {
     fn last_telemetry(&self) -> Option<QueryTelemetry> {
         self.last_query.as_ref().map(|r| query_telemetry(&self.soc, r))
     }
+
+    fn idle(&mut self, dt: SimDuration) {
+        self.state.thermal.cooldown(dt);
+    }
 }
 
 impl loadgen::sut::SplitQuery for DeviceSut {
@@ -361,6 +365,76 @@ impl DeviceSut {
     #[must_use]
     pub fn fast_forward_operating_points(&self) -> usize {
         self.memo.operating_points()
+    }
+}
+
+/// A performance-only device SUT: the compiled query plan on a fresh
+/// simulated device, with no dataset or prediction state attached.
+///
+/// The server and multi-stream searches probe many candidate operating
+/// points, and each probe must start from a cold device so thermal state
+/// cannot leak between candidates. Building a full [`DeviceSut`] per probe
+/// would re-synthesize the validation set every time; this SUT carries
+/// only what performance mode touches — the shared plan `Arc`s plus a
+/// fresh [`SocState`] — so probes are cheap to mint. Latency evolution is
+/// identical to [`DeviceSut`] (same plan, same memo fast-forward, same
+/// thermal model), and [`SystemUnderTest::description`] matches it byte
+/// for byte so probe logs carry the same header.
+#[derive(Debug)]
+pub struct PerfDeviceSut {
+    /// SoC description (immutable, shared).
+    pub soc: Arc<Soc>,
+    /// Compiled deployment under test (immutable, shared).
+    pub deployment: Arc<Deployment>,
+    /// Mutable device state (thermal, energy) — persists across queries.
+    pub state: SocState,
+    plan: Arc<QueryPlan>,
+    last_query: Option<QueryResult>,
+    memo: ExecMemo,
+}
+
+impl PerfDeviceSut {
+    /// A fresh device at `ambient_c` running a planned deployment.
+    #[must_use]
+    pub fn new(soc: Arc<Soc>, planned: &PlannedDeployment, ambient_c: f64) -> Self {
+        let state = soc.new_state(ambient_c);
+        PerfDeviceSut {
+            deployment: Arc::clone(&planned.deployment),
+            plan: Arc::clone(&planned.query),
+            state,
+            soc,
+            last_query: None,
+            memo: ExecMemo::new(),
+        }
+    }
+}
+
+impl SystemUnderTest for PerfDeviceSut {
+    type Response = ();
+
+    fn issue_query(&mut self, _sample_index: usize) -> (SimDuration, ()) {
+        let result = self.plan.execute_memo(&mut self.state, &mut self.memo);
+        let latency = result.latency;
+        self.last_query = Some(result);
+        (latency, ())
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "{} / {} / {} on {}",
+            self.soc.name,
+            self.deployment.backend,
+            self.deployment.scheme,
+            self.deployment.accelerator_summary(&self.soc),
+        )
+    }
+
+    fn last_telemetry(&self) -> Option<QueryTelemetry> {
+        self.last_query.as_ref().map(|r| query_telemetry(&self.soc, r))
+    }
+
+    fn idle(&mut self, dt: SimDuration) {
+        self.state.thermal.cooldown(dt);
     }
 }
 

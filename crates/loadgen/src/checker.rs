@@ -51,6 +51,21 @@ pub enum Violation {
         /// Count of query records.
         logged: u64,
     },
+    /// Multi-stream run with fewer frames than the rules require.
+    TooFewFrames {
+        /// Frames found.
+        got: u64,
+        /// Frames required.
+        required: u64,
+    },
+    /// Multi-stream frame accounting broken: the lanes declared by the
+    /// frame records do not add up to the query records in the segment.
+    FrameAccountingMismatch {
+        /// Sum of `streams` over the frame records.
+        declared: u64,
+        /// Count of query records.
+        logged: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -75,6 +90,15 @@ impl fmt::Display for Violation {
             }
             Violation::InconsistentQueryCount { declared, logged } => {
                 write!(f, "end record declares {declared} queries but {logged} were logged")
+            }
+            Violation::TooFewFrames { got, required } => {
+                write!(f, "only {got} frames, {required} required")
+            }
+            Violation::FrameAccountingMismatch { declared, logged } => {
+                write!(
+                    f,
+                    "frame records declare {declared} lane queries but {logged} were logged"
+                )
             }
         }
     }
@@ -123,7 +147,10 @@ fn check_segment(log: &RunLog, settings: &TestSettings) -> Vec<Violation> {
     };
 
     match (scenario, mode) {
-        (Scenario::SingleStream, TestMode::Performance) => {
+        // Single-stream and server share the count-AND-duration rule:
+        // both observe every query's completion individually (server's
+        // latencies just include queueing delay).
+        (Scenario::SingleStream | Scenario::Server, TestMode::Performance) => {
             if *queries < settings.min_query_count {
                 violations.push(Violation::TooFewQueries {
                     got: *queries,
@@ -137,6 +164,41 @@ fn check_segment(log: &RunLog, settings: &TestSettings) -> Vec<Violation> {
                 });
             }
             let logged = log.latencies_ns().len() as u64;
+            if logged != *queries {
+                violations.push(Violation::InconsistentQueryCount {
+                    declared: *queries,
+                    logged,
+                });
+            }
+        }
+        (Scenario::MultiStream, TestMode::Performance) => {
+            let mut frames = 0u64;
+            let mut declared_lanes = 0u64;
+            for r in records {
+                if let LogRecord::FrameComplete { streams, .. } = r {
+                    frames += 1;
+                    declared_lanes += streams;
+                }
+            }
+            if frames < settings.min_frame_count {
+                violations.push(Violation::TooFewFrames {
+                    got: frames,
+                    required: settings.min_frame_count,
+                });
+            }
+            if *duration_ns < settings.min_duration.as_nanos() {
+                violations.push(Violation::TooShort {
+                    got_ns: *duration_ns,
+                    required_ns: settings.min_duration.as_nanos(),
+                });
+            }
+            let logged = log.latencies_ns().len() as u64;
+            if declared_lanes != logged {
+                violations.push(Violation::FrameAccountingMismatch {
+                    declared: declared_lanes,
+                    logged,
+                });
+            }
             if logged != *queries {
                 violations.push(Violation::InconsistentQueryCount {
                     declared: *queries,
@@ -299,6 +361,180 @@ mod tests {
         assert_eq!(
             check_log(&RunLog::new(), &TestSettings::default()),
             vec![Violation::MissingStart]
+        );
+    }
+
+    #[test]
+    fn compliant_server_passes() {
+        use crate::run::run_server;
+        let mut sut = ConstantSut::new(SimDuration::from_millis(2));
+        let mut log = RunLog::new();
+        let settings = TestSettings::default();
+        // 100 qps over >= 60 s satisfies both server thresholds.
+        let _ = run_server(&mut sut, 1000, 100.0, &settings, &mut log);
+        assert!(check_log(&log, &settings).is_empty());
+    }
+
+    #[test]
+    fn server_smoke_run_rejected_under_real_rules() {
+        use crate::run::run_server;
+        let mut sut = ConstantSut::new(SimDuration::from_millis(2));
+        let mut log = RunLog::new();
+        let smoke = TestSettings::smoke_test();
+        let _ = run_server(&mut sut, 100, 200.0, &smoke, &mut log);
+        let real = TestSettings { seed: smoke.seed, ..TestSettings::default() };
+        let violations = check_log(&log, &real);
+        assert!(violations.iter().any(|v| matches!(v, Violation::TooFewQueries { .. })));
+        assert!(violations.iter().any(|v| matches!(v, Violation::TooShort { .. })));
+    }
+
+    #[test]
+    fn server_truncated_query_records_detected() {
+        use crate::run::run_server;
+        let mut sut = ConstantSut::new(SimDuration::from_millis(2));
+        let mut log = RunLog::new();
+        let settings = TestSettings::smoke_test();
+        let _ = run_server(&mut sut, 100, 200.0, &settings, &mut log);
+        // Drop one QueryComplete line: the declared count no longer adds
+        // up.
+        let text = log.to_json_lines();
+        let mut dropped_one = false;
+        let kept: Vec<&str> = text
+            .lines()
+            .filter(|l| {
+                if !dropped_one && l.contains("QueryComplete") {
+                    dropped_one = true;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        assert!(dropped_one);
+        let tampered = RunLog::from_json_lines(&kept.join("\n")).unwrap();
+        let violations = check_log(&tampered, &settings);
+        assert!(
+            violations.iter().any(|v| matches!(v, Violation::InconsistentQueryCount { .. })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn compliant_multi_stream_passes() {
+        use crate::run::run_multi_stream;
+        let mut sut = ConstantSut::new(SimDuration::from_millis(2));
+        let mut log = RunLog::new();
+        let settings = TestSettings::default();
+        let _ = run_multi_stream(&mut sut, 1000, 4, &settings, &mut log);
+        assert!(check_log(&log, &settings).is_empty());
+    }
+
+    #[test]
+    fn multi_stream_too_few_frames_detected() {
+        let settings = TestSettings::smoke_test();
+        let mut log = RunLog::new();
+        log.start(Scenario::MultiStream, TestMode::Performance, settings.seed, "t".into());
+        // Only half the required frames, each 2 lanes wide.
+        let frames = settings.min_frame_count / 2;
+        let mut now = SimInstant::EPOCH;
+        for k in 0..frames {
+            for lane in 0..2usize {
+                log.query(now, lane, SimDuration::from_millis(1));
+            }
+            log.frame(k, 2, SimDuration::from_millis(1));
+            now += settings.multi_stream_interval;
+        }
+        log.push(LogRecord::TestEnd {
+            queries: frames * 2,
+            duration_ns: settings.min_duration.as_nanos(),
+        });
+        let violations = check_log(&log, &settings);
+        assert_eq!(
+            violations,
+            vec![Violation::TooFewFrames { got: frames, required: settings.min_frame_count }]
+        );
+    }
+
+    #[test]
+    fn multi_stream_frame_accounting_mismatch_detected() {
+        use crate::run::run_multi_stream;
+        let mut sut = ConstantSut::new(SimDuration::from_millis(1));
+        let mut log = RunLog::new();
+        let settings = TestSettings::smoke_test();
+        let _ = run_multi_stream(&mut sut, 100, 3, &settings, &mut log);
+        assert!(check_log(&log, &settings).is_empty(), "untampered run complies");
+        // Inflate one frame's declared width: lanes no longer add up.
+        let text = log.to_json_lines();
+        let tampered_text = text.replacen("\"streams\":3", "\"streams\":4", 1);
+        assert_ne!(text, tampered_text);
+        let tampered = RunLog::from_json_lines(&tampered_text).unwrap();
+        let violations = check_log(&tampered, &settings);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::FrameAccountingMismatch { declared, logged }
+                    if *declared == *logged + 1
+            )),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn multi_stream_short_duration_detected() {
+        let settings = TestSettings::smoke_test();
+        let mut log = RunLog::new();
+        log.start(Scenario::MultiStream, TestMode::Performance, settings.seed, "t".into());
+        for k in 0..settings.min_frame_count {
+            log.query(SimInstant::EPOCH, 0, SimDuration::from_millis(1));
+            log.frame(k, 1, SimDuration::from_millis(1));
+        }
+        // Declared duration below the minimum.
+        log.push(LogRecord::TestEnd {
+            queries: settings.min_frame_count,
+            duration_ns: settings.min_duration.as_nanos() / 2,
+        });
+        let violations = check_log(&log, &settings);
+        assert_eq!(
+            violations,
+            vec![Violation::TooShort {
+                got_ns: settings.min_duration.as_nanos() / 2,
+                required_ns: settings.min_duration.as_nanos(),
+            }]
+        );
+    }
+
+    #[test]
+    fn new_violations_display_and_round_trip() {
+        let violations = vec![
+            Violation::TooFewFrames { got: 3, required: 8 },
+            Violation::FrameAccountingMismatch { declared: 12, logged: 9 },
+        ];
+        assert!(violations[0].to_string().contains("frames"));
+        assert!(violations[1].to_string().contains("lane queries"));
+        let json = serde_json::to_string(&violations).unwrap();
+        let parsed: Vec<Violation> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, violations);
+    }
+
+    #[test]
+    fn combined_all_scenario_log_checked_per_segment() {
+        use crate::run::{run_multi_stream, run_server};
+        // The harness appends scenario segments into one log; each is
+        // validated against its own rules.
+        let settings = TestSettings::smoke_test();
+        let mut log = RunLog::new();
+        let mut sut = ConstantSut::new(SimDuration::from_millis(1));
+        let _ = run_single_stream(&mut sut, 100, &settings, &mut log);
+        let _ = run_offline_scenario(&mut sut, 100, &settings, &mut log);
+        let _ = run_server(&mut sut, 100, 100.0, &settings, &mut log);
+        let _ = run_multi_stream(&mut sut, 100, 2, &settings, &mut log);
+        assert!(check_log(&log, &settings).is_empty());
+        // A wrong seed is reported once per segment.
+        let audited = TestSettings { seed: 12345, ..settings };
+        let violations = check_log(&log, &audited);
+        assert_eq!(
+            violations.iter().filter(|v| matches!(v, Violation::WrongSeed { .. })).count(),
+            4
         );
     }
 }

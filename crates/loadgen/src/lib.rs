@@ -3,10 +3,13 @@
 //! "To enable testing of various inference platforms and use cases, we
 //! devised the Load Generator, which creates inference requests in a
 //! pattern and measures some parameters." This crate reproduces it:
-//! scenario-driven query generation (single-stream, offline), seeded
-//! sample selection, performance and accuracy modes, run-rule enforcement
-//! (1024 samples / 60 s / 24 576-sample bursts), structured logging, and
-//! the submission checker that validates logs.
+//! scenario-driven query generation (single-stream, offline, server,
+//! multi-stream), seeded sample selection, performance and accuracy modes,
+//! run-rule enforcement (1024 samples / 60 s / 24 576-sample bursts /
+//! frame accounting), structured logging, and the submission checker that
+//! validates logs. The server and multi-stream scenarios run on a
+//! deterministic discrete-event executor ([`event`]) so overlapping
+//! in-flight queries stay bit-reproducible.
 //!
 //! Submitter modification of the LoadGen is forbidden by the rules; here
 //! that invariant is structural — SUTs only see the [`sut::SystemUnderTest`]
@@ -32,6 +35,7 @@
 #![warn(clippy::all)]
 
 pub mod checker;
+pub mod event;
 pub mod log;
 pub mod par;
 pub mod run;
@@ -40,12 +44,15 @@ pub mod sut;
 pub mod trace;
 
 pub use checker::{check_log, Violation};
+pub use event::{EventQueue, PoissonIssuer};
 pub use log::{LogRecord, RunLog};
 pub use run::{
-    performance_sample_set, run_accuracy, run_accuracy_advance,
-    run_accuracy_parallel, run_offline_scenario, run_offline_scenario_traced,
-    run_single_stream, run_single_stream_batched, run_single_stream_traced,
-    AccuracyResult, PerformanceResult,
+    find_max_qps, find_max_streams, performance_sample_set, run_accuracy,
+    run_accuracy_advance, run_accuracy_parallel, run_multi_stream,
+    run_multi_stream_traced, run_offline_scenario, run_offline_scenario_traced,
+    run_server, run_server_traced, run_single_stream, run_single_stream_batched,
+    run_single_stream_traced, AccuracyResult, PerformanceResult, QpsSearch,
+    StreamSearch,
 };
 pub use scenario::{Scenario, TestMode, TestSettings};
 pub use sut::{BatchSut, ConstantBatchSut, ConstantSut, SplitQuery, SystemUnderTest};

@@ -40,6 +40,15 @@ pub enum LogRecord {
         /// Total burst duration (ns).
         duration_ns: u64,
     },
+    /// A multi-stream frame completed (all of its lanes finished).
+    FrameComplete {
+        /// Zero-based frame index.
+        frame_index: u64,
+        /// Streams (lanes) in the frame.
+        streams: u64,
+        /// Frame latency: max over the lanes (ns).
+        latency_ns: u64,
+    },
     /// The device's throttle state changed at a query boundary (entered
     /// throttling when `freq_factor < 1.0`, recovered otherwise). Logged
     /// so the submission checker and the audit can see thermal transitions
@@ -79,6 +88,12 @@ impl RunLog {
         self.records.push(record);
     }
 
+    /// Appends every record of `other`, in order — used to splice the
+    /// winning search probe's log segment into a combined submission log.
+    pub fn append(&mut self, other: &RunLog) {
+        self.records.extend(other.records.iter().cloned());
+    }
+
     /// All records, in order.
     #[must_use]
     pub fn records(&self) -> &[LogRecord] {
@@ -95,6 +110,15 @@ impl RunLog {
         self.push(LogRecord::QueryComplete {
             issued_at_ns: issued_at.as_nanos(),
             sample_index,
+            latency_ns: latency.as_nanos(),
+        });
+    }
+
+    /// Convenience: records one completed multi-stream frame.
+    pub fn frame(&mut self, frame_index: u64, streams: u64, latency: SimDuration) {
+        self.push(LogRecord::FrameComplete {
+            frame_index,
+            streams,
             latency_ns: latency.as_nanos(),
         });
     }

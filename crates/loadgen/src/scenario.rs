@@ -13,6 +13,14 @@ pub enum Scenario {
     /// All samples delivered in one burst; batched/concurrent processing.
     /// Scored as average throughput.
     Offline,
+    /// Poisson arrivals at a fixed offered load with overlapping in-flight
+    /// queries; the datacenter-style pattern. Scored as the maximum QPS
+    /// whose p90 latency (queueing included) meets the per-model bound.
+    Server,
+    /// N-wide frames issued at a fixed interval (one query per stream);
+    /// frame latency is the maximum over the N lanes. Scored as the
+    /// largest stream count whose p90 frame latency fits the interval.
+    MultiStream,
 }
 
 impl fmt::Display for Scenario {
@@ -20,6 +28,8 @@ impl fmt::Display for Scenario {
         match self {
             Scenario::SingleStream => f.write_str("single-stream"),
             Scenario::Offline => f.write_str("offline"),
+            Scenario::Server => f.write_str("server"),
+            Scenario::MultiStream => f.write_str("multi-stream"),
         }
     }
 }
@@ -55,6 +65,17 @@ pub struct TestSettings {
     /// Seed for the sample-selection RNG, "precluding unrealistic
     /// data-set-specific optimizations".
     pub seed: u64,
+    /// Concurrent device execution slots in the server scenario: how many
+    /// dispatched queries may execute simultaneously. Arrivals beyond this
+    /// queue FIFO (and accrue queueing delay).
+    pub server_concurrency: u64,
+    /// Minimum multi-stream frames (each frame is one query per stream).
+    pub min_frame_count: u64,
+    /// Multi-stream frame-issue interval; also the frame-latency bound a
+    /// stream count must meet at p90 to pass.
+    pub multi_stream_interval: SimDuration,
+    /// Upper bound of the multi-stream stream-count search.
+    pub max_streams: u64,
 }
 
 impl Default for TestSettings {
@@ -64,6 +85,10 @@ impl Default for TestSettings {
             min_duration: SimDuration::from_secs(60),
             offline_sample_count: 24_576,
             seed: 0x4D4C_5065_7266, // "MLPerf"
+            server_concurrency: 2,
+            min_frame_count: 270,
+            multi_stream_interval: SimDuration::from_millis(50),
+            max_streams: 64,
         }
     }
 }
@@ -78,6 +103,10 @@ impl TestSettings {
             min_duration: SimDuration::from_millis(50),
             offline_sample_count: 256,
             seed: 7,
+            server_concurrency: 2,
+            min_frame_count: 8,
+            multi_stream_interval: SimDuration::from_millis(50),
+            max_streams: 16,
         }
     }
 }
@@ -92,11 +121,17 @@ mod tests {
         assert_eq!(s.min_query_count, 1024);
         assert_eq!(s.min_duration, SimDuration::from_secs(60));
         assert_eq!(s.offline_sample_count, 24_576);
+        assert!(s.server_concurrency >= 1);
+        assert!(s.min_frame_count >= 1);
+        assert!(s.multi_stream_interval > SimDuration::ZERO);
+        assert!(s.max_streams >= 1);
     }
 
     #[test]
     fn displays() {
         assert_eq!(Scenario::SingleStream.to_string(), "single-stream");
+        assert_eq!(Scenario::Server.to_string(), "server");
+        assert_eq!(Scenario::MultiStream.to_string(), "multi-stream");
         assert_eq!(TestMode::Accuracy.to_string(), "accuracy");
     }
 }

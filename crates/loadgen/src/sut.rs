@@ -31,6 +31,14 @@ pub trait SystemUnderTest {
         None
     }
 
+    /// Notifies the SUT that the device sat idle for `dt` of simulated
+    /// time before the next dispatch — the server and multi-stream loops
+    /// call this for gaps where no query is executing, letting thermal
+    /// models cool between bursts. The default does nothing.
+    fn idle(&mut self, dt: SimDuration) {
+        let _ = dt;
+    }
+
     /// Runs a batched burst (offline scenario). The default issues the
     /// samples sequentially; SUTs with accelerator-level parallelism
     /// override this to run concurrent streams.

@@ -82,11 +82,18 @@ pub struct QuerySpan {
     pub query_index: u64,
     /// Dataset sample index the query carried.
     pub sample_index: usize,
-    /// Simulated issue timestamp (ns since run start).
+    /// Simulated issue timestamp (ns since run start). For server this is
+    /// the query's Poisson arrival; the device may start it later.
     pub issue_ns: u64,
+    /// Simulated dispatch timestamp (ns since run start): when the device
+    /// actually began executing the query. Equals `issue_ns` for
+    /// single-stream and multi-stream; for server it lags by the queueing
+    /// delay.
+    pub dispatch_ns: u64,
     /// Simulated completion timestamp (ns since run start).
     pub complete_ns: u64,
-    /// Observed latency (ns); equals `complete_ns - issue_ns`.
+    /// Observed latency (ns); equals `complete_ns - issue_ns` (queueing
+    /// delay included for server).
     pub latency_ns: u64,
     /// Device telemetry at dispatch, when the SUT reports it.
     pub telemetry: Option<QueryTelemetry>,
@@ -196,10 +203,12 @@ impl RunTrace {
 
     /// Validates the structural trace invariants:
     ///
-    /// 1. every span has `issue_ns <= complete_ns` and a latency equal to
-    ///    the timestamp difference,
+    /// 1. every span has `issue_ns <= dispatch_ns <= complete_ns` and a
+    ///    latency equal to `complete_ns - issue_ns`,
     /// 2. single-stream spans do not overlap (each issues at or after the
-    ///    previous completion) and arrive in issue order,
+    ///    previous completion) and arrive in issue order; server and
+    ///    multi-stream spans may overlap but must be recorded in
+    ///    nondecreasing dispatch order,
     /// 3. a burst, when present, has `start_ns <= end_ns`.
     ///
     /// # Errors
@@ -208,11 +217,12 @@ impl RunTrace {
     /// invariant.
     pub fn validate(&self) -> Result<(), String> {
         let mut prev_complete = 0u64;
+        let mut prev_dispatch = 0u64;
         for (i, s) in self.spans.iter().enumerate() {
-            if s.issue_ns > s.complete_ns {
+            if s.issue_ns > s.dispatch_ns || s.dispatch_ns > s.complete_ns {
                 return Err(format!(
-                    "span {i}: issue {} > complete {}",
-                    s.issue_ns, s.complete_ns
+                    "span {i}: timestamps out of order (issue {} dispatch {} complete {})",
+                    s.issue_ns, s.dispatch_ns, s.complete_ns
                 ));
             }
             if s.complete_ns - s.issue_ns != s.latency_ns {
@@ -222,13 +232,27 @@ impl RunTrace {
                     s.complete_ns - s.issue_ns
                 ));
             }
-            if self.scenario == Scenario::SingleStream && s.issue_ns < prev_complete {
-                return Err(format!(
-                    "span {i}: issued at {} before previous completion {}",
-                    s.issue_ns, prev_complete
-                ));
+            match self.scenario {
+                Scenario::SingleStream => {
+                    if s.issue_ns < prev_complete {
+                        return Err(format!(
+                            "span {i}: issued at {} before previous completion {}",
+                            s.issue_ns, prev_complete
+                        ));
+                    }
+                }
+                Scenario::Server | Scenario::MultiStream => {
+                    if s.dispatch_ns < prev_dispatch {
+                        return Err(format!(
+                            "span {i}: dispatched at {} before previous dispatch {}",
+                            s.dispatch_ns, prev_dispatch
+                        ));
+                    }
+                }
+                Scenario::Offline => {}
             }
             prev_complete = s.complete_ns;
+            prev_dispatch = s.dispatch_ns;
         }
         if let Some(b) = &self.burst {
             if b.start_ns > b.end_ns {
@@ -236,6 +260,30 @@ impl RunTrace {
             }
         }
         Ok(())
+    }
+
+    /// The maximum number of spans simultaneously *executing* on the
+    /// device — the peak overlap of the `[dispatch_ns, complete_ns)`
+    /// windows. Single-stream traces report at most 1; a server trace
+    /// never exceeds the scenario's concurrency bound (enforced by the
+    /// loadgen property tests).
+    #[must_use]
+    pub fn max_concurrent(&self) -> u64 {
+        // Sweep over +1 at dispatch / -1 at completion, completions first
+        // at equal times (a slot freed at t is reusable at t).
+        let mut edges: Vec<(u64, i64)> = Vec::with_capacity(self.spans.len() * 2);
+        for s in &self.spans {
+            edges.push((s.dispatch_ns, 1));
+            edges.push((s.complete_ns, -1));
+        }
+        edges.sort_by_key(|&(t, delta)| (t, delta));
+        let mut live = 0i64;
+        let mut peak = 0i64;
+        for (_, delta) in edges {
+            live += delta;
+            peak = peak.max(live);
+        }
+        peak.max(0) as u64
     }
 
     /// Serializes the trace to pretty JSON (the `--trace` artifact).
@@ -273,6 +321,7 @@ mod tests {
             query_index: i,
             sample_index: i as usize,
             issue_ns: issue,
+            dispatch_ns: issue,
             complete_ns: complete,
             latency_ns: complete - issue,
             telemetry: None,
@@ -310,6 +359,57 @@ mod tests {
         t.record_span(span(1, 5, 15));
         let err = t.validate().unwrap_err();
         assert!(err.contains("before previous completion"), "{err}");
+    }
+
+    #[test]
+    fn server_spans_may_overlap_but_dispatch_in_order() {
+        let mut t = RunTrace::new();
+        t.begin(Scenario::Server, TestMode::Performance, 1, "s".into());
+        // Arrival 0 dispatches at 0, arrival 3 queues until 10.
+        let mut a = span(0, 0, 10);
+        a.dispatch_ns = 0;
+        let mut b = span(1, 3, 18);
+        b.dispatch_ns = 10;
+        t.record_span(a);
+        t.record_span(b);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.max_concurrent(), 1, "back-to-back dispatches never overlap");
+        // Out-of-order dispatch is still rejected.
+        let mut c = span(2, 4, 9);
+        c.dispatch_ns = 5;
+        t.record_span(c);
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("before previous dispatch"), "{err}");
+    }
+
+    #[test]
+    fn dispatch_outside_span_rejected() {
+        let mut t = RunTrace::new();
+        t.begin(Scenario::Server, TestMode::Performance, 1, "s".into());
+        let mut s = span(0, 5, 10);
+        s.dispatch_ns = 2; // dispatched before arrival: impossible
+        t.record_span(s);
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("timestamps out of order"), "{err}");
+    }
+
+    #[test]
+    fn max_concurrent_counts_executing_overlap() {
+        let mut t = RunTrace::new();
+        t.begin(Scenario::Server, TestMode::Performance, 1, "s".into());
+        // Three spans executing [0,10), [2,8), [8,12): peak overlap 2.
+        let mut a = span(0, 0, 10);
+        a.dispatch_ns = 0;
+        let mut b = span(1, 1, 8);
+        b.dispatch_ns = 2;
+        let mut c = span(2, 6, 12);
+        c.dispatch_ns = 8;
+        for s in [a, b, c] {
+            t.record_span(s);
+        }
+        assert_eq!(t.max_concurrent(), 2);
+        assert!(t.validate().is_ok());
+        assert_eq!(RunTrace::new().max_concurrent(), 0);
     }
 
     #[test]

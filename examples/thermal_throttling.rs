@@ -56,6 +56,7 @@ fn main() {
                 query_index,
                 sample_index: 0,
                 issue_ns,
+                dispatch_ns: issue_ns,
                 complete_ns: elapsed.as_nanos(),
                 latency_ns: r.latency.as_nanos(),
                 telemetry: Some(query_telemetry(&soc, &r)),

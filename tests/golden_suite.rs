@@ -12,11 +12,13 @@
 //! ```
 
 use mlperf_mobile::app::AppConfig;
-use mlperf_mobile::harness::RunRules;
+use mlperf_mobile::harness::{
+    run_benchmark_planned_scenarios_with_trace, RunRules, ScenarioMix,
+};
 use mlperf_mobile::metrics::TraceCollector;
-use mlperf_mobile::runner::SuiteRunner;
+use mlperf_mobile::runner::{CompileCache, SuiteRunner};
 use mlperf_mobile::sut_impl::DatasetScale;
-use mlperf_mobile::task::SuiteVersion;
+use mlperf_mobile::task::{suite, SuiteVersion};
 use serde::{Deserialize, Serialize};
 use soc_sim::catalog::ChipId;
 use std::sync::Arc;
@@ -24,6 +26,10 @@ use std::sync::Arc;
 /// Where the goldens live (crate manifest is `crates/core`).
 const GOLDEN_PATH: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/v1_0_suite.json");
+
+/// Server/multi-stream goldens: one cell per (model, backend) pair.
+const SCENARIO_GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/v1_0_scenarios.json");
 
 /// One locked benchmark-matrix cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,7 +69,7 @@ impl GoldenCell {
 /// Runs the full v1.0 suite over every catalog chip with tracing on and
 /// distills each cell into its golden form.
 fn compute_cells() -> Vec<GoldenCell> {
-    let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true };
+    let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true, scenario_matrix: false };
     let sink = Arc::new(TraceCollector::new());
     let runner = SuiteRunner::new().with_trace(Arc::clone(&sink));
     let reports = runner
@@ -101,6 +107,85 @@ fn compute_cells() -> Vec<GoldenCell> {
         }
     }
     cells.sort_by_key(GoldenCell::label);
+    cells
+}
+
+/// One locked server/multi-stream cell: the discrete-event executor's
+/// search results for a (chip, task-model, backend) triple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ScenarioGoldenCell {
+    /// Chip name.
+    chip: String,
+    /// Task name (stands in for the task's reference model).
+    task: String,
+    /// Backend the submission rules select.
+    backend: String,
+    /// Server scenario: max offered Poisson load meeting the bound (QPS).
+    server_qps: f64,
+    /// Exact bits of `server_qps` — the 0-ULP lock.
+    server_qps_bits: u64,
+    /// The per-model latency bound the search held (3x single-stream p90).
+    server_bound_ns: u64,
+    /// Binary-search probes the server search spent.
+    server_probes: u64,
+    /// Multi-stream scenario: max streams per 50 ms frame.
+    streams: u64,
+    /// Search probes the stream search spent.
+    multi_stream_probes: u64,
+    /// Trace invariant: spans in the winning server probe's replay.
+    server_spans: u64,
+    /// Trace invariant: spans in the winning multi-stream replay.
+    multi_stream_spans: u64,
+}
+
+impl ScenarioGoldenCell {
+    fn label(&self) -> String {
+        format!("{}/{}/{}", self.chip, self.task, self.backend)
+    }
+}
+
+/// Runs the server + multi-stream searches for every (model, backend)
+/// pair — each task's reference model under each chip's submission
+/// backend — and distills the results into golden form.
+fn compute_scenario_cells() -> Vec<ScenarioGoldenCell> {
+    let rules = RunRules::smoke_test();
+    let mix = ScenarioMix { offline: false, server: true, multi_stream: true };
+    let cache = CompileCache::new();
+    let mut cells = Vec::new();
+    for &chip in &ChipId::ALL {
+        for def in suite(SuiteVersion::V1_0) {
+            let backend = mlperf_mobile::app::submission_backend(chip, SuiteVersion::V1_0, def.task);
+            let planned = cache
+                .planned(chip, backend, def.model)
+                .expect("every submission backend compiles");
+            let (score, trace) = run_benchmark_planned_scenarios_with_trace(
+                chip,
+                cache.soc(chip),
+                planned,
+                &def,
+                &rules,
+                DatasetScale::Reduced(48),
+                mix,
+            );
+            trace.validate().expect("trace invariants hold");
+            let srv = score.server.as_ref().expect("mix requested server");
+            let ms = score.multi_stream.as_ref().expect("mix requested multi-stream");
+            cells.push(ScenarioGoldenCell {
+                chip: score.chip.to_string(),
+                task: format!("{:?}", score.def.task),
+                backend: score.backend.to_string(),
+                server_qps: srv.max_qps,
+                server_qps_bits: srv.max_qps.to_bits(),
+                server_bound_ns: srv.target_latency_ns,
+                server_probes: srv.probes,
+                streams: ms.streams,
+                multi_stream_probes: ms.probes,
+                server_spans: trace.server.as_ref().map_or(0, |t| t.span_count()),
+                multi_stream_spans: trace.multi_stream.as_ref().map_or(0, |t| t.span_count()),
+            });
+        }
+    }
+    cells.sort_by_key(ScenarioGoldenCell::label);
     cells
 }
 
@@ -179,6 +264,52 @@ fn diff_cells(expected: &[GoldenCell], actual: &[GoldenCell]) -> Vec<String> {
     diffs
 }
 
+/// Bit-exact comparison for the scenario goldens, one readable line per
+/// divergence (empty = pass).
+fn diff_scenario_cells(expected: &[ScenarioGoldenCell], actual: &[ScenarioGoldenCell]) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if expected.len() != actual.len() {
+        diffs.push(format!(
+            "cell count: golden has {}, run produced {}",
+            expected.len(),
+            actual.len()
+        ));
+    }
+    for exp in expected {
+        let Some(act) = actual.iter().find(|c| c.label() == exp.label()) else {
+            diffs.push(format!("{}: cell missing from this run", exp.label()));
+            continue;
+        };
+        let label = exp.label();
+        diffs.extend(field_diff(
+            &label,
+            "server_qps",
+            exp.server_qps,
+            exp.server_qps_bits,
+            act.server_qps,
+            act.server_qps_bits,
+        ));
+        for (name, golden, got) in [
+            ("server_bound_ns", exp.server_bound_ns, act.server_bound_ns),
+            ("server_probes", exp.server_probes, act.server_probes),
+            ("streams", exp.streams, act.streams),
+            ("multi_stream_probes", exp.multi_stream_probes, act.multi_stream_probes),
+            ("server_spans", exp.server_spans, act.server_spans),
+            ("multi_stream_spans", exp.multi_stream_spans, act.multi_stream_spans),
+        ] {
+            if golden != got {
+                diffs.push(format!("{label}: {name} {got} != golden {golden}"));
+            }
+        }
+    }
+    for act in actual {
+        if !expected.iter().any(|c| c.label() == act.label()) {
+            diffs.push(format!("{}: cell not present in golden", act.label()));
+        }
+    }
+    diffs
+}
+
 fn bless_requested() -> bool {
     std::env::var("BLESS").is_ok_and(|v| v == "1")
 }
@@ -206,6 +337,93 @@ fn v1_0_suite_matches_golden() {
         diffs.len(),
         diffs.join("\n")
     );
+}
+
+#[test]
+fn v1_0_scenarios_match_golden() {
+    let actual = compute_scenario_cells();
+    assert_eq!(
+        actual.len(),
+        ChipId::ALL.len() * 4,
+        "every (model, backend) pair: 8 chips x 4 task models"
+    );
+    if bless_requested() {
+        let json = serde_json::to_string_pretty(&actual).expect("cells serialize") + "\n";
+        std::fs::create_dir_all(std::path::Path::new(SCENARIO_GOLDEN_PATH).parent().unwrap())
+            .expect("golden dir");
+        std::fs::write(SCENARIO_GOLDEN_PATH, json).expect("write golden");
+        eprintln!("blessed {} scenario cells into {SCENARIO_GOLDEN_PATH}", actual.len());
+        return;
+    }
+    let text = std::fs::read_to_string(SCENARIO_GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("no golden at {SCENARIO_GOLDEN_PATH} ({e}); generate with BLESS=1 cargo test --test golden_suite")
+    });
+    let expected: Vec<ScenarioGoldenCell> = serde_json::from_str(&text).expect("golden parses");
+    let diffs = diff_scenario_cells(&expected, &actual);
+    assert!(
+        diffs.is_empty(),
+        "{} scenario cell(s) drifted from golden (BLESS=1 to accept intentional changes):\n{}",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}
+
+#[test]
+fn scenario_golden_file_is_checked_in_and_well_formed() {
+    let text = std::fs::read_to_string(SCENARIO_GOLDEN_PATH)
+        .expect("tests/golden/v1_0_scenarios.json must be checked in");
+    let cells: Vec<ScenarioGoldenCell> = serde_json::from_str(&text).expect("golden parses");
+    assert_eq!(cells.len(), ChipId::ALL.len() * 4);
+    for c in &cells {
+        assert_eq!(c.server_qps.to_bits(), c.server_qps_bits, "{}: bits out of sync", c.label());
+        assert!(c.server_qps > 0.0, "{}: a passing server load exists", c.label());
+        assert!(c.server_bound_ns > 0, "{}: the latency bound is real", c.label());
+        assert!(c.server_probes > 0 && c.multi_stream_probes > 0, "{}: searches probe", c.label());
+        // streams == 0 is legitimate: models slower than the 50 ms frame
+        // budget (e.g. MobileBert) fit no stream width at all.
+        assert!(
+            c.server_spans > 0 && c.multi_stream_spans > 0,
+            "{}: even a failing probe replays with spans",
+            c.label()
+        );
+    }
+    // Fast models do reach multi-width frames somewhere in the matrix.
+    assert!(cells.iter().any(|c| c.streams > 1), "some cell sustains multiple streams");
+}
+
+#[test]
+fn scenario_diff_reports_perturbations_per_cell() {
+    let base = vec![ScenarioGoldenCell {
+        chip: "Snapdragon 888".into(),
+        task: "ImageClassification".into(),
+        backend: "SNPE".into(),
+        server_qps: 1050.0,
+        server_qps_bits: 1050.0f64.to_bits(),
+        server_bound_ns: 5_800_000,
+        server_probes: 10,
+        streams: 16,
+        multi_stream_probes: 2,
+        server_spans: 240,
+        multi_stream_spans: 128,
+    }];
+    assert!(diff_scenario_cells(&base, &base).is_empty());
+
+    // A 1-ULP QPS nudge is caught, named, and quantified.
+    let mut drifted = base.clone();
+    drifted[0].server_qps_bits += 1;
+    drifted[0].server_qps = f64::from_bits(drifted[0].server_qps_bits);
+    let diffs = diff_scenario_cells(&base, &drifted);
+    assert_eq!(diffs.len(), 1, "{diffs:?}");
+    assert!(diffs[0].contains("Snapdragon 888/ImageClassification/SNPE"));
+    assert!(diffs[0].contains("server_qps"));
+    assert!(diffs[0].contains("1 ULPs apart"));
+
+    // Integer-field drift (stream width) is its own line.
+    let mut widened = base.clone();
+    widened[0].streams = 32;
+    let diffs = diff_scenario_cells(&base, &widened);
+    assert_eq!(diffs.len(), 1);
+    assert!(diffs[0].contains("streams 32 != golden 16"));
 }
 
 #[test]

@@ -3,7 +3,9 @@
 //! serial loop of fresh compiles — parallelism and caching are pure
 //! performance optimisations, invisible in every score.
 
-use mlperf_mobile::harness::{run_benchmark, run_benchmark_with, RunRules};
+use mlperf_mobile::harness::{
+    run_benchmark, run_benchmark_scenarios, run_benchmark_with, RunRules, ScenarioMix,
+};
 use mlperf_mobile::metrics::TraceCollector;
 use mlperf_mobile::runner::{CompileCache, RunSpec, SuiteRunner};
 use mlperf_mobile::sut_impl::DatasetScale;
@@ -15,6 +17,9 @@ use std::sync::Arc;
 /// A 2-chip x 2-task matrix with distinct vendors, backends and models —
 /// small enough to run at smoke scale, varied enough that any cross-run
 /// state leakage or ordering bug would desynchronize at least one score.
+/// Classification cells run all four scenarios (offline plus the server
+/// and multi-stream searches), so every determinism check in this file
+/// also covers the discrete-event executor.
 fn matrix() -> Vec<RunSpec> {
     let mut specs = Vec::new();
     for chip in [ChipId::Dimensity1100, ChipId::Snapdragon888] {
@@ -27,7 +32,11 @@ fn matrix() -> Vec<RunSpec> {
                         SuiteVersion::V1_0,
                         def.task,
                     ),
-                    with_offline: def.task == Task::ImageClassification,
+                    mix: if def.task == Task::ImageClassification {
+                        ScenarioMix::all()
+                    } else {
+                        ScenarioMix::offline_only(false)
+                    },
                     def,
                 });
             }
@@ -47,13 +56,13 @@ fn parallel_sweep_is_bit_identical_to_serial_loop() {
     let serial: Vec<String> = specs
         .iter()
         .map(|spec| {
-            let score = run_benchmark(
+            let score = run_benchmark_scenarios(
                 spec.chip,
                 create(spec.backend).as_ref(),
                 &spec.def,
                 &rules,
                 scale,
-                spec.with_offline,
+                spec.mix,
             )
             .expect("matrix spec compiles");
             serde_json::to_string(&score).expect("score serializes")
@@ -101,6 +110,18 @@ fn tracing_does_not_perturb_scores() {
     for trace in &traces {
         trace.validate().expect("trace invariants hold");
         assert!(trace.single_stream.span_count() > 0);
+        // Classification cells ran the full scenario mix: the server and
+        // multi-stream probe timelines ride along and validate, and the
+        // server probe never exceeds the scenario's concurrency bound.
+        if trace.task == Task::ImageClassification {
+            let server = trace.server.as_ref().expect("server trace for classification");
+            assert!(server.span_count() > 0);
+            assert!(server.max_concurrent() <= rules.settings.server_concurrency);
+            let ms = trace.multi_stream.as_ref().expect("multi-stream trace");
+            assert!(ms.span_count() > 0);
+        } else {
+            assert!(trace.server.is_none() && trace.multi_stream.is_none());
+        }
     }
     assert!(sink.is_empty(), "drain empties the sink");
 
@@ -197,7 +218,7 @@ fn planned_runs_match_fresh_compiles_bit_identically() {
     // inside the harness), an explicitly pre-planned deployment, and a
     // plan-cache hit — must produce bit-identical scores. Compiled query
     // plans are a pure performance optimisation, invisible in every score.
-    use mlperf_mobile::harness::run_benchmark_planned;
+    use mlperf_mobile::harness::run_benchmark_planned_scenarios;
     use mlperf_mobile::sut_impl::PlannedDeployment;
 
     let specs = matrix();
@@ -206,13 +227,13 @@ fn planned_runs_match_fresh_compiles_bit_identically() {
     let cache = CompileCache::new();
 
     for spec in &specs {
-        let fresh = run_benchmark(
+        let fresh = run_benchmark_scenarios(
             spec.chip,
             create(spec.backend).as_ref(),
             &spec.def,
             &rules,
             scale,
-            spec.with_offline,
+            spec.mix,
         )
         .expect("matrix spec compiles");
 
@@ -222,26 +243,26 @@ fn planned_runs_match_fresh_compiles_bit_identically() {
             .compile(&spec.def.model.build(), &soc)
             .expect("matrix spec compiles");
         let hand_planned = PlannedDeployment::compile(&soc, Arc::new(deployment));
-        let planned = run_benchmark_planned(
+        let planned = run_benchmark_planned_scenarios(
             spec.chip,
             Arc::clone(&soc),
             hand_planned,
             &spec.def,
             &rules,
             scale,
-            spec.with_offline,
+            spec.mix,
         );
 
         // Cached plan: second lookup of the same triple is a hit.
         let cached_plan = cache.planned(spec.chip, spec.backend, spec.def.model).unwrap();
-        let from_cache = run_benchmark_planned(
+        let from_cache = run_benchmark_planned_scenarios(
             spec.chip,
             soc,
             cached_plan,
             &spec.def,
             &rules,
             scale,
-            spec.with_offline,
+            spec.mix,
         );
 
         let want = serde_json::to_string(&fresh).unwrap();
@@ -340,6 +361,7 @@ fn sweep_matches_per_chip_suite_reports() {
     let config = mlperf_mobile::app::AppConfig {
         rules: RunRules::smoke_test(),
         offline_classification: false,
+        scenario_matrix: false,
     };
     let chips = [ChipId::Dimensity1100, ChipId::Exynos2100];
     let swept = SuiteRunner::new()
