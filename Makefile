@@ -3,12 +3,12 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test clippy golden bless scenarios trace profile bench reproduce clean
+.PHONY: check build test clippy golden bless scenarios serve-metrics trace profile bench reproduce clean
 
 ## Full gate: release build, tests, warning-free clippy, the
-## golden-trace regression suite (plus the examples it ships with), and
-## the four-scenario smoke run.
-check: build test clippy golden scenarios
+## golden-trace regression suite (plus the examples it ships with), the
+## four-scenario smoke run, and the live-/metrics endpoint smoke.
+check: build test clippy golden scenarios serve-metrics
 
 build:
 	$(CARGO) build --release
@@ -33,6 +33,27 @@ bless:
 ## multi-stream) end to end through the reproduce CLI.
 scenarios:
 	$(CARGO) run --release -p mlperf-bench --bin reproduce -- scenarios
+
+## Smoke the live observability endpoint: run the scenario artifact with
+## the HTTP server on an ephemeral port, then curl /healthz and /metrics
+## and assert the run and pool metric families are being exported.
+serve-metrics: build
+	@rm -rf out/obs && mkdir -p out/obs
+	@target/release/reproduce scenarios \
+		--serve 127.0.0.1:0 --serve-addr-file out/obs/addr \
+		--serve-hold-ms 5000 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s out/obs/addr ] && break; sleep 0.1; done; \
+	if ! [ -s out/obs/addr ]; then echo "serve-metrics: endpoint never bound"; kill $$pid 2>/dev/null; exit 1; fi; \
+	addr=$$(cat out/obs/addr); \
+	health=$$(curl -fsS --max-time 5 "http://$$addr/healthz") || { echo "serve-metrics: /healthz failed"; kill $$pid 2>/dev/null; exit 1; }; \
+	[ "$$health" = "ok" ] || { echo "serve-metrics: unexpected /healthz body: $$health"; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -fsS --max-time 5 "http://$$addr/metrics" > out/obs/metrics.prom || { echo "serve-metrics: /metrics failed"; kill $$pid 2>/dev/null; exit 1; }; \
+	for family in mlperf_runs_completed_total mlperf_queries_issued_total mlperf_pool_par_map_calls_total mlperf_run_wall_ns mlperf_obs_requests_total; do \
+		grep -q "^# TYPE $$family " out/obs/metrics.prom || { echo "serve-metrics: family $$family missing from /metrics"; kill $$pid 2>/dev/null; exit 1; }; \
+	done; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	echo "serve-metrics: /healthz + /metrics OK ($$addr)"
 
 ## Regenerate every artifact with per-query tracing; one JSON trace per
 ## artifact lands in out/trace/.

@@ -28,8 +28,21 @@
 //!
 //! `explain <trace.json>` re-renders the profile report offline from a
 //! previously written trace file — no benchmark runs.
+//!
+//! `--self-profile <dir>` profiles the *harness itself*: wall-clock
+//! suite → cell → phase spans of real host execution are recorded into
+//! per-thread ring buffers and written as `<dir>/self_profile.perfetto.json`
+//! (one timeline track per runner-pool worker) plus
+//! `<dir>/self_profile.txt` (phase totals, main-track coverage, the pool
+//! report). `--serve <addr>` starts the live observability endpoint
+//! (`/metrics`, `/healthz`, `/runs`) for the duration of the run;
+//! `--serve-addr-file <path>` writes the bound address (useful with
+//! `:0`), and `--serve-hold-ms <n>` keeps serving that long after the
+//! artifacts finish so scrapers can catch a short run. None of these
+//! change any printed report or score.
 
 use mlperf_mobile::metrics::metrics;
+use mlperf_mobile::obs;
 use mlperf_mobile::profile::{benchmark_perfetto_json, ArtifactTrace};
 use serde::Serialize;
 use std::env;
@@ -114,7 +127,11 @@ fn write_file(path: &Path, contents: &str, what: &str) {
 /// mode the Perfetto timeline and the rendered profile report are written
 /// alongside.
 fn run_artifact(name: &str, f: fn() -> String, out: Option<(&Path, bool)>) -> (String, f64) {
+    // One suite-level span per artifact; covers the generator and the
+    // trace-file writes so the self-profile accounts the full wall-clock.
+    let _suite_span = obs::span::span(obs::span::Phase::Suite, || name.to_owned());
     let before = metrics().snapshot();
+    let pool_before = obs::pool::pool().snapshot();
     let t = Instant::now();
     let text = f();
     let wall_ms = t.elapsed().as_secs_f64() * 1e3;
@@ -124,6 +141,7 @@ fn run_artifact(name: &str, f: fn() -> String, out: Option<(&Path, bool)>) -> (S
             wall_ms,
             metrics: metrics().snapshot().since(&before),
             spec_timings: metrics().take_spec_timings(),
+            pool: obs::pool::pool().snapshot().since(&pool_before),
             runs: mlperf_bench::trace_sink().drain(),
         };
         let path = dir.join(format!("{name}.json"));
@@ -158,6 +176,8 @@ fn run_all(out: Option<(&Path, bool)>) -> String {
         timings.push(ArtifactTiming { name, wall_ms });
     }
     let total_ms = total.elapsed().as_secs_f64() * 1e3;
+    let _report_span =
+        obs::span::span(obs::span::Phase::Report, || "BENCH_suite.json".to_owned());
     let cache = mlperf_bench::cache();
     let sweep = metrics().snapshot();
     let suite_json = SuiteTimings {
@@ -203,9 +223,57 @@ fn explain(path: &str) -> String {
     }
 }
 
+/// Drains the recorded harness spans and writes the self-profile pair:
+/// the Perfetto timeline of the host run and a plain-text summary with
+/// per-phase totals, main-track coverage of `wall_ns`, and the pool
+/// report.
+fn write_self_profile(dir: &Path, wall_ns: u64) {
+    use std::fmt::Write as _;
+    obs::span::set_enabled(false);
+    let profile = obs::span::drain();
+    write_file(
+        &dir.join("self_profile.perfetto.json"),
+        &obs::span::self_profile_perfetto_json(&profile),
+        "harness timeline",
+    );
+    let coverage = profile.track_coverage(obs::span::MAIN_TRACK, wall_ns) * 100.0;
+    let mut text = format!(
+        "harness self-profile ({:.2} ms wall)\n\
+         main-track span coverage: {coverage:.1}%\n\
+         spans: {} recorded, {} dropped\n",
+        wall_ns as f64 / 1e6,
+        profile.spans.len(),
+        profile.dropped,
+    );
+    let _ = writeln!(text, "  {:<14} {:>7} {:>12}", "phase", "spans", "total_ms");
+    for phase in [
+        obs::span::Phase::Suite,
+        obs::span::Phase::Cell,
+        obs::span::Phase::Compile,
+        obs::span::Phase::Calibrate,
+        obs::span::Phase::Plan,
+        obs::span::Phase::Execute,
+        obs::span::Phase::SearchProbe,
+        obs::span::Phase::Report,
+    ] {
+        let _ = writeln!(
+            text,
+            "  {:<14} {:>7} {:>12.3}",
+            phase.name(),
+            profile.phase_spans(phase).count(),
+            profile.phase_total_ns(phase) as f64 / 1e6,
+        );
+    }
+    text.push('\n');
+    text.push_str(&obs::pool::pool_report(&obs::pool::pool().snapshot(), &metrics().snapshot()));
+    write_file(&dir.join("self_profile.txt"), &text, "harness profile summary");
+    eprintln!("self-profile: {coverage:.1}% of wall-clock covered by main-track spans");
+}
+
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: reproduce [ARTIFACT] [--trace DIR] [--profile DIR]\n\
+        "usage: reproduce [ARTIFACT] [--trace DIR] [--profile DIR] [--self-profile DIR]\n\
+         \x20      [--serve ADDR] [--serve-addr-file PATH] [--serve-hold-ms N]\n\
          \x20      reproduce explain <trace.json>\n\
          artifacts: table1 table2 table3 table4 figure6 figure7 offline laptop \
          codepaths scenarios insights ablations endtoend extensions power all"
@@ -231,6 +299,10 @@ fn main() {
     let mut which: Option<String> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut profile = false;
+    let mut self_profile_dir: Option<PathBuf> = None;
+    let mut serve_addr: Option<String> = None;
+    let mut serve_addr_file: Option<PathBuf> = None;
+    let mut serve_hold_ms: u64 = 0;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--trace" || arg == "--profile" {
@@ -240,6 +312,30 @@ fn main() {
             };
             out_dir = Some(PathBuf::from(dir));
             profile |= arg == "--profile";
+        } else if arg == "--self-profile" {
+            let Some(dir) = it.next() else {
+                eprintln!("--self-profile requires a directory argument");
+                usage_exit();
+            };
+            self_profile_dir = Some(PathBuf::from(dir));
+        } else if arg == "--serve" {
+            let Some(addr) = it.next() else {
+                eprintln!("--serve requires an address argument (e.g. 127.0.0.1:0)");
+                usage_exit();
+            };
+            serve_addr = Some(addr.clone());
+        } else if arg == "--serve-addr-file" {
+            let Some(path) = it.next() else {
+                eprintln!("--serve-addr-file requires a path argument");
+                usage_exit();
+            };
+            serve_addr_file = Some(PathBuf::from(path));
+        } else if arg == "--serve-hold-ms" {
+            let Some(n) = it.next().and_then(|n| n.parse().ok()) else {
+                eprintln!("--serve-hold-ms requires an integer argument");
+                usage_exit();
+            };
+            serve_hold_ms = n;
         } else if which.is_none() {
             which = Some(arg.clone());
         } else {
@@ -254,9 +350,31 @@ fn main() {
         }
         mlperf_bench::set_tracing(true);
     }
+    if let Some(dir) = &self_profile_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("could not create self-profile directory {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        obs::span::set_enabled(true);
+        obs::span::set_track(obs::span::MAIN_TRACK);
+    }
+    let server = serve_addr.map(|addr| match obs::ObsServer::start(&addr) {
+        Ok(server) => {
+            eprintln!("serving /metrics /healthz /runs on http://{}", server.addr());
+            if let Some(path) = &serve_addr_file {
+                write_file(path, &format!("{}\n", server.addr()), "bound address");
+            }
+            server
+        }
+        Err(e) => {
+            eprintln!("could not bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    });
     let out = out_dir.as_deref().map(|d| (d, profile));
 
     let which = which.unwrap_or_else(|| "all".to_owned());
+    let profiled = Instant::now();
     let text = if which == "all" {
         run_all(out)
     } else if let Some(f) = generator_for(&which) {
@@ -265,5 +383,16 @@ fn main() {
         eprintln!("unknown artifact {which:?}");
         usage_exit();
     };
+    let wall_ns = u64::try_from(profiled.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    if let Some(dir) = &self_profile_dir {
+        write_self_profile(dir, wall_ns);
+    }
+    if let Some(mut server) = server {
+        if serve_hold_ms > 0 {
+            eprintln!("holding the observability endpoint for {serve_hold_ms} ms");
+            std::thread::sleep(std::time::Duration::from_millis(serve_hold_ms));
+        }
+        server.stop();
+    }
     println!("{text}");
 }

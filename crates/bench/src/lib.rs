@@ -155,9 +155,9 @@ pub(crate) fn run_scored_scenarios(
 }
 
 /// Worker-thread count for the parallel sweep paths: one per available
-/// core, clamped to at least one.
+/// core, overridable with `MLPERF_WORKERS`.
 pub(crate) fn worker_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    mlperf_mobile::runner::default_threads()
 }
 
 /// Vendor-path single-stream latency estimate in ms.

@@ -754,6 +754,12 @@ fn run_benchmark_inner(
     let backend_id = planned.deployment.backend;
     let scheme = planned.deployment.scheme;
     let accelerator = planned.deployment.accelerator_summary(&soc);
+    // Host-side self-observability: the cell label feeds the `/runs`
+    // board either way, the span only materializes while recording is on.
+    // None of this touches simulated time or scores.
+    let run_started = std::time::Instant::now();
+    let cell_label = format!("{chip}/{:?}/{backend_id}", def.task);
+    let _cell_span = crate::obs::span::span(crate::obs::span::Phase::Cell, || cell_label.clone());
     // The searches mint fresh probe devices from the shared plans; keep a
     // handle before the planned deployment moves into the device SUT
     // (clone = a few `Arc` bumps).
@@ -774,13 +780,18 @@ fn run_benchmark_inner(
     // (thermals must carry into the cooldown and performance phases
     // exactly as in an uncached run).
     let mut accuracy_log = RunLog::new();
-    let accuracy =
-        cached_accuracy_score(&mut sut, def, scale, dataset_len, rules, &mut accuracy_log);
+    let accuracy = {
+        let _span =
+            crate::obs::span::span(crate::obs::span::Phase::Calibrate, || cell_label.clone());
+        cached_accuracy_score(&mut sut, def, scale, dataset_len, rules, &mut accuracy_log)
+    };
 
     // 2. Cooldown before the performance run.
     sut.state.thermal.cooldown(rules.cooldown);
 
     // 3. Single-stream performance.
+    let exec_span =
+        crate::obs::span::span(crate::obs::span::Phase::Execute, || cell_label.clone());
     let mut log = RunLog::new();
     let energy_before = sut.state.energy.total_joules();
     let mut ss_trace = RunTrace::new();
@@ -809,6 +820,7 @@ fn run_benchmark_inner(
     } else {
         None
     };
+    drop(exec_span);
 
     // 5. Server: bisect the maximum Poisson offered load whose p90
     // arrival-to-completion latency meets the per-model bound (3x the
@@ -819,6 +831,9 @@ fn run_benchmark_inner(
     let ss_p90_ns = single_stream.latency.as_ref().map_or(0, |l| l.p90_ns).max(1);
     let mut server_trace = None;
     let server = if mix.server {
+        let _span = crate::obs::span::span(crate::obs::span::Phase::SearchProbe, || {
+            format!("server {cell_label}")
+        });
         let target = SimDuration::from_nanos(ss_p90_ns.saturating_mul(SERVER_LATENCY_BOUND_X));
         // Zero-queueing capacity of the device: concurrency lanes each
         // retiring a query per p90. The knee sits below it; bracket past
@@ -864,6 +879,9 @@ fn run_benchmark_inner(
     // fits the fixed frame interval, again on fresh probe devices.
     let mut multi_stream_trace = None;
     let multi_stream = if mix.multi_stream {
+        let _span = crate::obs::span::span(crate::obs::span::Phase::SearchProbe, || {
+            format!("multi-stream {cell_label}")
+        });
         let search = find_max_streams(
             || PerfDeviceSut::new(Arc::clone(&probe_soc), &probe_plans, rules.ambient_c),
             dataset_len,
@@ -896,6 +914,14 @@ fn run_benchmark_inner(
     };
 
     metrics().record_run(single_stream.queries);
+    let run_wall = run_started.elapsed();
+    crate::obs::pool::run_wall_hist()
+        .record(run_wall.as_nanos().min(u128::from(u64::MAX)) as u64);
+    crate::obs::pool::runs_board().push(crate::obs::pool::RunEntry {
+        label: cell_label,
+        wall_ms: run_wall.as_secs_f64() * 1e3,
+        queries: single_stream.queries,
+    });
     let trace = if traced {
         let energy = RunEnergy::capture(
             &sut.soc,

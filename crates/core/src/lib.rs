@@ -17,6 +17,9 @@
 //!   collector behind `SuiteRunner::with_trace`,
 //! - [`profile`]: trace analysis & export — Perfetto timelines, engine
 //!   occupancy and energy attribution, Prometheus exposition,
+//! - [`obs`]: harness self-observability — wall-clock span tracing of
+//!   the runner pool, sharded streaming metrics, and the live `/metrics`
+//!   HTTP endpoint,
 //! - [`audit`]: submission validation and independent reproduction
 //!   (Section 6.2),
 //! - [`related`]: the Table 4 comparison matrix,
@@ -49,6 +52,7 @@ pub mod audit;
 pub mod extensions;
 pub mod harness;
 pub mod metrics;
+pub mod obs;
 pub mod profile;
 pub mod related;
 pub mod report;
@@ -69,6 +73,7 @@ pub use harness::{
 };
 pub use harness::{EngineActivity, RunEnergy};
 pub use metrics::{metrics, MetricsRegistry, MetricsSnapshot, SpecTiming, TraceCollector};
+pub use obs::{ObsServer, SelfProfile};
 pub use profile::{
     benchmark_perfetto_json, profile_report, prometheus_exposition, ArtifactTrace, CellProfile,
 };

@@ -1,0 +1,178 @@
+//! Streaming shard-merge metric primitives.
+//!
+//! The runner pool and the (future) fleet loops record metrics from many
+//! threads at once; a single mutex-guarded counter or histogram would
+//! serialize exactly the threads the pool exists to parallelize. The
+//! primitives here shard state across cache-line-padded slots — each
+//! thread hashes to a stable shard on first use and keeps hitting it —
+//! so hot-path recording never contends, and readers pay the merge cost
+//! instead: [`ShardedCounter::value`] sums the shards,
+//! [`ShardedHistogram::merged`] folds the shards through
+//! [`LatencyHistogram::merge`] (property-tested bucket-exact against a
+//! single histogram fed the concatenated stream).
+//!
+//! Reads are *consistent in the streaming sense*: concurrent recorders
+//! may land on either side of a read, but every read is monotone
+//! non-decreasing in each shard, which is exactly the contract Prometheus
+//! counters need.
+
+use mobile_metrics::hist::LatencyHistogram;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of shards. Plenty for the pool sizes the runner uses (the
+/// host's core count), small enough that merging stays trivial.
+pub const SHARDS: usize = 16;
+
+/// Cache-line padding so neighbouring shards don't false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+fn shard_id() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// A monotone counter sharded across padded atomics: `add` touches only
+/// the calling thread's shard; `value` sums all shards.
+#[derive(Debug, Default)]
+pub struct ShardedCounter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl ShardedCounter {
+    /// A zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        ShardedCounter {
+            shards: [
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+                PaddedU64(AtomicU64::new(0)),
+            ],
+        }
+    }
+
+    /// Adds `n` on the calling thread's shard.
+    pub fn add(&self, n: u64) {
+        self.shards[shard_id()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The merged total across all shards.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A [`LatencyHistogram`] sharded across per-thread slots: `record` locks
+/// only the calling thread's shard (threads on distinct shards never
+/// contend); [`ShardedHistogram::merged`] folds the shards into one
+/// histogram via [`LatencyHistogram::merge`].
+#[derive(Debug, Default)]
+pub struct ShardedHistogram {
+    shards: [Mutex<LatencyHistogram>; SHARDS],
+}
+
+impl ShardedHistogram {
+    /// An empty sharded histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value on the calling thread's shard.
+    pub fn record(&self, value: u64) {
+        self.shards[shard_id()].lock().unwrap().record(value);
+    }
+
+    /// Total recorded count across shards.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().unwrap().count()).sum()
+    }
+
+    /// Folds all shards into one histogram. Bucket-exact: equals a single
+    /// histogram fed every shard's stream back to back.
+    #[must_use]
+    pub fn merged(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for shard in &self.shards {
+            out.merge(&shard.lock().unwrap());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let counter = ShardedCounter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.value(), 8_000);
+        counter.add(5);
+        assert_eq!(counter.value(), 8_005);
+    }
+
+    #[test]
+    fn sharded_histogram_matches_single_stream() {
+        let sharded = ShardedHistogram::new();
+        let mut values: Vec<u64> = Vec::new();
+        for i in 0..4096u64 {
+            values.push(i * i % 100_003 + 1);
+        }
+        std::thread::scope(|scope| {
+            for chunk in values.chunks(512) {
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    for &v in chunk {
+                        sharded.record(v);
+                    }
+                });
+            }
+        });
+        let merged = sharded.merged();
+        let single = LatencyHistogram::from_values(&values);
+        assert_eq!(merged, single, "shard-merge must be bucket-exact");
+        assert_eq!(sharded.count(), values.len() as u64);
+    }
+
+    #[test]
+    fn thread_shard_is_stable_within_a_thread() {
+        assert_eq!(shard_id(), shard_id());
+        assert!(shard_id() < SHARDS);
+    }
+}

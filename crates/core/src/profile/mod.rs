@@ -26,10 +26,12 @@ pub mod prometheus;
 
 pub use analysis::{profile_report, CellProfile, DvfsResidency, EngineOccupancy};
 pub use perfetto::{benchmark_perfetto_json, run_perfetto_json};
-pub use prometheus::prometheus_exposition;
+pub use prometheus::{hist_exposition, pool_exposition, prometheus_exposition};
 
 use crate::harness::BenchmarkTrace;
 use crate::metrics::{MetricsSnapshot, SpecTiming};
+use crate::obs::pool::pool_report;
+use loadgen::par::PoolSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// The per-artifact trace bundle `reproduce --trace DIR` writes to
@@ -49,6 +51,9 @@ pub struct ArtifactTrace {
     pub metrics: MetricsSnapshot,
     /// Per-spec wall-clock entries the artifact queued, label-sorted.
     pub spec_timings: Vec<SpecTiming>,
+    /// Runner-pool telemetry delta attributable to the artifact
+    /// (per-worker tasks/busy/steals, queue high-water).
+    pub pool: PoolSnapshot,
     /// Every traced harness run the artifact made, label-sorted.
     pub runs: Vec<BenchmarkTrace>,
 }
@@ -74,14 +79,16 @@ impl ArtifactTrace {
     }
 
     /// Renders the full profile view of the bundle: the per-cell profile
-    /// blocks followed by the Prometheus exposition of the metrics delta.
+    /// blocks, the runner-pool report, then the Prometheus exposition of
+    /// the metrics delta.
     #[must_use]
     pub fn render(&self) -> String {
         format!(
-            "=== {} ({:.0} ms wall) ===\n\n{}\n{}",
+            "=== {} ({:.0} ms wall) ===\n\n{}\n{}\n{}",
             self.artifact,
             self.wall_ms,
             profile_report(&self.runs),
+            pool_report(&self.pool, &self.metrics),
             prometheus_exposition(&self.metrics, &self.spec_timings),
         )
     }
@@ -98,6 +105,7 @@ mod tests {
             wall_ms: 12.5,
             metrics: MetricsSnapshot { runs_completed: 2, ..MetricsSnapshot::default() },
             spec_timings: vec![SpecTiming { label: "a/cls".into(), wall_ms: 3.0 }],
+            pool: PoolSnapshot::default(),
             runs: Vec::new(),
         };
         let parsed = ArtifactTrace::from_json(&bundle.to_json()).unwrap();
@@ -111,6 +119,7 @@ mod tests {
             wall_ms: 1.0,
             metrics: MetricsSnapshot::default(),
             spec_timings: Vec::new(),
+            pool: PoolSnapshot::default(),
             runs: Vec::new(),
         };
         let text = bundle.render();

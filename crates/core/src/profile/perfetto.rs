@@ -48,17 +48,17 @@ fn esc(s: &str) -> String {
 
 /// One trace-event line. Events accumulate in emission order; emission is
 /// arranged so `ts` is non-decreasing per `(pid, tid)` track.
-struct Events {
+pub(crate) struct Events {
     lines: Vec<String>,
 }
 
 impl Events {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Events { lines: Vec::new() }
     }
 
     /// Thread/process metadata (`ph:"M"`).
-    fn meta(&mut self, pid: u32, tid: u32, what: &str, name: &str) {
+    pub(crate) fn meta(&mut self, pid: u32, tid: u32, what: &str, name: &str) {
         self.lines.push(format!(
             "{{\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\"tid\":{tid},\"name\":\"{what}\",\
              \"args\":{{\"name\":\"{}\"}}}}",
@@ -67,7 +67,7 @@ impl Events {
     }
 
     /// Complete slice (`ph:"X"`).
-    fn slice(&mut self, pid: u32, tid: u32, name: &str, ts_ns: u64, dur_ns: u64) {
+    pub(crate) fn slice(&mut self, pid: u32, tid: u32, name: &str, ts_ns: u64, dur_ns: u64) {
         self.lines.push(format!(
             "{{\"ph\":\"X\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"name\":\"{}\",\"dur\":{}}}",
             us(ts_ns),
@@ -95,7 +95,7 @@ impl Events {
         ));
     }
 
-    fn finish(self) -> String {
+    pub(crate) fn finish(self) -> String {
         let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
         out.push_str(&self.lines.join(",\n"));
         out.push_str("\n]}\n");

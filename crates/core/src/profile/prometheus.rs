@@ -10,6 +10,8 @@
 //! [Prometheus text format]: https://prometheus.io/docs/instrumenting/exposition_formats/
 
 use crate::metrics::{MetricsSnapshot, SpecTiming};
+use loadgen::par::PoolSnapshot;
+use mobile_metrics::hist::LatencyHistogram;
 use std::fmt::Write as _;
 
 /// Escapes a Prometheus label value (backslash, quote, newline).
@@ -17,9 +19,19 @@ fn esc_label(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
-fn sample(out: &mut String, name: &str, help: &str, kind: &str, value: impl std::fmt::Display) {
-    let _ = writeln!(out, "# HELP {name} {help}");
+/// Escapes `# HELP` text (backslash, newline — quotes stay literal in
+/// help position per the exposition format).
+fn esc_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {}", esc_help(help));
     let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn sample(out: &mut String, name: &str, help: &str, kind: &str, value: impl std::fmt::Display) {
+    header(out, name, help, kind);
     let _ = writeln!(out, "{name} {value}");
 }
 
@@ -113,11 +125,7 @@ pub fn prometheus_exposition(snap: &MetricsSnapshot, timings: &[SpecTiming]) -> 
         snap.throttle_events,
     );
     if !timings.is_empty() {
-        let _ = writeln!(
-            out,
-            "# HELP mlperf_spec_wall_ms Host wall-clock one run spec took."
-        );
-        let _ = writeln!(out, "# TYPE mlperf_spec_wall_ms gauge");
+        header(&mut out, "mlperf_spec_wall_ms", "Host wall-clock one run spec took.", "gauge");
         for t in timings {
             let _ = writeln!(
                 out,
@@ -127,6 +135,87 @@ pub fn prometheus_exposition(snap: &MetricsSnapshot, timings: &[SpecTiming]) -> 
             );
         }
     }
+    out
+}
+
+/// Renders a runner-pool snapshot in the Prometheus text exposition
+/// format: per-worker task/busy/steal counters (labelled by worker
+/// index) plus the queue-depth gauges. Deterministic bytes — workers are
+/// already index-sorted in the snapshot.
+#[must_use]
+pub fn pool_exposition(pool: &PoolSnapshot) -> String {
+    let mut out = String::new();
+    sample(
+        &mut out,
+        "mlperf_pool_par_map_calls_total",
+        "Parallel-map passes the runner pool started.",
+        "counter",
+        pool.calls,
+    );
+    header(
+        &mut out,
+        "mlperf_pool_worker_tasks_total",
+        "Tasks completed, per pool worker.",
+        "counter",
+    );
+    for w in &pool.workers {
+        let _ = writeln!(out, "mlperf_pool_worker_tasks_total{{worker=\"{}\"}} {}", w.worker, w.tasks);
+    }
+    header(
+        &mut out,
+        "mlperf_pool_worker_busy_ns_total",
+        "Host wall-clock spent inside tasks (ns), per pool worker.",
+        "counter",
+    );
+    for w in &pool.workers {
+        let _ = writeln!(out, "mlperf_pool_worker_busy_ns_total{{worker=\"{}\"}} {}", w.worker, w.busy_ns);
+    }
+    header(
+        &mut out,
+        "mlperf_pool_worker_steals_total",
+        "Tasks executed outside the worker's static fair share, per pool worker.",
+        "counter",
+    );
+    for w in &pool.workers {
+        let _ = writeln!(out, "mlperf_pool_worker_steals_total{{worker=\"{}\"}} {}", w.worker, w.steals);
+    }
+    sample(
+        &mut out,
+        "mlperf_pool_queue_depth",
+        "Ready-queue depth (items not yet claimed by a worker).",
+        "gauge",
+        pool.queue_depth,
+    );
+    sample(
+        &mut out,
+        "mlperf_pool_max_queue_depth",
+        "Deepest ready queue observed.",
+        "gauge",
+        pool.max_queue_depth,
+    );
+    out
+}
+
+/// Renders a latency histogram as a Prometheus summary: quantile samples
+/// plus `_count`, `_min`, and `_max`. Empty histograms emit only the
+/// headers and a zero count (quantiles of nothing are undefined).
+#[must_use]
+pub fn hist_exposition(name: &str, help: &str, hist: &LatencyHistogram) -> String {
+    let mut out = String::new();
+    header(&mut out, name, help, "summary");
+    if !hist.is_empty() {
+        for q in [50.0, 90.0, 99.0] {
+            let _ = writeln!(
+                out,
+                "{name}{{quantile=\"{}\"}} {}",
+                q / 100.0,
+                hist.value_at_percentile(q)
+            );
+        }
+        let _ = writeln!(out, "{name}_min {}", hist.min());
+        let _ = writeln!(out, "{name}_max {}", hist.max());
+    }
+    let _ = writeln!(out, "{name}_count {}", hist.count());
     out
 }
 
@@ -186,6 +275,87 @@ mod tests {
     #[test]
     fn label_values_are_escaped() {
         assert_eq!(esc_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        assert_eq!(esc_help("line\nbreak\\slash"), "line\\nbreak\\\\slash");
+        let mut out = String::new();
+        sample(&mut out, "m_total", "multi\nline", "counter", 1);
+        assert!(out.contains("# HELP m_total multi\\nline\n"));
+    }
+
+    #[test]
+    fn pool_exposition_matches_golden_text() {
+        use loadgen::par::WorkerStats;
+        let pool = PoolSnapshot {
+            workers: vec![
+                WorkerStats { worker: 0, tasks: 12, busy_ns: 3400, steals: 0 },
+                WorkerStats { worker: 1, tasks: 9, busy_ns: 2100, steals: 3 },
+            ],
+            calls: 4,
+            queue_depth: 2,
+            max_queue_depth: 17,
+        };
+        let expected = "\
+# HELP mlperf_pool_par_map_calls_total Parallel-map passes the runner pool started.
+# TYPE mlperf_pool_par_map_calls_total counter
+mlperf_pool_par_map_calls_total 4
+# HELP mlperf_pool_worker_tasks_total Tasks completed, per pool worker.
+# TYPE mlperf_pool_worker_tasks_total counter
+mlperf_pool_worker_tasks_total{worker=\"0\"} 12
+mlperf_pool_worker_tasks_total{worker=\"1\"} 9
+# HELP mlperf_pool_worker_busy_ns_total Host wall-clock spent inside tasks (ns), per pool worker.
+# TYPE mlperf_pool_worker_busy_ns_total counter
+mlperf_pool_worker_busy_ns_total{worker=\"0\"} 3400
+mlperf_pool_worker_busy_ns_total{worker=\"1\"} 2100
+# HELP mlperf_pool_worker_steals_total Tasks executed outside the worker's static fair share, per pool worker.
+# TYPE mlperf_pool_worker_steals_total counter
+mlperf_pool_worker_steals_total{worker=\"0\"} 0
+mlperf_pool_worker_steals_total{worker=\"1\"} 3
+# HELP mlperf_pool_queue_depth Ready-queue depth (items not yet claimed by a worker).
+# TYPE mlperf_pool_queue_depth gauge
+mlperf_pool_queue_depth 2
+# HELP mlperf_pool_max_queue_depth Deepest ready queue observed.
+# TYPE mlperf_pool_max_queue_depth gauge
+mlperf_pool_max_queue_depth 17
+";
+        assert_eq!(pool_exposition(&pool), expected);
+    }
+
+    #[test]
+    fn every_pool_family_has_type_and_help_lines() {
+        let text = pool_exposition(&PoolSnapshot::default());
+        for name in [
+            "mlperf_pool_par_map_calls_total",
+            "mlperf_pool_worker_tasks_total",
+            "mlperf_pool_worker_busy_ns_total",
+            "mlperf_pool_worker_steals_total",
+            "mlperf_pool_queue_depth",
+            "mlperf_pool_max_queue_depth",
+        ] {
+            assert!(text.contains(&format!("# HELP {name} ")), "{name}");
+            assert!(text.contains(&format!("# TYPE {name} ")), "{name}");
+        }
+    }
+
+    #[test]
+    fn hist_exposition_emits_summary_quantiles() {
+        let mut hist = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            hist.record(v);
+        }
+        let text = hist_exposition("mlperf_run_wall_ns", "Host wall per run.", &hist);
+        assert!(text.contains("# TYPE mlperf_run_wall_ns summary"));
+        assert!(text.contains("mlperf_run_wall_ns{quantile=\"0.5\"} 50"));
+        assert!(text.contains("mlperf_run_wall_ns{quantile=\"0.99\"} 99"));
+        assert!(text.contains("mlperf_run_wall_ns_count 100"));
+        assert!(text.contains("mlperf_run_wall_ns_min 1"));
+        assert!(text.contains("mlperf_run_wall_ns_max 100"));
+
+        let empty = hist_exposition("m", "h", &LatencyHistogram::new());
+        assert!(empty.contains("m_count 0"));
+        assert!(!empty.contains("quantile"));
     }
 
     #[test]

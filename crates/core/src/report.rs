@@ -168,6 +168,9 @@ pub fn format_trace_summary(traces: &[BenchmarkTrace]) -> String {
 /// reproduction binary's Table/Figure outputs.
 #[must_use]
 pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let _span = crate::obs::span::span(crate::obs::span::Phase::Report, || {
+        header.first().map_or_else(String::new, |h| (*h).to_owned())
+    });
     let cols = header.len();
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {

@@ -112,6 +112,9 @@ impl CompileCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         metrics().record_compile_miss();
+        let _span = crate::obs::span::span(crate::obs::span::Phase::Compile, || {
+            format!("{chip}/{backend}/{model:?}")
+        });
         let soc = self.soc(chip);
         let compiled = create(backend).compile(&model.build(), &soc).map(Arc::new);
         self.deployments
@@ -152,6 +155,9 @@ impl CompileCache {
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
         metrics().record_plan_miss();
         let deployment = self.deployment(chip, backend, model)?;
+        let _span = crate::obs::span::span(crate::obs::span::Phase::Plan, || {
+            format!("{chip}/{backend}/{model:?}")
+        });
         let soc = self.soc(chip);
         // Lower outside the cache lock; racing workers produce identical
         // plans, first insert wins.
@@ -208,6 +214,24 @@ impl CompileCache {
     }
 }
 
+/// The default harness worker count: `MLPERF_WORKERS` when set to a
+/// positive integer, otherwise one worker per available core.
+///
+/// The override exists for observability work — forcing a multi-worker
+/// pool on a small machine (or pinning to one worker on a big one) to
+/// inspect per-worker tracks in a `--self-profile` timeline. Worker
+/// count never affects scores, only wall-clock and pool telemetry.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::env::var("MLPERF_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
 /// Runs `f` over `items` on up to `threads` workers, returning results in
 /// item order.
 ///
@@ -216,6 +240,17 @@ impl CompileCache {
 /// partition). Each worker tags results with their item index; the merged
 /// output is sorted back to input order, so parallel execution is
 /// invisible to callers.
+///
+/// Every pass records pool telemetry into [`crate::obs::pool::pool`] —
+/// per-worker task/busy/steal counters and the ready-queue depth — and
+/// tags each worker thread with its observability track, so harness spans
+/// opened inside `f` land on one stable Perfetto lane per worker. A task
+/// counts as *stolen* when dynamic scheduling moved it off the worker
+/// that a static fair-share split would have given it: with `n` items on
+/// `t` workers, item `i` "belongs" to worker `i / ceil(n/t)`. Telemetry
+/// is host-side only and recorded strictly outside `f`, so results and
+/// their order are bit-identical with or without it (unit-tested here,
+/// suite-level in `tests/parallel_determinism.rs`).
 ///
 /// # Panics
 ///
@@ -227,19 +262,44 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let threads = threads.max(1).min(items.len());
+    let telemetry = crate::obs::pool::pool();
     if threads <= 1 {
-        return items.iter().map(f).collect();
+        if !items.is_empty() {
+            telemetry.record_call();
+        }
+        // Serial fallback: the caller's thread is "worker 0"; nothing can
+        // be stolen.
+        return items
+            .iter()
+            .map(|item| {
+                let started = std::time::Instant::now();
+                let r = f(item);
+                telemetry.record_task(0, started.elapsed(), false);
+                r
+            })
+            .collect();
     }
+    telemetry.record_call();
+    telemetry.set_queue_depth(items.len() as u64);
+    let fair = items.len().div_ceil(threads);
     let next = AtomicUsize::new(0);
     let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    // Spans opened inside `f` aggregate on this worker's
+                    // Perfetto lane (track 0 is the driving thread).
+                    crate::obs::span::set_track(w as u32 + 1);
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
+                        telemetry.set_queue_depth(items.len().saturating_sub(i + 1) as u64);
+                        let started = std::time::Instant::now();
                         out.push((i, f(item)));
+                        telemetry.record_task(w, started.elapsed(), i / fair != w);
                     }
                     out
                 })
@@ -250,6 +310,7 @@ where
             .flat_map(|w| w.join().expect("suite worker panicked"))
             .collect()
     });
+    telemetry.set_queue_depth(0);
     indexed.sort_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, r)| r).collect()
 }
@@ -331,11 +392,10 @@ impl Default for SuiteRunner {
 }
 
 impl SuiteRunner {
-    /// A runner using one worker per available core.
+    /// A runner using [`default_threads`] workers.
     #[must_use]
     pub fn new() -> Self {
-        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        Self::with_threads(threads)
+        Self::with_threads(default_threads())
     }
 
     /// A runner with an explicit worker count (`1` = serial execution on

@@ -312,5 +312,40 @@ mod tests {
             ba.merge(&ha);
             prop_assert_eq!(ab, ba);
         }
+
+        #[test]
+        fn merged_shards_equal_concatenated_stream(
+            values in proptest::collection::vec(1u64..u64::MAX, 0..400),
+            shards in 1usize..12,
+        ) {
+            // The streaming shard-merge contract: split the stream across
+            // K per-thread shards arbitrarily (round-robin here), fold the
+            // shards with merge(), and the result is *bucket-exact* equal —
+            // counts, count, min, max — to one histogram fed the whole
+            // concatenated stream. This is what lets the runner pool (and
+            // fleet loops) aggregate without a shared lock.
+            let mut sharded: Vec<LatencyHistogram> =
+                (0..shards).map(|_| LatencyHistogram::new()).collect();
+            for (i, &v) in values.iter().enumerate() {
+                sharded[i % shards].record(v);
+            }
+            let mut merged = LatencyHistogram::new();
+            for shard in &sharded {
+                merged.merge(shard);
+            }
+            let single = LatencyHistogram::from_values(&values);
+            prop_assert_eq!(&merged, &single);
+            prop_assert_eq!(merged.count(), values.len() as u64);
+            // Quantiles of the merged histogram are exactly the single-
+            // stream histogram's quantiles (same buckets, same counts).
+            if !values.is_empty() {
+                for p in [50.0, 90.0, 99.0, 100.0] {
+                    prop_assert_eq!(
+                        merged.value_at_percentile(p),
+                        single.value_at_percentile(p)
+                    );
+                }
+            }
+        }
     }
 }

@@ -355,6 +355,94 @@ fn fast_forwarded_hot_loop_matches_unmemoized_walk() {
 }
 
 #[test]
+fn self_observability_is_bit_invisible_to_scores_logs_and_traces() {
+    // The harness self-observability layer — wall-clock span recording,
+    // pool telemetry, and the live /metrics endpoint under concurrent
+    // scraping — is purely host-side. A suite run with all of it switched
+    // on must be byte-identical (scores, logs, device traces) to one with
+    // none of it.
+    use mlperf_mobile::obs;
+    use std::io::{Read, Write as _};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let specs = matrix();
+    let rules = RunRules::smoke_test();
+    let scale = DatasetScale::Reduced(48);
+    let sweep = |sink: &Arc<TraceCollector>| -> Vec<String> {
+        SuiteRunner::with_threads(8)
+            .with_trace(Arc::clone(sink))
+            .run(&specs, &rules, scale)
+            .into_iter()
+            .map(|r| serde_json::to_string(&r.expect("matrix spec compiles")).unwrap())
+            .collect()
+    };
+
+    // Baseline: spans off, no server.
+    let baseline_sink = Arc::new(TraceCollector::new());
+    let baseline_scores = sweep(&baseline_sink);
+    let baseline_traces = serde_json::to_string(&baseline_sink.drain()).unwrap();
+
+    // Observed: span recording on, endpoint live, and a scraper hammering
+    // every route for the duration of the sweep.
+    obs::set_enabled(true);
+    let mut server = obs::ObsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.addr();
+    let done = AtomicBool::new(false);
+    let (observed_scores, observed_traces) = std::thread::scope(|scope| {
+        let done = &done;
+        let scraper = scope.spawn(move || {
+            let mut scrapes = 0u32;
+            while !done.load(Ordering::Relaxed) {
+                for path in ["/metrics", "/runs", "/healthz"] {
+                    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+                    write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+                        .expect("send");
+                    let mut response = String::new();
+                    stream.read_to_string(&mut response).expect("read");
+                    assert!(response.starts_with("HTTP/1.1 200"), "{path}: {response}");
+                    scrapes += 1;
+                }
+            }
+            scrapes
+        });
+        let observed_sink = Arc::new(TraceCollector::new());
+        let scores = sweep(&observed_sink);
+        let traces = serde_json::to_string(&observed_sink.drain()).unwrap();
+        done.store(true, Ordering::Relaxed);
+        assert!(scraper.join().expect("scraper thread") > 0, "the endpoint was scraped mid-run");
+        (scores, traces)
+    });
+    server.stop();
+    obs::set_enabled(false);
+    let profile = obs::drain();
+
+    assert_eq!(
+        baseline_scores, observed_scores,
+        "self-profiling + live scraping must be invisible in every score"
+    );
+    assert_eq!(
+        baseline_traces, observed_traces,
+        "self-profiling + live scraping must be invisible in every device trace"
+    );
+
+    // The observability layer did observe the sweep: one cell span per
+    // spec (at least — concurrent tests may add more), with calibrate and
+    // execute phases inside.
+    assert!(
+        profile.phase_spans(obs::Phase::Cell).count() >= specs.len(),
+        "expected >= {} cell spans, got {:?}",
+        specs.len(),
+        profile.phase_spans(obs::Phase::Cell).count()
+    );
+    assert!(profile.phase_spans(obs::Phase::Calibrate).count() >= specs.len());
+    assert!(profile.phase_spans(obs::Phase::Execute).count() >= specs.len());
+    assert!(
+        profile.phase_spans(obs::Phase::SearchProbe).count() >= 2,
+        "classification cells ran server + multi-stream searches"
+    );
+}
+
+#[test]
 fn sweep_matches_per_chip_suite_reports() {
     // The cross-chip sweep parallelizes over the flat matrix but must
     // regroup into exactly the reports a chip-by-chip loop produces.

@@ -146,6 +146,12 @@ fn artifact_bundle_round_trips_and_renders() {
         wall_ms: 42.0,
         metrics: MetricsSnapshot { runs_completed: 1, queries_issued: 32, ..Default::default() },
         spec_timings: Vec::new(),
+        pool: loadgen::par::PoolSnapshot {
+            workers: vec![loadgen::par::WorkerStats { worker: 0, tasks: 1, busy_ns: 42_000_000, steals: 0 }],
+            calls: 1,
+            queue_depth: 0,
+            max_queue_depth: 1,
+        },
         runs,
     };
     let parsed = ArtifactTrace::from_json(&bundle.to_json()).expect("bundle parses back");
@@ -158,6 +164,10 @@ fn artifact_bundle_round_trips_and_renders() {
     assert!(text.contains("engine"));
     assert!(text.contains("dvfs residency"));
     assert!(text.contains("mlperf_queries_issued_total 32"));
+    // The pool report rides along in the rendered bundle.
+    assert!(text.contains("pool report"));
+    assert!(text.contains("worker-0"));
+    assert!(text.contains("cache layers:"));
 }
 
 #[test]
