@@ -3,12 +3,13 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test clippy golden bless scenarios serve-metrics trace profile bench reproduce clean
+.PHONY: check build test clippy golden bless scenarios serve-metrics fleet trace profile bench reproduce clean
 
 ## Full gate: release build, tests, warning-free clippy, the
 ## golden-trace regression suite (plus the examples it ships with), the
-## four-scenario smoke run, and the live-/metrics endpoint smoke.
-check: build test clippy golden scenarios serve-metrics
+## four-scenario smoke run, the live-/metrics endpoint smoke, and the
+## fleet determinism smoke.
+check: build test clippy golden scenarios serve-metrics fleet
 
 build:
 	$(CARGO) build --release
@@ -55,6 +56,16 @@ serve-metrics: build
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	echo "serve-metrics: /healthz + /metrics OK ($$addr)"
 
+## Fleet determinism smoke: run the field-population sweep artifact once
+## on one worker and once on the full pool, and hold the bit-reproducibility
+## contract as a byte diff — same seed, same report, any worker count.
+fleet: build
+	@rm -rf out/fleet && mkdir -p out/fleet
+	@MLPERF_WORKERS=1 target/release/reproduce fleet > out/fleet/report-w1.txt
+	@MLPERF_WORKERS=7 target/release/reproduce fleet > out/fleet/report-w7.txt
+	@cmp out/fleet/report-w1.txt out/fleet/report-w7.txt || { echo "fleet: report differs across worker counts"; exit 1; }
+	@echo "fleet: report byte-identical across MLPERF_WORKERS=1 and 7"
+
 ## Regenerate every artifact with per-query tracing; one JSON trace per
 ## artifact lands in out/trace/.
 trace:
@@ -68,16 +79,19 @@ profile:
 
 ## Serial-vs-parallel suite sweep, the planned-vs-unplanned query hot
 ## loop, the serial-vs-sweep ablation artifact, the batched lockstep
-## executor lane sweep, and the BENCH_query.json / BENCH_ablations.json /
-## BENCH_batch.json speedup reports.
+## executor lane sweep, the fleet population sweep, and the
+## BENCH_query.json / BENCH_ablations.json / BENCH_batch.json /
+## BENCH_fleet.json speedup reports.
 bench:
 	$(CARGO) bench -p mlperf-bench --bench suite_sweep
 	$(CARGO) bench -p mlperf-bench --bench query_hot_loop
 	$(CARGO) bench -p mlperf-bench --bench ablation_sweep
 	$(CARGO) bench -p mlperf-bench --bench batch_lanes
+	$(CARGO) bench -p mlperf-bench --bench fleet_throughput
 	$(CARGO) run --release -p mlperf-bench --bin bench_query
 	$(CARGO) run --release -p mlperf-bench --bin bench_ablations
 	$(CARGO) run --release -p mlperf-bench --bin bench_batch
+	$(CARGO) run --release -p mlperf-bench --bin bench_fleet
 
 ## Regenerate every paper artifact; writes BENCH_suite.json with
 ## per-table wall-clock and compile-cache counters.

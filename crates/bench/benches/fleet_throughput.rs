@@ -1,0 +1,46 @@
+//! Criterion bench: fleet population sweeps end to end.
+//!
+//! Each iteration runs a whole [`mlperf_mobile::fleet::run_fleet`]
+//! population — sampling, lane packing, batched execution, histogram
+//! merge — so throughput here is fully-simulated devices per second.
+//! `mixed` is the default consumer profile over the whole catalog (the
+//! acceptance case for `BENCH_fleet.json`); `uniform` collapses every
+//! unit to one silicon bin, exercising the dedup + unit-memo fast
+//! path. `serial` pins one worker to expose the per-shard cost without
+//! pool scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlperf_mobile::fleet::{run_fleet, FleetConfig};
+use mlperf_mobile::runner::CompileCache;
+use soc_sim::fleet::FleetProfile;
+use std::hint::black_box;
+
+const DEVICES: u64 = 8_192;
+
+fn bench_fleet_throughput(c: &mut Criterion) {
+    let cache = CompileCache::new();
+    let mut group = c.benchmark_group("fleet_throughput");
+    group.sample_size(10);
+
+    let mixed = FleetConfig::new(DEVICES, 7);
+    group.bench_function(BenchmarkId::new("mixed", DEVICES), |b| {
+        b.iter(|| black_box(run_fleet(&cache, &mixed).unwrap().lane_queries));
+    });
+
+    let mut uniform = FleetConfig::new(DEVICES, 7);
+    uniform.profile = FleetProfile::uniform(22.0);
+    group.bench_function(BenchmarkId::new("uniform", DEVICES), |b| {
+        b.iter(|| black_box(run_fleet(&cache, &uniform).unwrap().lane_queries));
+    });
+
+    let mut serial = FleetConfig::new(DEVICES, 7);
+    serial.threads = 1;
+    group.bench_function(BenchmarkId::new("serial", DEVICES), |b| {
+        b.iter(|| black_box(run_fleet(&cache, &serial).unwrap().lane_queries));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_throughput);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! `bench_fleet` — measure fleet-sweep throughput and write
+//! `BENCH_fleet.json`.
+//!
+//! ```sh
+//! cargo run --release -p mlperf-bench --bin bench_fleet
+//! ```
+//!
+//! Runs the default mixed-catalog field population (every chip, the
+//! consumer [`soc_sim::fleet::FleetProfile`]) through
+//! [`mlperf_mobile::fleet::run_fleet`] and reports fully-simulated
+//! devices per minute — each device is 24 thermally-coupled queries
+//! through the batched K=8 lockstep executor, not a closed-form
+//! estimate. The acceptance headline is the mixed-population rate
+//! (`target`: >= 1M devices/min); a uniform-population run shows the
+//! dedup + unit-memo fast path the executor was built around.
+
+use mlperf_mobile::fleet::{run_fleet, FleetConfig, FleetReport};
+use mlperf_mobile::runner::CompileCache;
+use serde::Serialize;
+use soc_sim::fleet::FleetProfile;
+use std::time::Instant;
+
+/// Devices in each timed run.
+const DEVICES: u64 = 400_000;
+/// Warmup population (compiles the sweeps, faults in the pool).
+const WARMUP_DEVICES: u64 = 20_000;
+/// The acceptance bar: one million fully-simulated devices per minute.
+const TARGET_PER_MIN: f64 = 1.0e6;
+
+#[derive(Serialize)]
+struct Measured {
+    devices: u64,
+    seed: u64,
+    lanes: usize,
+    queries_per_device: u32,
+    workers: usize,
+    wall_secs: f64,
+    devices_per_min: f64,
+    /// Fraction of lane-queries that shared another lane's op-array walk.
+    lane_dedup_fraction: f64,
+    /// Devices replayed from the per-shard unit memo instead of executed.
+    memo_hits: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    /// The acceptance headline: mixed-population devices/min at K=8.
+    devices_per_min_mixed: f64,
+    target_devices_per_min: f64,
+    meets_target: bool,
+    /// The mixed consumer population (every chip, default profile).
+    mixed: Measured,
+    /// A single-bin fleet: every unit bit-identical, dedup + memo hot.
+    uniform: Measured,
+}
+
+fn measure(cache: &CompileCache, config: &FleetConfig) -> (Measured, FleetReport) {
+    let t = Instant::now();
+    let report = run_fleet(cache, config).expect("catalog submission paths compile");
+    let wall_secs = t.elapsed().as_secs_f64();
+    let m = Measured {
+        devices: config.devices,
+        seed: config.seed,
+        lanes: config.lanes,
+        queries_per_device: config.queries_per_device,
+        workers: config.threads,
+        wall_secs,
+        devices_per_min: config.devices as f64 / wall_secs * 60.0,
+        lane_dedup_fraction: if report.lane_queries > 0 {
+            report.lanes_deduped as f64 / report.lane_queries as f64
+        } else {
+            0.0
+        },
+        memo_hits: report.memo_hits,
+    };
+    (m, report)
+}
+
+fn main() {
+    let cache = CompileCache::new();
+
+    let mut warmup = FleetConfig::new(WARMUP_DEVICES, 7);
+    let _ = measure(&cache, &warmup);
+    warmup.profile = FleetProfile::uniform(22.0);
+    let _ = measure(&cache, &warmup);
+
+    let mixed_config = FleetConfig::new(DEVICES, 7);
+    let (mixed, _) = measure(&cache, &mixed_config);
+    eprintln!(
+        "mixed:   {} devices in {:.2} s on {} workers = {:.0} devices/min \
+         (dedup {:.1}%, {} memo replays)",
+        mixed.devices,
+        mixed.wall_secs,
+        mixed.workers,
+        mixed.devices_per_min,
+        mixed.lane_dedup_fraction * 100.0,
+        mixed.memo_hits,
+    );
+
+    let mut uniform_config = FleetConfig::new(DEVICES, 7);
+    uniform_config.profile = FleetProfile::uniform(22.0);
+    let (uniform, _) = measure(&cache, &uniform_config);
+    eprintln!(
+        "uniform: {} devices in {:.2} s on {} workers = {:.0} devices/min \
+         (dedup {:.1}%, {} memo replays)",
+        uniform.devices,
+        uniform.wall_secs,
+        uniform.workers,
+        uniform.devices_per_min,
+        uniform.lane_dedup_fraction * 100.0,
+        uniform.memo_hits,
+    );
+
+    let report = Report {
+        devices_per_min_mixed: mixed.devices_per_min,
+        target_devices_per_min: TARGET_PER_MIN,
+        meets_target: mixed.devices_per_min >= TARGET_PER_MIN,
+        mixed,
+        uniform,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializes") + "\n";
+    match std::fs::write("BENCH_fleet.json", &json) {
+        Ok(()) => eprintln!(
+            "wrote BENCH_fleet.json ({:.2}M devices/min mixed, target {:.0}M: {})",
+            report.devices_per_min_mixed / 1e6,
+            TARGET_PER_MIN / 1e6,
+            if report.meets_target { "met" } else { "MISSED" },
+        ),
+        Err(e) => eprintln!("could not write BENCH_fleet.json: {e}"),
+    }
+}

@@ -564,6 +564,21 @@ pub fn scenarios() -> String {
     )
 }
 
+/// The fleet field-performance artifact (`reproduce fleet`): a
+/// population sweep of 20 000 sampled field devices across the whole
+/// catalog through the batched lockstep executor, reported as
+/// per-(chip, path) population percentiles with the p99.9 deep tail.
+///
+/// Byte-identical for the fixed seed regardless of `MLPERF_WORKERS` —
+/// `make fleet` diffs this text across worker counts. Deliberately not
+/// part of [`all_reports`], so `reproduce all` goldens are unaffected.
+#[must_use]
+pub fn fleet() -> String {
+    let config = mlperf_mobile::fleet::FleetConfig::new(20_000, 7);
+    mlperf_mobile::fleet::fleet_report_text(cache(), &config)
+        .expect("catalog submission paths compile")
+}
+
 /// Every reproduction artifact, concatenated (the `reproduce all` output).
 #[must_use]
 pub fn all_reports() -> String {
@@ -597,6 +612,15 @@ mod tests {
         ] {
             assert!(text.lines().count() > 4, "{name} too short:\n{text}");
         }
+    }
+
+    #[test]
+    fn fleet_artifact_renders_population_percentiles() {
+        let t = fleet();
+        assert!(t.contains("20000 devices, seed 7"), "headline missing:\n{t}");
+        assert!(t.contains("p99.9 ms"), "deep-tail column missing:\n{t}");
+        assert!(t.contains("fleet-wide single-stream latency"), "summary missing:\n{t}");
+        assert!(t.contains("lane dedup:"), "dedup stats missing:\n{t}");
     }
 
     #[test]

@@ -11,10 +11,14 @@
 //! cargo run --release -p mlperf-mobile --bin mlperf-mobile-app -- \
 //!     --chip dimensity-1100 --version v1.0 --scale 512 --offline
 //! cargo run --release -p mlperf-mobile --bin mlperf-mobile-app -- --list
+//! cargo run --release -p mlperf-mobile --bin mlperf-mobile-app -- \
+//!     --fleet 100000 --fleet-seed 7
 //! ```
 
 use mlperf_mobile::app::{run_suite, AppConfig};
+use mlperf_mobile::fleet::{fleet_report_text, FleetConfig};
 use mlperf_mobile::harness::RunRules;
+use mlperf_mobile::runner::CompileCache;
 use mlperf_mobile::report::format_report;
 use mlperf_mobile::sut_impl::DatasetScale;
 use mlperf_mobile::task::SuiteVersion;
@@ -37,6 +41,7 @@ fn usage() -> &'static str {
     "usage: mlperf-mobile-app [--list] [--chip <slug>] [--version v0.7|v1.0]\n\
      \u{20}                       [--scale <n>|full] [--offline] [--scenarios]\n\
      \u{20}                       [--ambient <degC>] [--battery <0..1>]\n\
+     \u{20}                       [--fleet <n>] [--fleet-seed <s>]\n\
      \n\
      --list       print the device catalog and exit\n\
      --chip       device slug (default dimensity-1100)\n\
@@ -47,7 +52,12 @@ fn usage() -> &'static str {
      --scenarios  also run the server and multi-stream searches for\n\
      \u{20}             classification (the full four-scenario matrix)\n\
      --ambient    room temperature; the rules require 20-25 degC\n\
-     --battery    initial state of charge (default 1.0 = full, per rules)"
+     --battery    initial state of charge (default 1.0 = full, per rules)\n\
+     --fleet      instead of one lab run, sweep a simulated field\n\
+     \u{20}             population of <n> devices across the whole catalog\n\
+     \u{20}             and report population latency/energy percentiles\n\
+     --fleet-seed sampling seed for --fleet (default 7); the report is\n\
+     \u{20}             byte-identical for a given seed and size"
 }
 
 fn main() -> ExitCode {
@@ -58,6 +68,8 @@ fn main() -> ExitCode {
     let mut offline = false;
     let mut scenarios = false;
     let mut rules = RunRules::default();
+    let mut fleet: Option<u64> = None;
+    let mut fleet_seed = 7u64;
 
     let mut i = 0;
     while i < args.len() {
@@ -140,6 +152,26 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--fleet" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => fleet = Some(n),
+                    _ => {
+                        eprintln!("--fleet takes a positive device count");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--fleet-seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(s) => fleet_seed = s,
+                    None => {
+                        eprintln!("--fleet-seed takes an integer seed");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -150,6 +182,21 @@ fn main() -> ExitCode {
             }
         }
         i += 1;
+    }
+
+    if let Some(devices) = fleet {
+        let cache = CompileCache::new();
+        let config = FleetConfig::new(devices, fleet_seed);
+        return match fleet_report_text(&cache, &config) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fleet sweep failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let version = version.unwrap_or(match chip.generation() {

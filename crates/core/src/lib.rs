@@ -20,6 +20,9 @@
 //! - [`obs`]: harness self-observability — wall-clock span tracing of
 //!   the runner pool, sharded streaming metrics, and the live `/metrics`
 //!   HTTP endpoint,
+//! - [`fleet`]: fleet-scale population sweeps — millions of sampled
+//!   field devices streamed through the batched lockstep executor into
+//!   sharded percentile histograms,
 //! - [`audit`]: submission validation and independent reproduction
 //!   (Section 6.2),
 //! - [`related`]: the Table 4 comparison matrix,
@@ -50,6 +53,7 @@ pub mod ai_tax;
 pub mod app;
 pub mod audit;
 pub mod extensions;
+pub mod fleet;
 pub mod harness;
 pub mod metrics;
 pub mod obs;
@@ -65,6 +69,9 @@ pub mod task;
 pub use app::{run_suite, run_suite_traced, submission_backend, AppConfig, SuiteReport};
 pub use ai_tax::{host_stage_time, EndToEndSut};
 pub use extensions::{extended_suite, extension_defs};
+pub use fleet::{
+    fleet_report_text, render_fleet_report, run_fleet, FleetConfig, FleetReport, FleetUnitMemo,
+};
 pub use submission::{Date, SubmissionEntry, SubmissionRegistry};
 pub use audit::{audit, AuditFinding, AuditReport, SubmissionPackage};
 pub use harness::{

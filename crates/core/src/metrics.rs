@@ -44,6 +44,12 @@ pub struct MetricsSnapshot {
     /// Lane-queries executed by the batched plan executor (K lanes per
     /// step count K).
     pub plan_batch_lanes_executed: u64,
+    /// Fleet devices fully simulated (sampled, executed or replayed,
+    /// and scored) by the fleet executor.
+    pub fleet_devices_simulated: u64,
+    /// Fleet lane-queries that shared another lane's op-array walk
+    /// (dispatch-frequency bits deduplicated within a wave step).
+    pub fleet_lanes_deduped: u64,
     /// Sweep-engine lookups (accuracy scores, delta re-lowerings,
     /// steady-state replays) answered from a sweep cache.
     pub sweep_hits: usize,
@@ -75,6 +81,10 @@ impl MetricsSnapshot {
             plan_batch_lanes_executed: self
                 .plan_batch_lanes_executed
                 .saturating_sub(earlier.plan_batch_lanes_executed),
+            fleet_devices_simulated: self
+                .fleet_devices_simulated
+                .saturating_sub(earlier.fleet_devices_simulated),
+            fleet_lanes_deduped: self.fleet_lanes_deduped.saturating_sub(earlier.fleet_lanes_deduped),
             sweep_hits: self.sweep_hits.saturating_sub(earlier.sweep_hits),
             sweep_misses: self.sweep_misses.saturating_sub(earlier.sweep_misses),
             runs_completed: self.runs_completed.saturating_sub(earlier.runs_completed),
@@ -94,6 +104,8 @@ pub struct MetricsRegistry {
     plan_misses: AtomicUsize,
     plan_batch_runs: AtomicUsize,
     plan_batch_lanes_executed: AtomicU64,
+    fleet_devices_simulated: AtomicU64,
+    fleet_lanes_deduped: AtomicU64,
     sweep_hits: AtomicUsize,
     sweep_misses: AtomicUsize,
     runs_completed: AtomicUsize,
@@ -129,6 +141,14 @@ impl MetricsRegistry {
     pub fn record_plan_batch_run(&self, lanes_executed: u64) {
         self.plan_batch_runs.fetch_add(1, Ordering::Relaxed);
         self.plan_batch_lanes_executed.fetch_add(lanes_executed, Ordering::Relaxed);
+    }
+
+    /// Records one processed fleet shard: the devices it scored and the
+    /// lane-queries whose op-array walk was deduplicated against another
+    /// lane in the same wave step.
+    pub fn record_fleet_shard(&self, devices: u64, lanes_deduped: u64) {
+        self.fleet_devices_simulated.fetch_add(devices, Ordering::Relaxed);
+        self.fleet_lanes_deduped.fetch_add(lanes_deduped, Ordering::Relaxed);
     }
 
     /// Records one sweep-cache hit (a reused accuracy score, delta
@@ -180,6 +200,8 @@ impl MetricsRegistry {
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
             plan_batch_runs: self.plan_batch_runs.load(Ordering::Relaxed),
             plan_batch_lanes_executed: self.plan_batch_lanes_executed.load(Ordering::Relaxed),
+            fleet_devices_simulated: self.fleet_devices_simulated.load(Ordering::Relaxed),
+            fleet_lanes_deduped: self.fleet_lanes_deduped.load(Ordering::Relaxed),
             sweep_hits: self.sweep_hits.load(Ordering::Relaxed),
             sweep_misses: self.sweep_misses.load(Ordering::Relaxed),
             runs_completed: self.runs_completed.load(Ordering::Relaxed),
@@ -290,6 +312,8 @@ mod tests {
         r.record_throttling(5, 1);
         r.record_plan_batch_run(64);
         r.record_plan_batch_run(32);
+        r.record_fleet_shard(2048, 700);
+        r.record_fleet_shard(1024, 300);
         let delta = r.snapshot().since(&before);
         assert_eq!(delta.compile_hits, 1);
         assert_eq!(delta.compile_misses, 0);
@@ -297,6 +321,8 @@ mod tests {
         assert_eq!(delta.plan_misses, 0);
         assert_eq!(delta.plan_batch_runs, 2);
         assert_eq!(delta.plan_batch_lanes_executed, 96);
+        assert_eq!(delta.fleet_devices_simulated, 3072);
+        assert_eq!(delta.fleet_lanes_deduped, 1000);
         assert_eq!(delta.sweep_hits, 2);
         assert_eq!(delta.sweep_misses, 1);
         assert_eq!(delta.runs_completed, 1);

@@ -84,6 +84,20 @@ pub fn prometheus_exposition(snap: &MetricsSnapshot, timings: &[SpecTiming]) -> 
     );
     sample(
         &mut out,
+        "mlperf_fleet_devices_simulated_total",
+        "Fleet devices fully simulated by the fleet executor.",
+        "counter",
+        snap.fleet_devices_simulated,
+    );
+    sample(
+        &mut out,
+        "mlperf_fleet_lanes_deduped_total",
+        "Fleet lane-queries that shared another lane's op-array walk.",
+        "counter",
+        snap.fleet_lanes_deduped,
+    );
+    sample(
+        &mut out,
         "mlperf_sweep_cache_hits_total",
         "Sweep-engine lookups answered from a sweep cache.",
         "counter",
@@ -232,6 +246,8 @@ mod tests {
             plan_misses: 2,
             plan_batch_runs: 7,
             plan_batch_lanes_executed: 512,
+            fleet_devices_simulated: 4096,
+            fleet_lanes_deduped: 300,
             sweep_hits: 9,
             sweep_misses: 3,
             runs_completed: 4,
@@ -250,6 +266,8 @@ mod tests {
         assert!(text.contains("mlperf_plan_cache_hits_total 6"));
         assert!(text.contains("mlperf_plan_batch_runs_total 7"));
         assert!(text.contains("mlperf_plan_batch_lanes_executed_total 512"));
+        assert!(text.contains("mlperf_fleet_devices_simulated_total 4096"));
+        assert!(text.contains("mlperf_fleet_lanes_deduped_total 300"));
         for name in [
             "mlperf_compile_cache_hits_total",
             "mlperf_compile_cache_misses_total",
@@ -257,6 +275,8 @@ mod tests {
             "mlperf_plan_cache_misses_total",
             "mlperf_plan_batch_runs_total",
             "mlperf_plan_batch_lanes_executed_total",
+            "mlperf_fleet_devices_simulated_total",
+            "mlperf_fleet_lanes_deduped_total",
             "mlperf_sweep_cache_hits_total",
             "mlperf_sweep_cache_misses_total",
             "mlperf_runs_completed_total",

@@ -36,6 +36,7 @@ use mobile_backend::backend::{BackendId, CompileError, Deployment};
 use mobile_backend::registry::create;
 use nn_graph::models::ModelId;
 use soc_sim::catalog::ChipId;
+use soc_sim::plan::SweepPlan;
 use soc_sim::soc::Soc;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -53,6 +54,7 @@ pub struct CompileCache {
     socs: Mutex<HashMap<ChipId, Arc<Soc>>>,
     deployments: Mutex<HashMap<DeploymentKey, CompileOutcome>>,
     plans: Mutex<HashMap<DeploymentKey, PlannedDeployment>>,
+    sweeps: Mutex<HashMap<DeploymentKey, Arc<SweepPlan>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     plan_hits: AtomicUsize,
@@ -187,6 +189,43 @@ impl CompileCache {
     ) -> Result<soc_sim::plan_batch::BatchPlan, CompileError> {
         let planned = self.planned(chip, backend, model)?;
         Ok(soc_sim::plan_batch::BatchPlan::broadcast(Arc::clone(&planned.query), lanes))
+    }
+
+    /// The sweep-ready lowering for a `(chip, backend, model)` triple:
+    /// shared op arrays plus the cached per-stage lowering inputs, so
+    /// [`soc_sim::plan::PlanDelta`] re-lowerings are O(stages) instead of
+    /// a graph walk. Lowered at most once per triple; lookups count into
+    /// the sweep-cache metrics. The fleet executor leans on this so a
+    /// million perturbed units never pay a second full lowering.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's (cached) compile failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking worker.
+    pub fn sweep_plan(
+        &self,
+        chip: ChipId,
+        backend: BackendId,
+        model: ModelId,
+    ) -> Result<Arc<SweepPlan>, CompileError> {
+        let key = (chip, backend, model);
+        if let Some(cached) = self.sweeps.lock().unwrap().get(&key) {
+            metrics().record_sweep_hit();
+            return Ok(Arc::clone(cached));
+        }
+        metrics().record_sweep_miss();
+        let deployment = self.deployment(chip, backend, model)?;
+        let _span = crate::obs::span::span(crate::obs::span::Phase::Plan, || {
+            format!("sweep/{chip}/{backend}/{model:?}")
+        });
+        let soc = self.soc(chip);
+        // Lower outside the cache lock; racing workers produce identical
+        // plans, first insert wins.
+        let sweep = Arc::new(SweepPlan::new(&soc, &deployment.graph, &deployment.schedule));
+        Ok(Arc::clone(self.sweeps.lock().unwrap().entry(key).or_insert(sweep)))
     }
 
     /// Number of deployment lookups answered from the cache.
@@ -576,6 +615,22 @@ mod tests {
         // The one plan miss compiled through the deployment cache once.
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn sweep_cache_lowers_each_triple_once() {
+        let cache = CompileCache::new();
+        let a = cache
+            .sweep_plan(ChipId::Snapdragon888, BackendId::Snpe, ModelId::MobileNetEdgeTpu)
+            .unwrap();
+        let b = cache
+            .sweep_plan(ChipId::Snapdragon888, BackendId::Snpe, ModelId::MobileNetEdgeTpu)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be the cached Arc");
+        // And a failure propagates instead of lowering anything.
+        assert!(cache
+            .sweep_plan(ChipId::Exynos990, BackendId::Snpe, ModelId::MobileNetEdgeTpu)
+            .is_err());
     }
 
     #[test]

@@ -168,6 +168,20 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// [`Self::value_at_percentile`] on the quantile scale: `q` in
+    /// `(0, 1]`, so deep field tails read naturally —
+    /// `quantile(0.999)` is the fleet report's p99.9 headline. Same
+    /// nearest-rank convention and error bound as the percentile form.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty histogram or a quantile outside `(0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile out of range");
+        self.value_at_percentile(q * 100.0)
+    }
+
     /// Iterator over non-empty buckets as `(upper_bound, count)` pairs, in
     /// ascending value order — the exporter-facing view.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
@@ -266,6 +280,22 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn quantiles_exact_nearest_rank_at_small_n(
+            mut values in proptest::collection::vec(0u64..64, 1..64),
+        ) {
+            // Values below 64 land in exact unit-width buckets, so the
+            // histogram quantile must reproduce nearest-rank exactly —
+            // including the deep-tail q = 0.999, where small N makes the
+            // rank clamp to the maximum.
+            let h = LatencyHistogram::from_values(&values);
+            values.sort_unstable();
+            for q in [0.5f64, 0.9, 0.95, 0.99, 0.999, 1.0] {
+                let exact = percentile_nearest_rank(&values, q * 100.0);
+                prop_assert_eq!(h.quantile(q), exact, "q={}", q);
+            }
+        }
+
         #[test]
         fn percentiles_consistent_with_exact_nearest_rank(
             mut values in proptest::collection::vec(1u64..2_000_000_000, 1..400),

@@ -45,6 +45,13 @@ impl DvfsLadder {
         &self.factors
     }
 
+    /// In-place copy that reuses this ladder's point buffer — the batched
+    /// executor's per-wave lane refill path, where `*self = other.clone()`
+    /// would reallocate every wave.
+    pub(crate) fn copy_from(&mut self, other: &DvfsLadder) {
+        self.factors.clone_from(&other.factors);
+    }
+
     /// Snaps a continuous governor target to the highest OPP that does not
     /// exceed it; saturates at the lowest point.
     #[must_use]

@@ -34,6 +34,7 @@ pub mod catalog;
 pub mod dvfs;
 pub mod engine;
 pub mod executor;
+pub mod fleet;
 pub mod plan;
 pub mod plan_batch;
 pub mod power;
@@ -47,6 +48,7 @@ pub use catalog::{ChipId, Generation};
 pub use dvfs::DvfsLadder;
 pub use engine::{EngineId, EngineKind, EngineSpec, EngineSpecBuilder};
 pub use executor::{estimate_query_secs, run_offline, run_query, OfflineResult, QueryBreakdown, QueryResult};
+pub use fleet::{sample_unit, DeviceUnit, FleetProfile};
 pub use plan::{ExecMemo, OfflinePlan, QueryPlan, RateMemo, StreamPlan};
 pub use plan_batch::{BatchPlan, BatchState};
 pub use power::{EnergyMeter, EnergySnapshot};

@@ -21,6 +21,7 @@ use crate::schedule::Schedule;
 use crate::soc::{Soc, SocState};
 use crate::time::SimDuration;
 use nn_graph::Graph;
+use std::sync::Arc;
 
 /// One lowered graph node: everything the roofline model needs, with all
 /// graph/engine lookups already resolved. Crate-visible so the batched
@@ -606,8 +607,10 @@ pub enum PlanDelta {
 /// [`relower_stream`]: Self::relower_stream
 #[derive(Debug, Clone)]
 pub struct SweepPlan {
-    /// Fully-lowered baseline single-stream plan.
-    query: QueryPlan,
+    /// Fully-lowered baseline single-stream plan, shared (`Arc`) so
+    /// batch re-lowerings hand their lanes the op arrays without
+    /// copying them.
+    query: Arc<QueryPlan>,
     /// Fully-lowered baseline estimator profile.
     stream: StreamPlan,
     /// The schedule-wide per-query overhead knob (µs).
@@ -634,7 +637,7 @@ impl SweepPlan {
     /// or an unsupported placement.
     #[must_use]
     pub fn new(soc: &Soc, graph: &Graph, schedule: &Schedule) -> Self {
-        let query = QueryPlan::new(soc, graph, schedule);
+        let query = Arc::new(QueryPlan::new(soc, graph, schedule));
         let stream = StreamPlan::lower(soc, graph, schedule);
         let cross_bytes = schedule.cross_engine_bytes(graph);
         let mut launched: Vec<bool> = vec![false; soc.engines.len()];
@@ -671,6 +674,15 @@ impl SweepPlan {
     #[must_use]
     pub fn stream_plan(&self) -> &StreamPlan {
         &self.stream
+    }
+
+    /// The schedule-wide per-query overhead knob (µs) the plan was
+    /// lowered with — the baseline that
+    /// [`PlanDelta::QueryOverheadUs`] perturbations replace, so callers
+    /// modelling *additional* per-query load pass `base + extra`.
+    #[must_use]
+    pub fn query_overhead_us(&self) -> f64 {
+        self.query_overhead_us
     }
 
     /// Replays the overhead/transfer accumulation with `delta` applied.
@@ -773,13 +785,34 @@ impl SweepPlan {
             launch.push(SimDuration::from_secs_f64(l));
             sync.push(SimDuration::from_secs_f64(s));
         }
-        BatchPlan::from_lanes(
-            std::sync::Arc::new(self.query.clone()),
-            transfer,
-            overhead,
-            launch,
-            sync,
-        )
+        BatchPlan::from_lanes(Arc::clone(&self.query), transfer, overhead, launch, sync)
+    }
+
+    /// [`Self::relower_query_batch`] into an existing batch: clears and
+    /// refills `batch`'s per-lane overhead vectors in place, reusing the
+    /// shared op arrays — the per-wave path for fleet sweeps, where a
+    /// fresh [`BatchPlan`] per wave would pay four vector allocations
+    /// each time. The lane count may change between refills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas` is empty or `batch` was not produced by
+    /// [`Self::relower_query_batch`] on this same `SweepPlan` (the op
+    /// arrays must be the very same `Arc`).
+    pub fn relower_query_batch_into(&self, deltas: &[PlanDelta], batch: &mut BatchPlan) {
+        assert!(!deltas.is_empty(), "batch re-lowering needs at least one delta");
+        batch.refill_lanes(
+            &self.query,
+            deltas.iter().map(|&delta| {
+                let (t, o, l, s) = self.relower_overheads(delta);
+                (
+                    SimDuration::from_secs_f64(t),
+                    SimDuration::from_secs_f64(o),
+                    SimDuration::from_secs_f64(l),
+                    SimDuration::from_secs_f64(s),
+                )
+            }),
+        );
     }
 }
 
@@ -1027,6 +1060,39 @@ mod tests {
             let b = plan.execute(&mut fresh);
             assert_eq!(a, b, "memoized walk diverged at freq {freq}");
             assert_eq!(via_memo, fresh);
+        }
+    }
+
+    #[test]
+    fn relower_query_batch_into_matches_fresh_batch() {
+        let soc = crate::catalog::ChipId::Dimensity1100.build();
+        let graph = nn_graph::graph::retype(
+            &nn_graph::models::ModelId::MobileNetEdgeTpu.build(),
+            nn_graph::DataType::U8,
+        );
+        let npu = soc.engine_of_kind(crate::engine::EngineKind::Npu).unwrap();
+        let schedule = crate::schedule::Schedule::single(&graph, npu, nn_graph::DataType::U8, 0.0);
+        let sweep = SweepPlan::new(&soc, &graph, &schedule);
+        let base = sweep.query_overhead_us();
+        let first: Vec<PlanDelta> =
+            (0..4).map(|i| PlanDelta::QueryOverheadUs(base + 100.0 * i as f64)).collect();
+        let mut batch = sweep.relower_query_batch(&first);
+        // Refill with a different (and differently sized) wave of deltas:
+        // the refilled batch must match a fresh re-lowering lane-for-lane.
+        let second: Vec<PlanDelta> =
+            (0..3).map(|i| PlanDelta::QueryOverheadUs(base + 35.0 * i as f64)).collect();
+        sweep.relower_query_batch_into(&second, &mut batch);
+        let fresh = sweep.relower_query_batch(&second);
+        assert_eq!(batch.lanes(), 3);
+        for lane in 0..3 {
+            let mut a = soc.new_state(22.0);
+            let mut b = a.clone();
+            assert_eq!(
+                batch.lane_plan(lane).execute(&mut a),
+                fresh.lane_plan(lane).execute(&mut b),
+                "refilled lane {lane} diverged from fresh re-lowering"
+            );
+            assert_eq!(a, b);
         }
     }
 

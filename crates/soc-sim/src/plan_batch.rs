@@ -158,6 +158,39 @@ impl BatchState {
         }
     }
 
+    /// Re-targets the batch at a fresh set of scalar states **in place**,
+    /// reusing every lane and scratch allocation — the per-wave path for
+    /// fleet sweeps, where one `BatchState` serves thousands of
+    /// consecutive K-lane waves and a `gather` per wave would pay four
+    /// vector allocations each time. The lane count may change between
+    /// waves. Telemetry from the previous wave
+    /// ([`Self::last_freq_factors`] and friends) is cleared; the per-step
+    /// scratch keeps its capacity.
+    pub fn refill(&mut self, states: &[SocState]) {
+        self.thermal.clear();
+        self.thermal.extend(states.iter().map(|s| s.thermal.clone()));
+        self.energy.clear();
+        self.energy.extend(states.iter().map(|s| s.energy));
+        self.battery.clear();
+        self.battery.extend(states.iter().map(|s| s.battery));
+        // Ladders own a heap buffer: copy into surviving slots so their
+        // allocations are reused, then clone only net-new lanes.
+        self.dvfs.truncate(states.len());
+        let reused = self.dvfs.len();
+        for (slot, state) in self.dvfs.iter_mut().zip(states) {
+            slot.copy_from(&state.dvfs);
+        }
+        self.dvfs.extend(states[reused..].iter().map(|s| s.dvfs.clone()));
+        // Stale step telemetry must not leak into the new wave.
+        self.freq.clear();
+        self.level.clear();
+        self.temp.clear();
+        self.uniq_freq.clear();
+        self.uniq_of.clear();
+        self.latency.clear();
+        self.joules.clear();
+    }
+
     /// Transposes the lane vectors back into scalar states, in lane
     /// order. Non-consuming, so trajectories can be compared mid-run.
     #[must_use]
@@ -251,6 +284,22 @@ impl BatchState {
     pub fn last_latencies(&self) -> &[SimDuration] {
         &self.latency
     }
+
+    /// Cumulative joules per lane after the most recent step (empty
+    /// before the first step).
+    #[must_use]
+    pub fn last_total_joules(&self) -> &[f64] {
+        &self.joules
+    }
+
+    /// Distinct dispatch-frequency bit patterns the most recent step
+    /// observed (0 before the first step). `lanes()` minus this is the
+    /// number of lanes that shared another lane's op-array walk — the
+    /// dedup win the fleet executor counts per wave.
+    #[must_use]
+    pub fn last_distinct_frequencies(&self) -> usize {
+        self.uniq_freq.len()
+    }
 }
 
 /// One compiled [`QueryPlan`] fanned out to K lockstep lanes, each lane
@@ -314,6 +363,38 @@ impl BatchPlan {
             "per-lane overhead vectors must agree on the lane count"
         );
         BatchPlan { plan, transfer, overhead, launch, sync }
+    }
+
+    /// Re-targets this batch at a new set of re-lowered lanes **in
+    /// place**: clears and refills the per-lane overhead vectors without
+    /// touching the shared op arrays — the allocation-free path behind
+    /// [`crate::plan::SweepPlan::relower_query_batch_into`]. The lane
+    /// count may change between refills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` is not the very `Arc` this batch shares its op
+    /// arrays with, or if `lanes` yields nothing.
+    pub(crate) fn refill_lanes(
+        &mut self,
+        plan: &Arc<QueryPlan>,
+        lanes: impl Iterator<Item = (SimDuration, SimDuration, SimDuration, SimDuration)>,
+    ) {
+        assert!(
+            Arc::ptr_eq(&self.plan, plan),
+            "batch must share the sweep plan's op arrays"
+        );
+        self.transfer.clear();
+        self.overhead.clear();
+        self.launch.clear();
+        self.sync.clear();
+        for (transfer, overhead, launch, sync) in lanes {
+            self.transfer.push(transfer);
+            self.overhead.push(overhead);
+            self.launch.push(launch);
+            self.sync.push(sync);
+        }
+        assert!(!self.transfer.is_empty(), "batch needs at least one lane");
     }
 
     /// Number of lanes.
@@ -709,6 +790,80 @@ mod tests {
         let rb = bp.lane_plan(1).execute(&mut b);
         assert_results_bit_identical(&ra, &rb);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn refill_matches_fresh_gather_and_clears_telemetry() {
+        let plan = Arc::new(tiny_plan());
+        let bp = BatchPlan::broadcast(Arc::clone(&plan), 4);
+        let first = lane_states(4);
+        let mut batch = BatchState::gather(&first);
+        for _ in 0..10 {
+            let _ = bp.execute_latencies(&mut batch);
+        }
+        assert!(!batch.last_latencies().is_empty());
+        assert!(batch.last_distinct_frequencies() > 0);
+
+        // Refill with a different wave: indistinguishable from a fresh
+        // gather, with the previous wave's telemetry cleared.
+        let second: Vec<SocState> = lane_states(8).split_off(4);
+        batch.refill(&second);
+        assert_eq!(batch.scatter(), BatchState::gather(&second).scatter());
+        assert!(batch.last_latencies().is_empty());
+        assert!(batch.last_freq_factors().is_empty());
+        assert_eq!(batch.last_distinct_frequencies(), 0);
+        assert!(batch.last_total_joules().is_empty());
+
+        // Trajectories after a refill match a fresh gather bit-for-bit,
+        // including a lane-count change (4 → 3).
+        let third = lane_states(3);
+        let bp3 = BatchPlan::broadcast(Arc::clone(&plan), 3);
+        batch.refill(&third);
+        let mut fresh = BatchState::gather(&third);
+        for _ in 0..25 {
+            let a = bp3.execute_latencies(&mut batch).to_vec();
+            let b = bp3.execute_latencies(&mut fresh).to_vec();
+            assert_eq!(a, b);
+        }
+        assert_eq!(batch.scatter(), fresh.scatter());
+    }
+
+    #[test]
+    fn refill_lanes_matches_from_lanes() {
+        let plan = Arc::new(tiny_plan());
+        let mut bp = BatchPlan::broadcast(Arc::clone(&plan), 2);
+        let lanes = [
+            (SimDuration::from_micros(10), SimDuration::from_micros(20), SimDuration::from_micros(12), SimDuration::from_micros(8)),
+            (SimDuration::from_micros(30), SimDuration::from_micros(40), SimDuration::from_micros(25), SimDuration::from_micros(15)),
+            (SimDuration::from_micros(50), SimDuration::from_micros(60), SimDuration::from_micros(33), SimDuration::from_micros(27)),
+        ];
+        bp.refill_lanes(&plan, lanes.iter().copied());
+        assert_eq!(bp.lanes(), 3);
+        let reference = BatchPlan::from_lanes(
+            Arc::clone(&plan),
+            lanes.iter().map(|l| l.0).collect(),
+            lanes.iter().map(|l| l.1).collect(),
+            lanes.iter().map(|l| l.2).collect(),
+            lanes.iter().map(|l| l.3).collect(),
+        );
+        let states = lane_states(3);
+        let mut a = BatchState::gather(&states);
+        let mut b = BatchState::gather(&states);
+        for _ in 0..20 {
+            assert_eq!(bp.execute_latencies(&mut a).to_vec(), reference.execute_latencies(&mut b).to_vec());
+        }
+        assert_eq!(a.scatter(), b.scatter());
+    }
+
+    #[test]
+    #[should_panic(expected = "share the sweep plan's op arrays")]
+    fn refill_lanes_rejects_foreign_plan() {
+        let mut bp = BatchPlan::broadcast(Arc::new(tiny_plan()), 2);
+        let other = Arc::new(tiny_plan());
+        bp.refill_lanes(
+            &other,
+            std::iter::once((SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO)),
+        );
     }
 
     #[test]

@@ -443,6 +443,72 @@ fn self_observability_is_bit_invisible_to_scores_logs_and_traces() {
 }
 
 #[test]
+fn fleet_sweep_is_bit_identical_across_worker_counts() {
+    // The fleet executor holds the same contract as the suite runner:
+    // worker count is a pure wall-clock knob. The same seed must
+    // reproduce the byte-identical population report — serialized
+    // scores AND rendered text — whether the shards run serially or on
+    // a contended pool, and a uniform sub-population must fast-forward
+    // through the unit memo without perturbing that identity.
+    use mlperf_mobile::fleet::{render_fleet_report, run_fleet, FleetConfig};
+    use soc_sim::fleet::{sample_unit, FleetProfile};
+
+    let cache = CompileCache::new();
+    let config_for = |threads: usize| {
+        let mut config = FleetConfig::new(600, 11);
+        config.threads = threads;
+        config.shard_devices = 128;
+        config.chips = vec![ChipId::Dimensity1100, ChipId::Exynos2100, ChipId::Snapdragon888];
+        config
+    };
+
+    // Sampling itself is a pure function of (seed, index) — spot-check
+    // before comparing whole runs, so a regression points at the
+    // generator rather than the executor.
+    let profile = FleetProfile::default();
+    for index in [0u64, 1, 127, 128, 599] {
+        assert_eq!(
+            sample_unit(11, index, &profile),
+            sample_unit(11, index, &profile),
+            "unit {index} must resample identically"
+        );
+    }
+
+    let serial = run_fleet(&cache, &config_for(1)).expect("fleet compiles");
+    let pooled = run_fleet(&cache, &config_for(8)).expect("fleet compiles");
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&pooled).unwrap(),
+        "fleet report must serialize byte-identically across worker counts"
+    );
+    assert_eq!(
+        render_fleet_report(&serial),
+        render_fleet_report(&pooled),
+        "rendered fleet report must be byte-identical across worker counts"
+    );
+    // Re-running on the shared cache reuses the sweeps without drift.
+    let again = run_fleet(&cache, &config_for(4)).expect("fleet compiles");
+    assert_eq!(serial, again, "repeated fleet sweeps must be stable");
+
+    // Uniform sub-population: every unit is bit-equal, so all devices
+    // after the first wave replay from the memo — and the determinism
+    // contract still holds.
+    let uniform_for = |threads: usize| {
+        let mut config = config_for(threads);
+        config.chips = vec![ChipId::Exynos2100];
+        config.profile = FleetProfile::uniform(24.0);
+        config
+    };
+    let uniform_serial = run_fleet(&cache, &uniform_for(1)).expect("fleet compiles");
+    let uniform_pooled = run_fleet(&cache, &uniform_for(8)).expect("fleet compiles");
+    assert_eq!(uniform_serial, uniform_pooled);
+    assert!(
+        uniform_serial.memo_hits > 0,
+        "bit-equal units must fast-forward through the unit memo"
+    );
+}
+
+#[test]
 fn sweep_matches_per_chip_suite_reports() {
     // The cross-chip sweep parallelizes over the flat matrix but must
     // regroup into exactly the reports a chip-by-chip loop produces.
