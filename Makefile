@@ -3,13 +3,13 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test clippy golden bless scenarios serve-metrics fleet trace profile bench reproduce clean
+.PHONY: check build test clippy golden bless scenarios serve-metrics fleet tune trace profile bench reproduce clean
 
 ## Full gate: release build, tests, warning-free clippy, the
 ## golden-trace regression suite (plus the examples it ships with), the
 ## four-scenario smoke run, the live-/metrics endpoint smoke, and the
-## fleet determinism smoke.
-check: build test clippy golden scenarios serve-metrics fleet
+## fleet and tuning determinism smokes.
+check: build test clippy golden scenarios serve-metrics fleet tune
 
 build:
 	$(CARGO) build --release
@@ -66,6 +66,17 @@ fleet: build
 	@cmp out/fleet/report-w1.txt out/fleet/report-w7.txt || { echo "fleet: report differs across worker counts"; exit 1; }
 	@echo "fleet: report byte-identical across MLPERF_WORKERS=1 and 7"
 
+## Tuning determinism smoke: run the heuristic-vs-optimal gap-table
+## artifact once on one worker and once on the full pool, and hold the
+## bit-reproducibility contract as a byte diff — every cell is a pure
+## function of (chip, backend, model, tuner config).
+tune: build
+	@rm -rf out/tune && mkdir -p out/tune
+	@MLPERF_WORKERS=1 target/release/reproduce tuning > out/tune/report-w1.txt
+	@MLPERF_WORKERS=7 target/release/reproduce tuning > out/tune/report-w7.txt
+	@cmp out/tune/report-w1.txt out/tune/report-w7.txt || { echo "tune: report differs across worker counts"; exit 1; }
+	@echo "tune: report byte-identical across MLPERF_WORKERS=1 and 7"
+
 ## Regenerate every artifact with per-query tracing; one JSON trace per
 ## artifact lands in out/trace/.
 trace:
@@ -79,19 +90,22 @@ profile:
 
 ## Serial-vs-parallel suite sweep, the planned-vs-unplanned query hot
 ## loop, the serial-vs-sweep ablation artifact, the batched lockstep
-## executor lane sweep, the fleet population sweep, and the
-## BENCH_query.json / BENCH_ablations.json / BENCH_batch.json /
-## BENCH_fleet.json speedup reports.
+## executor lane sweep, the fleet population sweep, the auto-tuner
+## candidate-evaluation and search benches, and the BENCH_query.json /
+## BENCH_ablations.json / BENCH_batch.json / BENCH_fleet.json /
+## BENCH_tune.json speedup reports.
 bench:
 	$(CARGO) bench -p mlperf-bench --bench suite_sweep
 	$(CARGO) bench -p mlperf-bench --bench query_hot_loop
 	$(CARGO) bench -p mlperf-bench --bench ablation_sweep
 	$(CARGO) bench -p mlperf-bench --bench batch_lanes
 	$(CARGO) bench -p mlperf-bench --bench fleet_throughput
+	$(CARGO) bench -p mlperf-bench --bench tune_search
 	$(CARGO) run --release -p mlperf-bench --bin bench_query
 	$(CARGO) run --release -p mlperf-bench --bin bench_ablations
 	$(CARGO) run --release -p mlperf-bench --bin bench_batch
 	$(CARGO) run --release -p mlperf-bench --bin bench_fleet
+	$(CARGO) run --release -p mlperf-bench --bin bench_tune
 
 ## Regenerate every paper artifact; writes BENCH_suite.json with
 ## per-table wall-clock and compile-cache counters.

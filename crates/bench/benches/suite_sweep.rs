@@ -18,7 +18,7 @@ use std::hint::black_box;
 const CHIPS: [ChipId; 3] = [ChipId::Dimensity1100, ChipId::Exynos2100, ChipId::Snapdragon888];
 
 fn smoke_config() -> AppConfig {
-    AppConfig { rules: RunRules::smoke_test(), offline_classification: true, scenario_matrix: false }
+    AppConfig { rules: RunRules::smoke_test(), offline_classification: true, scenario_matrix: false, tuner: None }
 }
 
 fn bench_suite_sweep(c: &mut Criterion) {

@@ -1,0 +1,242 @@
+//! `bench_tune` — measure auto-tuner search throughput and write
+//! `BENCH_tune.json`.
+//!
+//! ```sh
+//! cargo run --release -p mlperf-bench --bin bench_tune
+//! ```
+//!
+//! Two measurements. First, raw candidate-evaluation throughput on one
+//! real submission cell's search space
+//! ([`mobile_backend::tune::search_model`]): the same random supported
+//! assignments scored one at a time ([`CostModel::evaluate`]) and in
+//! K=8 lanes ([`CostModel::evaluate_batch`]), reporting both rates and
+//! the batched speedup. The acceptance headline is the batched rate
+//! (`target`: >= 100k candidates/sec). Second, the full-catalog gap
+//! table ([`mlperf_mobile::tuning::run_tuning`]) on a cold cache,
+//! reporting end-to-end search effort: candidates scored, partials
+//! pruned by the branch-and-bound bound, and the prune rate.
+
+use mlperf_mobile::app::submission_backend;
+use mlperf_mobile::runner::CompileCache;
+use mlperf_mobile::task::{suite, SuiteVersion};
+use mlperf_mobile::tuning::{run_tuning, TuningConfig};
+use mobile_backend::tune::search_model;
+use nn_graph::models::ModelId;
+use serde::Serialize;
+use soc_sim::catalog::ChipId;
+use soc_sim::search::CostModel;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Candidates in each timed evaluation run.
+const CANDIDATES: usize = 400_000;
+/// Warmup candidates (faults in caches, settles the clock).
+const WARMUP: usize = 20_000;
+/// The acceptance bar: 100k candidates scored per second.
+const TARGET_PER_SEC: f64 = 100_000.0;
+/// The cell whose search space is measured (a real v1.0 submission
+/// pair with a deep graph and a multi-engine target set).
+const CHIP: ChipId = ChipId::Snapdragon888;
+const MODEL: ModelId = ModelId::DeepLabV3Plus;
+
+#[derive(Serialize)]
+struct Measured {
+    candidates: usize,
+    lanes: usize,
+    wall_secs: f64,
+    candidates_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct SearchEffort {
+    cells: usize,
+    beam_width: usize,
+    candidates: u64,
+    pruned: u64,
+    /// Fraction of the explored frontier eliminated by the
+    /// branch-and-bound lower bound before full evaluation.
+    prune_rate: f64,
+    wall_secs: f64,
+    candidates_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    chip: String,
+    backend: String,
+    model: String,
+    nodes: usize,
+    targets: usize,
+    /// The acceptance headline: K=8 batched evaluation rate.
+    candidates_per_sec: f64,
+    target_candidates_per_sec: f64,
+    meets_target: bool,
+    /// One candidate at a time through the scalar evaluator.
+    scalar: Measured,
+    /// Eight lanes per op-array pass through the batched evaluator.
+    batched: Measured,
+    batched_speedup: f64,
+    /// Full-catalog `reproduce tuning` search effort, cold cache.
+    search: SearchEffort,
+}
+
+/// A deterministic xorshift* stream; seeds the random walk over the
+/// supported assignment space.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// `count` random assignments, each node drawn uniformly from its
+/// supported targets.
+fn random_assignments(model: &CostModel, count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let per_node: Vec<Vec<u8>> = (0..model.num_nodes())
+        .map(|node| {
+            (0..model.targets().len())
+                .filter(|&t| model.is_supported(node, t))
+                .map(|t| u8::try_from(t).expect("target space fits u8"))
+                .collect()
+        })
+        .collect();
+    let mut rng = XorShift(seed | 1);
+    (0..count)
+        .map(|_| {
+            per_node
+                .iter()
+                .map(|options| options[(rng.next() % options.len() as u64) as usize])
+                .collect()
+        })
+        .collect()
+}
+
+fn measure_scalar(model: &CostModel, assigns: &[Vec<u8>]) -> Measured {
+    let t = Instant::now();
+    let mut acc = 0.0f64;
+    for a in assigns {
+        acc += model.evaluate(a).latency_secs;
+    }
+    let wall_secs = t.elapsed().as_secs_f64();
+    black_box(acc);
+    Measured {
+        candidates: assigns.len(),
+        lanes: 1,
+        wall_secs,
+        candidates_per_sec: assigns.len() as f64 / wall_secs,
+    }
+}
+
+fn measure_batched(model: &CostModel, assigns: &[Vec<u8>]) -> Measured {
+    let t = Instant::now();
+    let mut acc = 0.0f64;
+    for chunk in assigns.chunks(soc_sim::search::MAX_LANES) {
+        let lanes: Vec<&[u8]> = chunk.iter().map(Vec::as_slice).collect();
+        for score in model.evaluate_batch(&lanes) {
+            acc += score.latency_secs;
+        }
+    }
+    let wall_secs = t.elapsed().as_secs_f64();
+    black_box(acc);
+    Measured {
+        candidates: assigns.len(),
+        lanes: soc_sim::search::MAX_LANES,
+        wall_secs,
+        candidates_per_sec: assigns.len() as f64 / wall_secs,
+    }
+}
+
+fn main() {
+    let cache = CompileCache::new();
+    let version = SuiteVersion::V1_0;
+    let defs = suite(version);
+    let def = defs
+        .iter()
+        .find(|d| d.model == MODEL)
+        .expect("model is in the v1.0 suite");
+    let backend = submission_backend(CHIP, version, def.task);
+    let deployment = cache
+        .deployment(CHIP, backend, MODEL)
+        .expect("catalog submission paths compile");
+    let soc = CHIP.build();
+    let model = search_model(&soc, &deployment.graph, &deployment.schedule);
+
+    let assigns = random_assignments(&model, CANDIDATES, 0x9e37_79b9);
+    let warmup = &assigns[..WARMUP.min(assigns.len())];
+    black_box(measure_scalar(&model, warmup));
+    black_box(measure_batched(&model, warmup));
+
+    let scalar = measure_scalar(&model, &assigns);
+    eprintln!(
+        "scalar:  {} candidates in {:.2} s = {:.0} candidates/sec (K=1)",
+        scalar.candidates, scalar.wall_secs, scalar.candidates_per_sec,
+    );
+    let batched = measure_batched(&model, &assigns);
+    eprintln!(
+        "batched: {} candidates in {:.2} s = {:.0} candidates/sec (K={})",
+        batched.candidates, batched.wall_secs, batched.candidates_per_sec, batched.lanes,
+    );
+
+    let config = TuningConfig::new();
+    let t = Instant::now();
+    let report = run_tuning(&cache, &config).expect("catalog submission paths compile");
+    let search_secs = t.elapsed().as_secs_f64();
+    let candidates: u64 = report.cells.iter().map(|c| c.candidates).sum();
+    let pruned: u64 = report.cells.iter().map(|c| c.pruned).sum();
+    let search = SearchEffort {
+        cells: report.cells.len(),
+        beam_width: report.beam_width,
+        candidates,
+        pruned,
+        prune_rate: if candidates + pruned > 0 {
+            pruned as f64 / (candidates + pruned) as f64
+        } else {
+            0.0
+        },
+        wall_secs: search_secs,
+        candidates_per_sec: candidates as f64 / search_secs,
+    };
+    eprintln!(
+        "search:  {} cells, {} candidates + {} pruned in {:.2} s \
+         (prune rate {:.1}%, {:.0} candidates/sec end to end)",
+        search.cells,
+        search.candidates,
+        search.pruned,
+        search.wall_secs,
+        search.prune_rate * 100.0,
+        search.candidates_per_sec,
+    );
+
+    let report = Report {
+        chip: CHIP.to_string(),
+        backend: backend.to_string(),
+        model: format!("{MODEL:?}"),
+        nodes: model.num_nodes(),
+        targets: model.targets().len(),
+        candidates_per_sec: batched.candidates_per_sec,
+        target_candidates_per_sec: TARGET_PER_SEC,
+        meets_target: batched.candidates_per_sec >= TARGET_PER_SEC,
+        batched_speedup: batched.candidates_per_sec / scalar.candidates_per_sec,
+        scalar,
+        batched,
+        search,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializes") + "\n";
+    match std::fs::write("BENCH_tune.json", &json) {
+        Ok(()) => eprintln!(
+            "wrote BENCH_tune.json ({:.0}k candidates/sec batched, \
+             {:.2}x over scalar, target {:.0}k: {})",
+            report.candidates_per_sec / 1e3,
+            report.batched_speedup,
+            TARGET_PER_SEC / 1e3,
+            if report.meets_target { "met" } else { "MISSED" },
+        ),
+        Err(e) => eprintln!("could not write BENCH_tune.json: {e}"),
+    }
+}

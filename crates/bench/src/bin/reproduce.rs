@@ -111,6 +111,7 @@ fn generator_for(which: &str) -> Option<fn() -> String> {
         "extensions" => Some(mlperf_bench::extensions_report),
         "power" => Some(mlperf_bench::power_report),
         "fleet" => Some(mlperf_bench::fleet),
+        "tuning" => Some(mlperf_bench::tuning),
         _ => ARTIFACTS.iter().find(|(name, _)| *name == which).map(|&(_, f)| f),
     }
 }
@@ -277,7 +278,7 @@ fn usage_exit() -> ! {
          \x20      [--serve ADDR] [--serve-addr-file PATH] [--serve-hold-ms N]\n\
          \x20      reproduce explain <trace.json>\n\
          artifacts: table1 table2 table3 table4 figure6 figure7 offline laptop \
-         codepaths scenarios insights ablations endtoend extensions power fleet all"
+         codepaths scenarios insights ablations endtoend extensions power fleet tuning all"
     );
     std::process::exit(2);
 }

@@ -579,6 +579,22 @@ pub fn fleet() -> String {
         .expect("catalog submission paths compile")
 }
 
+/// The scheduling-gap artifact (`reproduce tuning`): the schedule
+/// auto-tuner run over every catalog chip's submission cells under both
+/// the latency and the energy objective, reporting heuristic-vs-optimal
+/// gaps per (chip, backend, model) — a quantified extension of the
+/// paper's Insights 2–5 about vendor-SDK scheduling advantages.
+///
+/// Byte-identical regardless of `MLPERF_WORKERS` — `make tune` diffs
+/// this text across worker counts. Deliberately not part of
+/// [`all_reports`], so `reproduce all` goldens are unaffected.
+#[must_use]
+pub fn tuning() -> String {
+    let config = mlperf_mobile::tuning::TuningConfig::new();
+    mlperf_mobile::tuning::tuning_report_text(cache(), &config)
+        .expect("catalog submission paths compile")
+}
+
 /// Every reproduction artifact, concatenated (the `reproduce all` output).
 #[must_use]
 pub fn all_reports() -> String {

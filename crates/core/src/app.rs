@@ -9,6 +9,7 @@ use std::sync::Arc;
 use crate::sut_impl::DatasetScale;
 use crate::task::{SuiteVersion, Task};
 use mobile_backend::backend::{BackendId, CompileError};
+use mobile_backend::tune::TunerConfig;
 use serde::{Deserialize, Serialize};
 use soc_sim::catalog::ChipId;
 
@@ -95,6 +96,10 @@ pub struct AppConfig {
     /// Whether to also run the server and multi-stream scenario searches
     /// for classification — the full four-scenario matrix.
     pub scenario_matrix: bool,
+    /// When set, every run uses the schedule auto-tuner: per-op engine
+    /// assignments are searched (beam + branch-and-bound) instead of
+    /// taking the backend's heuristic schedule as-is.
+    pub tuner: Option<TunerConfig>,
 }
 
 impl Default for AppConfig {
@@ -103,6 +108,7 @@ impl Default for AppConfig {
             rules: RunRules::default(),
             offline_classification: true,
             scenario_matrix: false,
+            tuner: None,
         }
     }
 }
@@ -194,7 +200,7 @@ mod tests {
 
     #[test]
     fn report_json_round_trips_with_logs() {
-        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: false, scenario_matrix: false };
+        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: false, scenario_matrix: false, tuner: None };
         let report = run_suite(
             ChipId::Dimensity1100,
             SuiteVersion::V1_0,
@@ -217,6 +223,7 @@ mod tests {
             rules: RunRules::smoke_test(),
             offline_classification: true,
             scenario_matrix: false,
+            tuner: None,
         };
         let report =
             run_suite(ChipId::Exynos2100, SuiteVersion::V1_0, &config, DatasetScale::Reduced(48))
@@ -232,7 +239,7 @@ mod tests {
 
     #[test]
     fn traced_suite_is_bit_identical_and_traces_validate() {
-        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true, scenario_matrix: false };
+        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true, scenario_matrix: false, tuner: None };
         let chip = ChipId::Dimensity1100;
         let scale = DatasetScale::Reduced(32);
         let plain = run_suite(chip, SuiteVersion::V1_0, &config, scale).unwrap();
@@ -253,6 +260,7 @@ mod tests {
             rules: RunRules::smoke_test(),
             offline_classification: false,
             scenario_matrix: false,
+            tuner: None,
         };
         let report = run_suite(
             ChipId::CoreI7_1165G7,

@@ -22,6 +22,7 @@ use mlperf_mobile::runner::CompileCache;
 use mlperf_mobile::report::format_report;
 use mlperf_mobile::sut_impl::DatasetScale;
 use mlperf_mobile::task::SuiteVersion;
+use mobile_backend::tune::TunerConfig;
 use soc_sim::catalog::ChipId;
 use std::process::ExitCode;
 
@@ -42,6 +43,7 @@ fn usage() -> &'static str {
      \u{20}                       [--scale <n>|full] [--offline] [--scenarios]\n\
      \u{20}                       [--ambient <degC>] [--battery <0..1>]\n\
      \u{20}                       [--fleet <n>] [--fleet-seed <s>]\n\
+     \u{20}                       [--tune [latency|energy]]\n\
      \n\
      --list       print the device catalog and exit\n\
      --chip       device slug (default dimensity-1100)\n\
@@ -57,7 +59,11 @@ fn usage() -> &'static str {
      \u{20}             population of <n> devices across the whole catalog\n\
      \u{20}             and report population latency/energy percentiles\n\
      --fleet-seed sampling seed for --fleet (default 7); the report is\n\
-     \u{20}             byte-identical for a given seed and size"
+     \u{20}             byte-identical for a given seed and size\n\
+     --tune       auto-tune every schedule before running: beam search\n\
+     \u{20}             with branch-and-bound pruning over per-op engine\n\
+     \u{20}             assignments, seeded with the vendor heuristic\n\
+     \u{20}             (objective defaults to latency)"
 }
 
 fn main() -> ExitCode {
@@ -70,6 +76,7 @@ fn main() -> ExitCode {
     let mut rules = RunRules::default();
     let mut fleet: Option<u64> = None;
     let mut fleet_seed = 7u64;
+    let mut tuner: Option<TunerConfig> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -172,6 +179,25 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--tune" => {
+                // The objective argument is optional: a following word
+                // that is not a flag selects it, default latency.
+                tuner = Some(match args.get(i + 1).map(String::as_str) {
+                    Some("latency") => {
+                        i += 1;
+                        TunerConfig::latency()
+                    }
+                    Some("energy") => {
+                        i += 1;
+                        TunerConfig::energy()
+                    }
+                    Some(word) if !word.starts_with("--") => {
+                        eprintln!("--tune takes 'latency' or 'energy'");
+                        return ExitCode::from(2);
+                    }
+                    _ => TunerConfig::latency(),
+                });
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -210,7 +236,13 @@ fn main() -> ExitCode {
             rules.ambient_c
         );
     }
-    let config = AppConfig { rules, offline_classification: offline, scenario_matrix: scenarios };
+    let config = AppConfig { rules, offline_classification: offline, scenario_matrix: scenarios, tuner };
+    if let Some(cfg) = &tuner {
+        println!(
+            "schedule auto-tuning enabled: {} objective, beam width {}",
+            cfg.objective, cfg.beam_width
+        );
+    }
     println!("running MLPerf Mobile {version} on {chip} ...");
     match run_suite(chip, version, &config, scale) {
         Ok(report) => {

@@ -23,6 +23,9 @@
 //! - [`fleet`]: fleet-scale population sweeps — millions of sampled
 //!   field devices streamed through the batched lockstep executor into
 //!   sharded percentile histograms,
+//! - [`tuning`]: the heuristic-vs-optimal scheduling-gap artifact —
+//!   the schedule auto-tuner run over the benchmark matrix, quantifying
+//!   what vendor placement heuristics leave on the table,
 //! - [`audit`]: submission validation and independent reproduction
 //!   (Section 6.2),
 //! - [`related`]: the Table 4 comparison matrix,
@@ -65,6 +68,7 @@ pub mod sim_infer;
 pub mod submission;
 pub mod sut_impl;
 pub mod task;
+pub mod tuning;
 
 pub use app::{run_suite, run_suite_traced, submission_backend, AppConfig, SuiteReport};
 pub use ai_tax::{host_stage_time, EndToEndSut};
@@ -87,3 +91,4 @@ pub use profile::{
 pub use runner::{par_map, CompileCache, RunSpec, SuiteRunner};
 pub use sut_impl::{BatchDeviceSut, DatasetScale, DeviceSut, Prediction, TaskData};
 pub use task::{suite, BenchmarkDef, SuiteVersion, Task};
+pub use tuning::{render_tuning_report, run_tuning, tuning_report_text, TuningConfig, TuningReport};

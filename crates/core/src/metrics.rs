@@ -64,6 +64,14 @@ pub struct MetricsSnapshot {
     pub throttled_queries: u64,
     /// Transitions into throttling along traced span timelines.
     pub throttle_events: u64,
+    /// Tuned-schedule lookups answered from the tuned compile cache.
+    pub tuned_hits: usize,
+    /// Tuned-schedule lookups that ran the auto-tuner search.
+    pub tuned_misses: usize,
+    /// Complete schedule candidates exactly evaluated by the auto-tuner.
+    pub tuner_candidates: u64,
+    /// Partial assignments eliminated by the tuner's admissible bound.
+    pub tuner_pruned: u64,
 }
 
 impl MetricsSnapshot {
@@ -91,6 +99,10 @@ impl MetricsSnapshot {
             queries_issued: self.queries_issued.saturating_sub(earlier.queries_issued),
             throttled_queries: self.throttled_queries.saturating_sub(earlier.throttled_queries),
             throttle_events: self.throttle_events.saturating_sub(earlier.throttle_events),
+            tuned_hits: self.tuned_hits.saturating_sub(earlier.tuned_hits),
+            tuned_misses: self.tuned_misses.saturating_sub(earlier.tuned_misses),
+            tuner_candidates: self.tuner_candidates.saturating_sub(earlier.tuner_candidates),
+            tuner_pruned: self.tuner_pruned.saturating_sub(earlier.tuner_pruned),
         }
     }
 }
@@ -112,6 +124,10 @@ pub struct MetricsRegistry {
     queries_issued: AtomicU64,
     throttled_queries: AtomicU64,
     throttle_events: AtomicU64,
+    tuned_hits: AtomicUsize,
+    tuned_misses: AtomicUsize,
+    tuner_candidates: AtomicU64,
+    tuner_pruned: AtomicU64,
     spec_wall: Mutex<Vec<SpecTiming>>,
 }
 
@@ -174,6 +190,23 @@ impl MetricsRegistry {
         self.throttle_events.fetch_add(throttle_events, Ordering::Relaxed);
     }
 
+    /// Records one tuned-schedule cache hit.
+    pub fn record_tuned_hit(&self) {
+        self.tuned_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one tuned-schedule cache miss (a real tuner search).
+    pub fn record_tuned_miss(&self) {
+        self.tuned_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed tuner search: the complete candidates it
+    /// evaluated exactly and the partials its bound eliminated.
+    pub fn record_tuner_search(&self, candidates: u64, pruned: u64) {
+        self.tuner_candidates.fetch_add(candidates, Ordering::Relaxed);
+        self.tuner_pruned.fetch_add(pruned, Ordering::Relaxed);
+    }
+
     /// Records the wall-clock one run spec took.
     ///
     /// # Panics
@@ -208,6 +241,10 @@ impl MetricsRegistry {
             queries_issued: self.queries_issued.load(Ordering::Relaxed),
             throttled_queries: self.throttled_queries.load(Ordering::Relaxed),
             throttle_events: self.throttle_events.load(Ordering::Relaxed),
+            tuned_hits: self.tuned_hits.load(Ordering::Relaxed),
+            tuned_misses: self.tuned_misses.load(Ordering::Relaxed),
+            tuner_candidates: self.tuner_candidates.load(Ordering::Relaxed),
+            tuner_pruned: self.tuner_pruned.load(Ordering::Relaxed),
         }
     }
 
@@ -314,6 +351,11 @@ mod tests {
         r.record_plan_batch_run(32);
         r.record_fleet_shard(2048, 700);
         r.record_fleet_shard(1024, 300);
+        r.record_tuned_miss();
+        r.record_tuned_hit();
+        r.record_tuned_hit();
+        r.record_tuned_hit();
+        r.record_tuner_search(40, 900);
         let delta = r.snapshot().since(&before);
         assert_eq!(delta.compile_hits, 1);
         assert_eq!(delta.compile_misses, 0);
@@ -329,6 +371,10 @@ mod tests {
         assert_eq!(delta.queries_issued, 100);
         assert_eq!(delta.throttled_queries, 5);
         assert_eq!(delta.throttle_events, 1);
+        assert_eq!(delta.tuned_hits, 3);
+        assert_eq!(delta.tuned_misses, 1);
+        assert_eq!(delta.tuner_candidates, 40);
+        assert_eq!(delta.tuner_pruned, 900);
     }
 
     #[test]

@@ -138,6 +138,34 @@ pub fn prometheus_exposition(snap: &MetricsSnapshot, timings: &[SpecTiming]) -> 
         "counter",
         snap.throttle_events,
     );
+    sample(
+        &mut out,
+        "mlperf_tuned_cache_hits_total",
+        "Tuned-schedule lookups answered from the tuned compile cache.",
+        "counter",
+        snap.tuned_hits,
+    );
+    sample(
+        &mut out,
+        "mlperf_tuned_cache_misses_total",
+        "Tuned-schedule lookups that ran the auto-tuner search.",
+        "counter",
+        snap.tuned_misses,
+    );
+    sample(
+        &mut out,
+        "mlperf_tuner_candidates_total",
+        "Complete schedule candidates exactly evaluated by the auto-tuner.",
+        "counter",
+        snap.tuner_candidates,
+    );
+    sample(
+        &mut out,
+        "mlperf_tuner_pruned_total",
+        "Partial assignments eliminated by the tuner's admissible bound.",
+        "counter",
+        snap.tuner_pruned,
+    );
     if !timings.is_empty() {
         header(&mut out, "mlperf_spec_wall_ms", "Host wall-clock one run spec took.", "gauge");
         for t in timings {
@@ -254,6 +282,10 @@ mod tests {
             queries_issued: 128,
             throttled_queries: 5,
             throttle_events: 2,
+            tuned_hits: 11,
+            tuned_misses: 4,
+            tuner_candidates: 256,
+            tuner_pruned: 7000,
         };
         let timings = vec![
             SpecTiming { label: "a/cls".into(), wall_ms: 1.5 },
@@ -268,6 +300,9 @@ mod tests {
         assert!(text.contains("mlperf_plan_batch_lanes_executed_total 512"));
         assert!(text.contains("mlperf_fleet_devices_simulated_total 4096"));
         assert!(text.contains("mlperf_fleet_lanes_deduped_total 300"));
+        assert!(text.contains("mlperf_tuned_cache_hits_total 11"));
+        assert!(text.contains("mlperf_tuner_candidates_total 256"));
+        assert!(text.contains("mlperf_tuner_pruned_total 7000"));
         for name in [
             "mlperf_compile_cache_hits_total",
             "mlperf_compile_cache_misses_total",
@@ -283,6 +318,10 @@ mod tests {
             "mlperf_queries_issued_total",
             "mlperf_throttled_queries_total",
             "mlperf_throttle_events_total",
+            "mlperf_tuned_cache_hits_total",
+            "mlperf_tuned_cache_misses_total",
+            "mlperf_tuner_candidates_total",
+            "mlperf_tuner_pruned_total",
             "mlperf_spec_wall_ms",
         ] {
             assert!(text.contains(&format!("# HELP {name} ")), "{name}");

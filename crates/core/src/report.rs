@@ -213,7 +213,7 @@ mod tests {
 
     #[test]
     fn report_mentions_every_task() {
-        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: false, scenario_matrix: false };
+        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: false, scenario_matrix: false, tuner: None };
         let report = run_suite(
             ChipId::Snapdragon888,
             SuiteVersion::V1_0,
@@ -230,7 +230,7 @@ mod tests {
 
     #[test]
     fn detail_view_covers_fig8_fields() {
-        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true, scenario_matrix: false };
+        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true, scenario_matrix: false, tuner: None };
         let report = run_suite(
             ChipId::Exynos2100,
             SuiteVersion::V1_0,
@@ -252,6 +252,7 @@ mod tests {
             rules: RunRules::smoke_test(),
             offline_classification: true,
             scenario_matrix: true,
+            tuner: None,
         };
         let report = run_suite(
             ChipId::Dimensity1100,
@@ -277,7 +278,7 @@ mod tests {
     #[test]
     fn trace_summary_lists_cells() {
         use crate::app::run_suite_traced;
-        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true, scenario_matrix: false };
+        let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true, scenario_matrix: false, tuner: None };
         let (_, traces) = run_suite_traced(
             ChipId::Snapdragon888,
             SuiteVersion::V1_0,

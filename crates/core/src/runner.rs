@@ -34,6 +34,7 @@ use crate::sut_impl::{DatasetScale, PlannedDeployment};
 use crate::task::{suite, BenchmarkDef, SuiteVersion, Task};
 use mobile_backend::backend::{BackendId, CompileError, Deployment};
 use mobile_backend::registry::create;
+use mobile_backend::tune::{tune, TuneOutcome, TunerConfig};
 use nn_graph::models::ModelId;
 use soc_sim::catalog::ChipId;
 use soc_sim::plan::SweepPlan;
@@ -55,10 +56,13 @@ pub struct CompileCache {
     deployments: Mutex<HashMap<DeploymentKey, CompileOutcome>>,
     plans: Mutex<HashMap<DeploymentKey, PlannedDeployment>>,
     sweeps: Mutex<HashMap<DeploymentKey, Arc<SweepPlan>>>,
+    tuned: Mutex<HashMap<TunedKey, Arc<TunedDeployment>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     plan_hits: AtomicUsize,
     plan_misses: AtomicUsize,
+    tuned_hits: AtomicUsize,
+    tuned_misses: AtomicUsize,
 }
 
 /// Identity of one compiled deployment.
@@ -66,6 +70,26 @@ type DeploymentKey = (ChipId, BackendId, ModelId);
 
 /// A memoized compile result — failures are first-class cache entries.
 type CompileOutcome = Result<Arc<Deployment>, CompileError>;
+
+/// Identity of one auto-tuned deployment: the compile triple plus the
+/// tuner configuration that searched it (different objectives or beam
+/// widths may land on different schedules).
+type TunedKey = (ChipId, BackendId, ModelId, TunerConfig);
+
+/// An auto-tuned deployment: the search outcome (gap numbers, search
+/// statistics) together with the re-planned deployment that runs the
+/// tuned schedule.
+#[derive(Debug)]
+pub struct TunedDeployment {
+    /// What the search found: heuristic vs tuned scores and statistics.
+    pub outcome: TuneOutcome,
+    /// The heuristic deployment with its schedule replaced by the tuned
+    /// one (the compiled graph and backend identity are shared).
+    pub deployment: Arc<Deployment>,
+    /// The tuned deployment lowered to query + offline plans, ready for
+    /// the harness.
+    pub planned: PlannedDeployment,
+}
 
 impl CompileCache {
     /// An empty cache.
@@ -228,6 +252,61 @@ impl CompileCache {
         Ok(Arc::clone(self.sweeps.lock().unwrap().entry(key).or_insert(sweep)))
     }
 
+    /// The auto-tuned deployment for a `(chip, backend, model)` triple
+    /// under a [`TunerConfig`]: runs the beam/branch-and-bound schedule
+    /// search ([`mobile_backend::tune::tune`]) seeded with the backend's
+    /// heuristic schedule, at most once per `(triple, config)` key, and
+    /// memoizes the re-planned result. Lookups count into the tuned-cache
+    /// metrics; each search records its candidate/prune counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's (cached) compile failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking worker, or
+    /// if the backend emitted an invalid schedule (backends never do).
+    pub fn tuned(
+        &self,
+        chip: ChipId,
+        backend: BackendId,
+        model: ModelId,
+        config: &TunerConfig,
+    ) -> Result<Arc<TunedDeployment>, CompileError> {
+        let key = (chip, backend, model, *config);
+        if let Some(cached) = self.tuned.lock().unwrap().get(&key) {
+            self.tuned_hits.fetch_add(1, Ordering::Relaxed);
+            metrics().record_tuned_hit();
+            return Ok(Arc::clone(cached));
+        }
+        self.tuned_misses.fetch_add(1, Ordering::Relaxed);
+        metrics().record_tuned_miss();
+        let deployment = self.deployment(chip, backend, model)?;
+        let _span = crate::obs::span::span(crate::obs::span::Phase::Plan, || {
+            format!("tune/{chip}/{backend}/{model:?}")
+        });
+        let soc = self.soc(chip);
+        // Search and re-plan outside the cache lock; racing workers
+        // produce identical outcomes, first insert wins.
+        let outcome = tune(&soc, &deployment.graph, &deployment.schedule, config);
+        metrics().record_tuner_search(outcome.stats.candidates, outcome.stats.pruned);
+        let mut tuned_dep = (*deployment).clone();
+        // Offline runs reuse the single-stream schedule whenever the
+        // backend didn't compile a dedicated offline stream; keep that
+        // coupling for the tuned deployment.
+        for stream in &mut tuned_dep.offline_streams {
+            if *stream == deployment.schedule {
+                stream.clone_from(&outcome.schedule);
+            }
+        }
+        tuned_dep.schedule = outcome.schedule.clone();
+        let tuned_dep = Arc::new(tuned_dep);
+        let planned = PlannedDeployment::compile(&soc, Arc::clone(&tuned_dep));
+        let entry = Arc::new(TunedDeployment { outcome, deployment: tuned_dep, planned });
+        Ok(Arc::clone(self.tuned.lock().unwrap().entry(key).or_insert(entry)))
+    }
+
     /// Number of deployment lookups answered from the cache.
     #[must_use]
     pub fn hits(&self) -> usize {
@@ -250,6 +329,18 @@ impl CompileCache {
     #[must_use]
     pub fn plan_misses(&self) -> usize {
         self.plan_misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of tuned-deployment lookups answered from the cache.
+    #[must_use]
+    pub fn tuned_hits(&self) -> usize {
+        self.tuned_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of tuned-deployment lookups that ran the schedule search.
+    #[must_use]
+    pub fn tuned_misses(&self) -> usize {
+        self.tuned_misses.load(Ordering::Relaxed)
     }
 }
 
@@ -366,6 +457,9 @@ pub struct RunSpec {
     pub def: BenchmarkDef,
     /// Scenarios to run after the mandatory single-stream leg.
     pub mix: ScenarioMix,
+    /// When set, run on the auto-tuned schedule for this config instead
+    /// of the backend's heuristic schedule.
+    pub tuner: Option<TunerConfig>,
 }
 
 impl RunSpec {
@@ -389,6 +483,7 @@ impl RunSpec {
                         multi_stream: config.scenario_matrix && classification,
                     },
                     def,
+                    tuner: config.tuner,
                 }
             })
             .collect()
@@ -479,7 +574,11 @@ impl SuiteRunner {
         scale: DatasetScale,
     ) -> Vec<Result<BenchmarkScore, CompileError>> {
         par_map(specs, self.threads, |spec| {
-            let planned = self.cache.planned(spec.chip, spec.backend, spec.def.model)?;
+            let planned = if let Some(cfg) = &spec.tuner {
+                self.cache.tuned(spec.chip, spec.backend, spec.def.model, cfg)?.planned.clone()
+            } else {
+                self.cache.planned(spec.chip, spec.backend, spec.def.model)?
+            };
             let soc = self.cache.soc(spec.chip);
             let started = std::time::Instant::now();
             let score = if let Some(sink) = &self.trace_sink {

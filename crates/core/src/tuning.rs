@@ -1,0 +1,334 @@
+//! The heuristic-vs-optimal scheduling-gap artifact.
+//!
+//! The paper's backends place ops with vendor heuristics (Section 5 and
+//! Figure 5: each SDK decides which partition runs on which engine).
+//! This module quantifies what those heuristics leave on the table: for
+//! every `(chip, submission backend, model)` cell of the benchmark
+//! matrix it runs the schedule auto-tuner
+//! ([`mobile_backend::tune::tune`] — beam search with branch-and-bound
+//! pruning over the per-op engine-assignment space) under both the
+//! latency and the energy objective, and reports the tuned scores next
+//! to the heuristic's, with the relative gap.
+//!
+//! # Determinism contract
+//!
+//! For a fixed [`TuningConfig`] (minus `threads`) the report is
+//! byte-identical regardless of worker count: every cell is a pure
+//! function of `(chip, backend, model, tuner config)`, the cell list is
+//! built serially in catalog order, [`par_map`] merges in item order,
+//! and the report carries no wall-clock. `make tune` holds this as a
+//! byte-diff across `MLPERF_WORKERS` settings, and
+//! `tests/golden/v1_0_tuning.json` locks the full v1.0 gap table at
+//! zero ULPs.
+
+use crate::app::submission_backend;
+use crate::report::render_table;
+use crate::runner::{default_threads, par_map, CompileCache};
+use crate::task::{suite, SuiteVersion};
+use mobile_backend::backend::CompileError;
+use mobile_backend::tune::{Objective, TunerConfig};
+use serde::Serialize;
+use soc_sim::catalog::{ChipId, Generation};
+
+/// Which cells to tune and how hard to search. Results depend on every
+/// field except `threads`, which only changes wall-clock.
+#[derive(Debug, Clone)]
+pub struct TuningConfig {
+    /// Chips to cover; each contributes its generation's suite tasks on
+    /// its per-task submission backend.
+    pub chips: Vec<ChipId>,
+    /// Beam width for the search (`usize::MAX` = exact branch-and-bound).
+    pub beam_width: usize,
+    /// Worker threads; affects wall-clock only.
+    pub threads: usize,
+}
+
+impl Default for TuningConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TuningConfig {
+    /// The full catalog at the default beam width.
+    #[must_use]
+    pub fn new() -> Self {
+        TuningConfig {
+            chips: ChipId::ALL.to_vec(),
+            beam_width: TunerConfig::latency().beam_width,
+            threads: default_threads(),
+        }
+    }
+}
+
+/// One tuned cell of the gap table: a `(chip, backend, model)` triple
+/// searched under one objective.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TuningCell {
+    /// Platform.
+    pub chip: String,
+    /// Code path.
+    pub backend: String,
+    /// Reference model.
+    pub model: String,
+    /// Search objective (`latency` or `energy`).
+    pub objective: String,
+    /// Heuristic single-stream latency, ms.
+    pub heuristic_ms: f64,
+    /// Tuned single-stream latency, ms (of the schedule the search
+    /// picked for this objective).
+    pub tuned_ms: f64,
+    /// Heuristic active compute energy, mJ.
+    pub heuristic_mj: f64,
+    /// Tuned active compute energy, mJ.
+    pub tuned_mj: f64,
+    /// Relative improvement on the objective, percent
+    /// (`(heuristic - tuned) / heuristic * 100`); `0.0` when the
+    /// heuristic was already optimal at this beam width.
+    pub gap_pct: f64,
+    /// Stage count of the heuristic schedule.
+    pub stages_before: usize,
+    /// Stage count of the tuned schedule.
+    pub stages_after: usize,
+    /// Engine transitions in the heuristic schedule.
+    pub transitions_before: usize,
+    /// Engine transitions in the tuned schedule.
+    pub transitions_after: usize,
+    /// Distinct `(engine, dtype)` targets in the search space.
+    pub num_targets: usize,
+    /// Complete candidates the search scored exactly.
+    pub candidates: u64,
+    /// Partial assignments eliminated by the branch-and-bound lower
+    /// bound.
+    pub pruned: u64,
+    /// Whether the tuner strictly beat the heuristic.
+    pub improved: bool,
+}
+
+/// The full gap table: every configured cell under both objectives.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TuningReport {
+    /// Beam width the searches ran at.
+    pub beam_width: usize,
+    /// Cells in catalog order (chip, task, objective — latency first).
+    pub cells: Vec<TuningCell>,
+}
+
+impl TuningReport {
+    /// Cells where the tuner strictly beat the vendor heuristic.
+    #[must_use]
+    pub fn improved_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.improved).count()
+    }
+
+    /// The largest relative gap found, percent.
+    #[must_use]
+    pub fn max_gap_pct(&self) -> f64 {
+        self.cells.iter().map(|c| c.gap_pct).fold(0.0, f64::max)
+    }
+
+    /// Canonical JSON form (the golden-artifact encoding).
+    ///
+    /// # Panics
+    ///
+    /// Serialization of a report cannot fail.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// The suite version a chip's submission cells belong to.
+fn suite_version(chip: ChipId) -> SuiteVersion {
+    match chip.generation() {
+        Generation::V0_7 => SuiteVersion::V0_7,
+        Generation::V1_0 => SuiteVersion::V1_0,
+    }
+}
+
+/// Runs the tuner over every configured cell and collects the gap table.
+///
+/// # Errors
+///
+/// Returns the first compile failure among the configured chips'
+/// submission paths (the catalog's own submission pairs always compile).
+pub fn run_tuning(cache: &CompileCache, config: &TuningConfig) -> Result<TuningReport, CompileError> {
+    // The work list is built serially so cell order never depends on the
+    // worker count.
+    let mut work = Vec::new();
+    for &chip in &config.chips {
+        let version = suite_version(chip);
+        for def in suite(version) {
+            let backend = submission_backend(chip, version, def.task);
+            for objective in [Objective::Latency, Objective::Energy] {
+                work.push((chip, backend, def.model, objective));
+            }
+        }
+    }
+    let tuner_of = |objective| TunerConfig {
+        objective,
+        beam_width: config.beam_width,
+    };
+    let cells: Result<Vec<TuningCell>, CompileError> =
+        par_map(&work, config.threads, |&(chip, backend, model, objective)| {
+            let tuned = cache.tuned(chip, backend, model, &tuner_of(objective))?;
+            let heuristic_schedule = &cache.deployment(chip, backend, model)?.schedule;
+            let outcome = &tuned.outcome;
+            let (before, after) = match objective {
+                Objective::Latency => {
+                    (outcome.heuristic.latency_secs, outcome.tuned.latency_secs)
+                }
+                Objective::Energy => (outcome.heuristic.energy_j, outcome.tuned.energy_j),
+            };
+            let gap_pct = if before > 0.0 { (before - after) / before * 100.0 } else { 0.0 };
+            Ok(TuningCell {
+                chip: chip.to_string(),
+                backend: backend.to_string(),
+                model: format!("{model:?}"),
+                objective: objective.to_string(),
+                heuristic_ms: outcome.heuristic.latency_secs * 1e3,
+                tuned_ms: outcome.tuned.latency_secs * 1e3,
+                heuristic_mj: outcome.heuristic.energy_j * 1e3,
+                tuned_mj: outcome.tuned.energy_j * 1e3,
+                gap_pct,
+                stages_before: heuristic_schedule.stages.len(),
+                stages_after: outcome.schedule.stages.len(),
+                transitions_before: heuristic_schedule.num_transitions(),
+                transitions_after: outcome.schedule.num_transitions(),
+                num_targets: outcome.num_targets,
+                candidates: outcome.stats.candidates,
+                pruned: outcome.stats.pruned,
+                improved: outcome.improved,
+            })
+        })
+        .into_iter()
+        .collect();
+    Ok(TuningReport { beam_width: config.beam_width, cells: cells? })
+}
+
+/// Renders the gap table plus a summary of the search effort. Pure
+/// function of the report — byte-stable for a fixed config.
+#[must_use]
+pub fn render_tuning_report(report: &TuningReport) -> String {
+    use std::fmt::Write as _;
+    let header = [
+        "Chip",
+        "Path",
+        "Objective",
+        "Heuristic",
+        "Tuned",
+        "Gap %",
+        "Stages",
+        "Transitions",
+        "Candidates",
+        "Pruned",
+    ];
+    let rows: Vec<Vec<String>> = report
+        .cells
+        .iter()
+        .map(|cell| {
+            let (before, after, unit) = if cell.objective == "latency" {
+                (cell.heuristic_ms, cell.tuned_ms, "ms")
+            } else {
+                (cell.heuristic_mj, cell.tuned_mj, "mJ")
+            };
+            vec![
+                cell.chip.clone(),
+                format!("{}/{}", cell.backend, cell.model),
+                cell.objective.clone(),
+                format!("{before:.4} {unit}"),
+                format!("{after:.4} {unit}"),
+                if cell.improved { format!("{:.2}", cell.gap_pct) } else { "-".to_owned() },
+                format!("{} -> {}", cell.stages_before, cell.stages_after),
+                format!("{} -> {}", cell.transitions_before, cell.transitions_after),
+                cell.candidates.to_string(),
+                cell.pruned.to_string(),
+            ]
+        })
+        .collect();
+    let mut text = format!(
+        "Schedule auto-tuning gap table - beam width {}, {} cells\n{}",
+        report.beam_width,
+        report.cells.len(),
+        render_table(&header, &rows),
+    );
+    let candidates: u64 = report.cells.iter().map(|c| c.candidates).sum();
+    let pruned: u64 = report.cells.iter().map(|c| c.pruned).sum();
+    let _ = writeln!(
+        text,
+        "tuner beat the vendor heuristic in {} of {} cells (max gap {:.2}%); \
+         {} candidates scored, {} partials pruned",
+        report.improved_cells(),
+        report.cells.len(),
+        report.max_gap_pct(),
+        candidates,
+        pruned,
+    );
+    text
+}
+
+/// [`run_tuning`] + [`render_tuning_report`] in one call — the
+/// `reproduce tuning` artifact body.
+///
+/// # Errors
+///
+/// Returns the first compile failure among the configured chips.
+pub fn tuning_report_text(
+    cache: &CompileCache,
+    config: &TuningConfig,
+) -> Result<String, CompileError> {
+    Ok(render_tuning_report(&run_tuning(cache, config)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(threads: usize) -> TuningConfig {
+        let mut config = TuningConfig::new();
+        config.chips = vec![ChipId::Dimensity1100, ChipId::Snapdragon888];
+        config.threads = threads;
+        config
+    }
+
+    /// The gap table is byte-identical across worker counts — the same
+    /// contract `make tune` holds for the full artifact.
+    #[test]
+    fn report_is_bit_identical_across_worker_counts() {
+        let serial = run_tuning(&CompileCache::new(), &small_config(1)).unwrap();
+        let wide = run_tuning(&CompileCache::new(), &small_config(8)).unwrap();
+        assert_eq!(serial.to_json(), wide.to_json());
+        assert_eq!(render_tuning_report(&serial), render_tuning_report(&wide));
+    }
+
+    /// Tuned scores never regress the heuristic on the search objective,
+    /// and every cell's search did real work.
+    #[test]
+    fn no_cell_regresses_its_objective() {
+        let report = run_tuning(&CompileCache::new(), &small_config(4)).unwrap();
+        assert!(!report.cells.is_empty());
+        for cell in &report.cells {
+            let (before, after) = if cell.objective == "latency" {
+                (cell.heuristic_ms, cell.tuned_ms)
+            } else {
+                (cell.heuristic_mj, cell.tuned_mj)
+            };
+            assert!(after <= before, "{}/{} regressed {}", cell.chip, cell.model, cell.objective);
+            assert!(cell.gap_pct >= 0.0);
+            assert!(cell.candidates > 0, "{}/{} scored no candidates", cell.chip, cell.model);
+        }
+    }
+
+    /// The tuned cache answers repeat lookups without re-searching.
+    #[test]
+    fn tuned_cache_memoizes_across_report_runs() {
+        let cache = CompileCache::new();
+        let config = small_config(2);
+        let first = run_tuning(&cache, &config).unwrap();
+        let misses_after_first = cache.tuned_misses();
+        let second = run_tuning(&cache, &config).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(cache.tuned_misses(), misses_after_first, "second run must be all hits");
+        assert!(cache.tuned_hits() >= first.cells.len());
+    }
+}

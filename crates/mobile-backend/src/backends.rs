@@ -28,11 +28,14 @@ use soc_sim::executor::estimate_query_secs;
 use soc_sim::soc::Soc;
 
 /// Per-stage synchronization overhead of the NNAPI HAL hop, µs.
-pub const NNAPI_SYNC_US: f64 = 40.0;
+/// Aliases the documented table in [`crate::penalty`].
+pub const NNAPI_SYNC_US: f64 = crate::penalty::NNAPI.sync_us;
 /// One-time per-query NNAPI HAL request-setup overhead, µs.
-pub const NNAPI_QUERY_US: f64 = 190.0;
+/// Aliases the documented table in [`crate::penalty`].
+pub const NNAPI_QUERY_US: f64 = crate::penalty::NNAPI.query_us;
 /// Per-stage synchronization overhead of vendor/delegate paths, µs.
-pub const VENDOR_SYNC_US: f64 = 10.0;
+/// Aliases the documented table in [`crate::penalty`].
+pub const VENDOR_SYNC_US: f64 = crate::penalty::VENDOR.sync_us;
 
 fn first_accelerator(soc: &Soc) -> Option<EngineId> {
     soc.engines()

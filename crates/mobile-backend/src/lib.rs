@@ -27,10 +27,14 @@ pub mod backend;
 pub mod backends;
 pub mod optimize;
 pub mod partition;
+pub mod penalty;
 pub mod registry;
+pub mod tune;
 
 pub use backend::{Backend, BackendId, CompileError, Deployment};
 pub use backends::{DriverQuality, Enn, Neuron, Nnapi, OpenVino, Snpe, TfliteCpu, TfliteGpu};
 pub use optimize::{optimize, OptimizeStats};
 pub use partition::{partition, FallbackPolicy, PartitionPlan, Target};
+pub use penalty::TransitionPenalty;
 pub use registry::{available_backends, create, vendor_backend, ALL_BACKENDS};
+pub use tune::{exhaustive_optimum, search_model, tune, Objective, TuneOutcome, TuneStats, TunerConfig};

@@ -98,18 +98,21 @@ impl std::error::Error for PartitionError {}
 ///
 /// ```
 /// use mobile_backend::partition::{partition, FallbackPolicy, PartitionPlan, Target};
+/// use mobile_backend::penalty;
 /// use nn_graph::{graph::retype, models::ModelId, DataType};
 /// use soc_sim::{catalog::ChipId, engine::EngineKind};
 ///
 /// let soc = ChipId::Dimensity1100.build();
 /// let graph = retype(&ModelId::SsdMobileNetV2.build(), DataType::U8);
+/// // A vendor-SDK plan pays the direct-driver transition penalties from
+/// // the shared table in `mobile_backend::penalty`.
 /// let plan = PartitionPlan {
 ///     primary: Target { engine: soc.engine_of_kind(EngineKind::Npu).unwrap(), dtype: DataType::U8 },
 ///     fallbacks: vec![Target { engine: soc.cpu(), dtype: DataType::U8 }],
 ///     policy: FallbackPolicy::Merge { window: 2 },
 ///     primary_blocked: Vec::new(),
-///     sync_overhead_us: 10.0,
-///     query_overhead_us: 0.0,
+///     sync_overhead_us: penalty::VENDOR.sync_us,
+///     query_overhead_us: penalty::VENDOR.query_us,
 /// };
 /// let schedule = partition(&graph, &soc, &plan)?;
 /// // NMS cannot run on the NPU, so the schedule crosses to the CPU.

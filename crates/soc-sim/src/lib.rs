@@ -39,6 +39,7 @@ pub mod plan;
 pub mod plan_batch;
 pub mod power;
 pub mod schedule;
+pub mod search;
 pub mod soc;
 pub mod thermal;
 pub mod time;
@@ -53,6 +54,7 @@ pub use plan::{ExecMemo, OfflinePlan, QueryPlan, RateMemo, StreamPlan};
 pub use plan_batch::{BatchPlan, BatchState};
 pub use power::{EnergyMeter, EnergySnapshot};
 pub use schedule::{Schedule, ScheduleError, Stage};
+pub use search::{active_energy_j, CostModel, PartialAssign, SearchScore, SearchTarget};
 pub use soc::{InterconnectSpec, Soc, SocState};
 pub use thermal::{ThermalSpec, ThermalState};
 pub use time::{SimDuration, SimInstant};

@@ -31,6 +31,10 @@ const GOLDEN_PATH: &str =
 const SCENARIO_GOLDEN_PATH: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/v1_0_scenarios.json");
 
+/// Schedule-tuning goldens: the heuristic-vs-optimal gap table.
+const TUNING_GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/v1_0_tuning.json");
+
 /// One locked benchmark-matrix cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct GoldenCell {
@@ -69,7 +73,7 @@ impl GoldenCell {
 /// Runs the full v1.0 suite over every catalog chip with tracing on and
 /// distills each cell into its golden form.
 fn compute_cells() -> Vec<GoldenCell> {
-    let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true, scenario_matrix: false };
+    let config = AppConfig { rules: RunRules::smoke_test(), offline_classification: true, scenario_matrix: false, tuner: None };
     let sink = Arc::new(TraceCollector::new());
     let runner = SuiteRunner::new().with_trace(Arc::clone(&sink));
     let reports = runner
@@ -187,6 +191,136 @@ fn compute_scenario_cells() -> Vec<ScenarioGoldenCell> {
     }
     cells.sort_by_key(ScenarioGoldenCell::label);
     cells
+}
+
+/// One locked schedule-tuning cell: what the auto-tuner found for a
+/// (chip, backend, model, objective) cell, scores at exact bits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TuningGoldenCell {
+    /// Chip name.
+    chip: String,
+    /// Backend the submission rules select.
+    backend: String,
+    /// Reference model.
+    model: String,
+    /// Search objective (`latency` or `energy`).
+    objective: String,
+    /// Heuristic single-stream latency, ms (human-readable copy).
+    heuristic_ms: f64,
+    /// Exact bits of `heuristic_ms` — the 0-ULP lock.
+    heuristic_ms_bits: u64,
+    /// Tuned single-stream latency, ms.
+    tuned_ms: f64,
+    /// Exact bits of `tuned_ms`.
+    tuned_ms_bits: u64,
+    /// Heuristic active compute energy, mJ.
+    heuristic_mj: f64,
+    /// Exact bits of `heuristic_mj`.
+    heuristic_mj_bits: u64,
+    /// Tuned active compute energy, mJ.
+    tuned_mj: f64,
+    /// Exact bits of `tuned_mj`.
+    tuned_mj_bits: u64,
+    /// Relative improvement on the objective, percent.
+    gap_pct: f64,
+    /// Exact bits of `gap_pct`.
+    gap_pct_bits: u64,
+    /// Complete candidates the search scored exactly.
+    candidates: u64,
+    /// Partials eliminated by the branch-and-bound bound.
+    pruned: u64,
+    /// Whether the tuner strictly beat the vendor heuristic.
+    improved: bool,
+}
+
+impl TuningGoldenCell {
+    fn label(&self) -> String {
+        format!("{}/{}/{}/{}", self.chip, self.backend, self.model, self.objective)
+    }
+}
+
+/// Runs the auto-tuner over the full catalog gap table (the
+/// `reproduce tuning` matrix) and distills each cell into golden form.
+fn compute_tuning_cells() -> Vec<TuningGoldenCell> {
+    let report = mlperf_mobile::tuning::run_tuning(
+        &CompileCache::new(),
+        &mlperf_mobile::tuning::TuningConfig::new(),
+    )
+    .expect("every submission backend compiles");
+    let mut cells: Vec<TuningGoldenCell> = report
+        .cells
+        .iter()
+        .map(|c| TuningGoldenCell {
+            chip: c.chip.clone(),
+            backend: c.backend.clone(),
+            model: c.model.clone(),
+            objective: c.objective.clone(),
+            heuristic_ms: c.heuristic_ms,
+            heuristic_ms_bits: c.heuristic_ms.to_bits(),
+            tuned_ms: c.tuned_ms,
+            tuned_ms_bits: c.tuned_ms.to_bits(),
+            heuristic_mj: c.heuristic_mj,
+            heuristic_mj_bits: c.heuristic_mj.to_bits(),
+            tuned_mj: c.tuned_mj,
+            tuned_mj_bits: c.tuned_mj.to_bits(),
+            gap_pct: c.gap_pct,
+            gap_pct_bits: c.gap_pct.to_bits(),
+            candidates: c.candidates,
+            pruned: c.pruned,
+            improved: c.improved,
+        })
+        .collect();
+    cells.sort_by_key(TuningGoldenCell::label);
+    cells
+}
+
+/// Bit-exact comparison for the tuning goldens, one readable line per
+/// divergence (empty = pass).
+fn diff_tuning_cells(expected: &[TuningGoldenCell], actual: &[TuningGoldenCell]) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if expected.len() != actual.len() {
+        diffs.push(format!(
+            "cell count: golden has {}, run produced {}",
+            expected.len(),
+            actual.len()
+        ));
+    }
+    for exp in expected {
+        let Some(act) = actual.iter().find(|c| c.label() == exp.label()) else {
+            diffs.push(format!("{}: cell missing from this run", exp.label()));
+            continue;
+        };
+        let label = exp.label();
+        for (name, gv, gb, av, ab) in [
+            ("heuristic_ms", exp.heuristic_ms, exp.heuristic_ms_bits, act.heuristic_ms, act.heuristic_ms_bits),
+            ("tuned_ms", exp.tuned_ms, exp.tuned_ms_bits, act.tuned_ms, act.tuned_ms_bits),
+            ("heuristic_mj", exp.heuristic_mj, exp.heuristic_mj_bits, act.heuristic_mj, act.heuristic_mj_bits),
+            ("tuned_mj", exp.tuned_mj, exp.tuned_mj_bits, act.tuned_mj, act.tuned_mj_bits),
+            ("gap_pct", exp.gap_pct, exp.gap_pct_bits, act.gap_pct, act.gap_pct_bits),
+        ] {
+            diffs.extend(field_diff(&label, name, gv, gb, av, ab));
+        }
+        for (name, golden, got) in [
+            ("candidates", exp.candidates, act.candidates),
+            ("pruned", exp.pruned, act.pruned),
+        ] {
+            if golden != got {
+                diffs.push(format!("{label}: {name} {got} != golden {golden}"));
+            }
+        }
+        if exp.improved != act.improved {
+            diffs.push(format!(
+                "{label}: improved {} != golden {}",
+                act.improved, exp.improved
+            ));
+        }
+    }
+    for act in actual {
+        if !expected.iter().any(|c| c.label() == act.label()) {
+            diffs.push(format!("{}: cell not present in golden", act.label()));
+        }
+    }
+    diffs
 }
 
 /// One field comparison at 0 ULPs, rendered as a readable diff line.
@@ -366,6 +500,103 @@ fn v1_0_scenarios_match_golden() {
         diffs.len(),
         diffs.join("\n")
     );
+}
+
+#[test]
+fn v1_0_tuning_matches_golden() {
+    let actual = compute_tuning_cells();
+    assert_eq!(
+        actual.len(),
+        ChipId::ALL.len() * 4 * 2,
+        "every (chip, task) submission cell under both objectives"
+    );
+    if bless_requested() {
+        let json = serde_json::to_string_pretty(&actual).expect("cells serialize") + "\n";
+        std::fs::create_dir_all(std::path::Path::new(TUNING_GOLDEN_PATH).parent().unwrap())
+            .expect("golden dir");
+        std::fs::write(TUNING_GOLDEN_PATH, json).expect("write golden");
+        eprintln!("blessed {} tuning cells into {TUNING_GOLDEN_PATH}", actual.len());
+        return;
+    }
+    let text = std::fs::read_to_string(TUNING_GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("no golden at {TUNING_GOLDEN_PATH} ({e}); generate with BLESS=1 cargo test --test golden_suite")
+    });
+    let expected: Vec<TuningGoldenCell> = serde_json::from_str(&text).expect("golden parses");
+    let diffs = diff_tuning_cells(&expected, &actual);
+    assert!(
+        diffs.is_empty(),
+        "{} tuning cell(s) drifted from golden (BLESS=1 to accept intentional changes):\n{}",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}
+
+#[test]
+fn tuning_golden_file_is_checked_in_and_well_formed() {
+    let text = std::fs::read_to_string(TUNING_GOLDEN_PATH)
+        .expect("tests/golden/v1_0_tuning.json must be checked in");
+    let cells: Vec<TuningGoldenCell> = serde_json::from_str(&text).expect("golden parses");
+    assert_eq!(cells.len(), ChipId::ALL.len() * 4 * 2);
+    for c in &cells {
+        assert_eq!(c.tuned_ms.to_bits(), c.tuned_ms_bits, "{}: bits out of sync", c.label());
+        assert_eq!(c.gap_pct.to_bits(), c.gap_pct_bits, "{}: bits out of sync", c.label());
+        // The incumbent is seeded with the heuristic: tuning never regresses.
+        let (before, after) = if c.objective == "latency" {
+            (c.heuristic_ms, c.tuned_ms)
+        } else {
+            (c.heuristic_mj, c.tuned_mj)
+        };
+        assert!(after <= before, "{}: tuner regressed its objective", c.label());
+        assert!(c.gap_pct >= 0.0, "{}: negative gap", c.label());
+        assert_eq!(c.improved, after < before, "{}: improved flag out of sync", c.label());
+    }
+    // The headline acceptance criterion: the search finds a real
+    // heuristic-vs-optimal gap somewhere in the matrix.
+    assert!(
+        cells.iter().any(|c| c.improved && c.gap_pct > 0.0),
+        "no cell shows a nonzero scheduling gap"
+    );
+}
+
+#[test]
+fn tuning_diff_reports_perturbations_per_cell() {
+    let base = vec![TuningGoldenCell {
+        chip: "Exynos 990".into(),
+        backend: "ENN".into(),
+        model: "DeepLabV3Plus".into(),
+        objective: "latency".into(),
+        heuristic_ms: 133.7,
+        heuristic_ms_bits: 133.7f64.to_bits(),
+        tuned_ms: 62.1,
+        tuned_ms_bits: 62.1f64.to_bits(),
+        heuristic_mj: 130.3,
+        heuristic_mj_bits: 130.3f64.to_bits(),
+        tuned_mj: 35.1,
+        tuned_mj_bits: 35.1f64.to_bits(),
+        gap_pct: 53.5,
+        gap_pct_bits: 53.5f64.to_bits(),
+        candidates: 65,
+        pruned: 340,
+        improved: true,
+    }];
+    assert!(diff_tuning_cells(&base, &base).is_empty());
+
+    // A 1-ULP tuned-score nudge is caught, named, and quantified.
+    let mut drifted = base.clone();
+    drifted[0].tuned_ms_bits += 1;
+    drifted[0].tuned_ms = f64::from_bits(drifted[0].tuned_ms_bits);
+    let diffs = diff_tuning_cells(&base, &drifted);
+    assert_eq!(diffs.len(), 1, "{diffs:?}");
+    assert!(diffs[0].contains("Exynos 990/ENN/DeepLabV3Plus/latency"));
+    assert!(diffs[0].contains("tuned_ms"));
+    assert!(diffs[0].contains("1 ULPs apart"));
+
+    // Search-effort drift (a changed prune count) is its own line.
+    let mut pruned = base.clone();
+    pruned[0].pruned = 341;
+    let diffs = diff_tuning_cells(&base, &pruned);
+    assert_eq!(diffs.len(), 1);
+    assert!(diffs[0].contains("pruned 341 != golden 340"));
 }
 
 #[test]

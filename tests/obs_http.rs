@@ -49,6 +49,7 @@ fn smoke_specs() -> Vec<RunSpec> {
                     ),
                     mix: ScenarioMix::offline_only(true),
                     def,
+                    tuner: None,
                 });
             }
         }

@@ -38,6 +38,7 @@ fn matrix() -> Vec<RunSpec> {
                         ScenarioMix::offline_only(false)
                     },
                     def,
+                    tuner: None,
                 });
             }
         }
@@ -509,6 +510,44 @@ fn fleet_sweep_is_bit_identical_across_worker_counts() {
 }
 
 #[test]
+fn tuning_report_is_bit_identical_across_worker_counts() {
+    // The gap table holds the same contract as every other artifact:
+    // `threads` is a pure wall-clock knob. The same config must produce
+    // the byte-identical report — serialized cells AND rendered text —
+    // serially or on a contended pool, from a cold or a warm tuned
+    // cache. This is the in-process form of the `make tune` byte-diff
+    // across MLPERF_WORKERS settings.
+    use mlperf_mobile::tuning::{render_tuning_report, run_tuning, TuningConfig};
+
+    let config_for = |threads: usize| {
+        let mut config = TuningConfig::new();
+        config.chips = vec![ChipId::Exynos990, ChipId::Snapdragon888];
+        config.threads = threads;
+        config
+    };
+    let serial = run_tuning(&CompileCache::new(), &config_for(1)).expect("cells compile");
+    let cache = CompileCache::new();
+    let pooled = run_tuning(&cache, &config_for(8)).expect("cells compile");
+    assert_eq!(
+        serial.to_json(),
+        pooled.to_json(),
+        "tuning report must serialize byte-identically across worker counts"
+    );
+    assert_eq!(
+        render_tuning_report(&serial),
+        render_tuning_report(&pooled),
+        "rendered gap table must be byte-identical across worker counts"
+    );
+    // A warm tuned cache replays the memoized searches without drift.
+    let again = run_tuning(&cache, &config_for(4)).expect("cells compile");
+    assert_eq!(pooled, again, "repeated tuning sweeps must be stable");
+    assert!(
+        serial.cells.iter().any(|c| c.improved && c.gap_pct > 0.0),
+        "the searched chips must show a real scheduling gap"
+    );
+}
+
+#[test]
 fn sweep_matches_per_chip_suite_reports() {
     // The cross-chip sweep parallelizes over the flat matrix but must
     // regroup into exactly the reports a chip-by-chip loop produces.
@@ -516,6 +555,7 @@ fn sweep_matches_per_chip_suite_reports() {
         rules: RunRules::smoke_test(),
         offline_classification: false,
         scenario_matrix: false,
+        tuner: None,
     };
     let chips = [ChipId::Dimensity1100, ChipId::Exynos2100];
     let swept = SuiteRunner::new()

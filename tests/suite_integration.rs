@@ -10,7 +10,7 @@ use nn_graph::DataType;
 use soc_sim::catalog::{ChipId, Generation};
 
 fn smoke_config() -> AppConfig {
-    AppConfig { rules: RunRules::smoke_test(), offline_classification: false, scenario_matrix: false }
+    AppConfig { rules: RunRules::smoke_test(), offline_classification: false, scenario_matrix: false, tuner: None }
 }
 
 #[test]
